@@ -1,0 +1,103 @@
+"""Ablations and extensions beyond the paper's headline figures.
+
+* SIMD batching ablation — FERRUM with SIMD off (AS₂ → scalar) and with
+  smaller batch sizes: quantifies how much of the speedup Fig. 6's batching
+  buys (the design choice DESIGN.md calls out);
+* root-cause histogram — the mechanical version of the paper's Sec. IV-B1
+  analysis of where IR-LEVEL-EDDI's residual SDCs come from;
+* multi-bit faults — the paper's stated future work: double-fault
+  campaigns against FERRUM.
+"""
+
+import pytest
+
+from conftest import FI_SAMPLES, build_for, emit
+from repro.core.config import FerrumConfig
+from repro.evaluation.metrics import runtime_overhead
+from repro.evaluation.root_cause import analyze_root_causes
+from repro.faultinjection.multibit import run_multibit_campaign
+from repro.faultinjection.outcome import Outcome
+from repro.machine.cpu import Machine
+from repro.machine.timing import TimingConfig
+from repro.pipeline import build_variants
+from repro.utils.text import format_table, percent
+from repro.workloads import get_workload
+
+ABLATION_WORKLOAD = "pathfinder"
+
+
+def test_simd_batching_ablation(benchmark, capsys):
+    def run() -> dict[str, float]:
+        source = get_workload(ABLATION_WORKLOAD).source(1)
+        timing = TimingConfig()
+        raw = build_variants(source, names=("raw",))["raw"]
+        raw_cycles = Machine(raw.asm).run(timing=timing).cycles
+        golden = Machine(raw.asm).run().output
+        overheads = {}
+        for label, config in (
+            ("batch=4 (paper)", FerrumConfig()),
+            ("batch=2", FerrumConfig(simd_batch=2)),
+            ("batch=1", FerrumConfig(simd_batch=1)),
+            ("no SIMD", FerrumConfig(use_simd=False)),
+        ):
+            variant = build_variants(source, names=("ferrum",),
+                                     config=config)["ferrum"]
+            machine = Machine(variant.asm)
+            assert machine.run().output == golden
+            cycles = machine.run(timing=timing).cycles
+            overheads[label] = runtime_overhead(cycles, raw_cycles)
+        return overheads
+
+    overheads = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, format_table(
+        ["configuration", "overhead"],
+        [[label, percent(value)] for label, value in overheads.items()],
+        title=f"SIMD batching ablation ({ABLATION_WORKLOAD})",
+    ))
+    # Batching must pay: full batches beat per-instruction SIMD checks,
+    # and SIMD use must beat the scalar fallback.
+    assert overheads["batch=4 (paper)"] < overheads["batch=1"]
+    assert overheads["batch=4 (paper)"] < overheads["no SIMD"]
+
+
+def test_root_cause_histogram(benchmark, capsys):
+    def run():
+        build = build_for("pathfinder")
+        return analyze_root_causes(build["ir-eddi"].asm,
+                                   samples=max(FI_SAMPLES * 4, 160), seed=13)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, result.render())
+    benchmark.extra_info["total_sdc"] = result.total_sdc
+    # Sec. IV-B1: the residual SDCs exist and are attributable.
+    assert result.total_sdc > 0
+    assert result.by_class
+
+
+def test_multibit_future_work(benchmark, capsys):
+    def run():
+        build = build_for("knn")
+        rows = {}
+        for mode in ("spatial", "temporal"):
+            rows[mode] = {
+                name: run_multibit_campaign(build[name].asm, FI_SAMPLES,
+                                            seed=21, mode=mode)
+                for name in ("raw", "ferrum")
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for mode, campaigns in rows.items():
+        for name, campaign in campaigns.items():
+            table.append([mode, name,
+                          percent(campaign.outcomes.rate(Outcome.SDC)),
+                          percent(campaign.outcomes.rate(Outcome.DETECTED))])
+    emit(capsys, format_table(
+        ["mode", "variant", "P(SDC)", "P(detected)"], table,
+        title="Multi-bit faults (paper future work), knn",
+    ))
+    for mode in ("spatial", "temporal"):
+        raw_sdc = rows[mode]["raw"].outcomes.rate(Outcome.SDC)
+        ferrum_sdc = rows[mode]["ferrum"].outcomes.rate(Outcome.SDC)
+        assert ferrum_sdc <= raw_sdc

@@ -1,0 +1,72 @@
+"""Fig. 11: runtime performance overhead per benchmark.
+
+Benchmarks the simulated execution of each variant (wall-clock of the
+simulator run, via pytest-benchmark) and reports the paper's metric — the
+cycle-model overhead relative to the unprotected binary — through
+``extra_info`` and a printed summary table.
+"""
+
+import pytest
+
+from conftest import SELECTED, build_for, emit
+from repro.evaluation.experiments import Fig11Result, TECHNIQUES
+from repro.evaluation.metrics import runtime_overhead, speedup_in_overhead
+from repro.evaluation.figures import render_fig11_chart
+from repro.evaluation.report import render_fig11
+from repro.machine.cpu import Machine
+from repro.machine.timing import TimingConfig
+
+_cycles: dict[str, dict[str, int]] = {}
+
+
+def _measure(name: str) -> dict[str, int]:
+    if name not in _cycles:
+        build = build_for(name)
+        timing = TimingConfig()
+        _cycles[name] = {
+            variant_name: Machine(variant.asm).run(timing=timing).cycles
+            for variant_name, variant in build.variants.items()
+        }
+    return _cycles[name]
+
+
+@pytest.mark.parametrize("name", SELECTED)
+def test_fig11_benchmark(benchmark, name):
+    cycles = benchmark.pedantic(_measure, args=(name,), rounds=1, iterations=1)
+    overheads = {
+        t: runtime_overhead(cycles[t], cycles["raw"]) for t in TECHNIQUES
+    }
+    for technique, value in overheads.items():
+        benchmark.extra_info[f"overhead_{technique}"] = round(value, 4)
+
+    # Paper Fig. 11 shape: FERRUM cheapest, hybrid most expensive.
+    assert overheads["ferrum"] < overheads["ir-eddi"] < overheads["hybrid"]
+    assert all(value > 0 for value in overheads.values())
+
+
+def test_fig11_summary(benchmark, capsys):
+    def summarize() -> Fig11Result:
+        result = Fig11Result()
+        for name in SELECTED:
+            cycles = _measure(name)
+            row = {"benchmark": name, "raw_cycles": cycles["raw"]}
+            for technique in TECHNIQUES:
+                row[technique] = runtime_overhead(cycles[technique],
+                                                  cycles["raw"])
+            result.rows.append(row)
+        return result
+
+    result = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    emit(capsys, render_fig11(result))
+    emit(capsys, render_fig11_chart(result))
+
+    ferrum = result.average_overhead("ferrum")
+    ir_eddi = result.average_overhead("ir-eddi")
+    hybrid = result.average_overhead("hybrid")
+    speedup = speedup_in_overhead(ir_eddi, ferrum)
+    emit(capsys, f"FERRUM overhead reduction vs IR-LEVEL-EDDI: "
+                 f"{speedup * 100:.1f}% (paper: ~52%)")
+
+    # Paper averages: 62.27 % / 83.39 % / 29.83 %. Shape assertions:
+    assert ferrum < ir_eddi < hybrid
+    assert speedup >= 0.3, "FERRUM should cut IR-EDDI overhead substantially"

@@ -1,0 +1,22 @@
+"""Table I: protection capability matrix per technique."""
+
+from repro.evaluation.experiments import table1
+from repro.evaluation.report import render_table1
+
+
+def test_table1_capabilities(benchmark, capsys):
+    from conftest import emit
+
+    data = benchmark(table1)
+
+    # The paper's Table I, row by row.
+    assert data["FERRUM"] == {cls: "AS2" for cls in data["FERRUM"]}
+    hybrid = data["HYBRID-ASSEMBLY-LEVEL-EDDI"]
+    assert hybrid["branch"] == "IR" and hybrid["comparison"] == "IR"
+    assert all(level == "AS1" for cls, level in hybrid.items()
+               if cls not in ("branch", "comparison"))
+    ir = data["IR-LEVEL-EDDI"]
+    assert ir["basic"] == "IR"
+    assert all(level == "-" for cls, level in ir.items() if cls != "basic")
+
+    emit(capsys, render_table1())

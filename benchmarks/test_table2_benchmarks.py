@@ -1,0 +1,21 @@
+"""Table II: the benchmark roster."""
+
+from repro.evaluation.experiments import table2
+from repro.evaluation.report import render_table2
+
+
+def test_table2_benchmarks(benchmark, capsys):
+    from conftest import emit
+
+    rows = benchmark(table2)
+
+    assert [r["Benchmark"] for r in rows] == [
+        "backprop", "bfs", "pathfinder", "lud", "needle",
+        "knn", "kmeans", "particlefilter",
+    ]
+    assert {r["Suite"] for r in rows} == {"Rodinia"}
+    domains = {r["Benchmark"]: r["Domain"] for r in rows}
+    assert domains["kmeans"] == "Data Mining"
+    assert domains["particlefilter"] == "Noise estimator"
+
+    emit(capsys, render_table2())

@@ -1,0 +1,65 @@
+"""Reproduction of FERRUM (DSN 2024): fast assembly-level error detection.
+
+A self-contained software stack reproducing *"A Fast Low-Level Error
+Detection Technique"*: a mini-C -> IR -> x86-64 compiler, an architectural
+machine simulator with a cycle model, three EDDI protection transforms
+(IR-level, hybrid assembly-level, and FERRUM with SIMD batching), an
+assembly-level fault injector, eight Rodinia-like workloads, and an
+evaluation harness regenerating every table and figure of the paper.
+
+Typical use::
+
+    from repro import build_variants, run_campaign, Machine
+
+    build = build_variants(source_code)          # raw/ir-eddi/hybrid/ferrum
+    result = Machine(build["ferrum"].asm).run()  # execute
+    campaign = run_campaign(build["ferrum"].asm, samples=200, seed=1)
+
+See ``examples/`` for runnable walkthroughs and ``ferrum-eval`` for the
+paper's experiments.
+"""
+
+from repro.core.config import FerrumConfig
+from repro.core.ferrum import FerrumStats, protect_program
+from repro.core.hybrid import protect_program_hybrid
+from repro.eddi.ir_eddi import protect_module
+from repro.eddi.signatures import protect_branches_with_signatures
+from repro.faultinjection.campaign import (
+    CampaignResult,
+    run_campaign,
+    run_ir_campaign,
+)
+from repro.faultinjection.outcome import Outcome, sdc_coverage
+from repro.machine.cpu import Machine, RunResult
+from repro.machine.timing import TimingConfig
+from repro.minic import compile_to_ir
+from repro.backend import compile_module
+from repro.pipeline import BuildResult, CompiledVariant, build_variants
+from repro.workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildResult",
+    "CampaignResult",
+    "CompiledVariant",
+    "FerrumConfig",
+    "FerrumStats",
+    "Machine",
+    "Outcome",
+    "RunResult",
+    "TimingConfig",
+    "all_workloads",
+    "build_variants",
+    "compile_module",
+    "compile_to_ir",
+    "get_workload",
+    "protect_branches_with_signatures",
+    "protect_module",
+    "protect_program",
+    "protect_program_hybrid",
+    "run_campaign",
+    "run_ir_campaign",
+    "sdc_coverage",
+    "workload_names",
+]

@@ -1,0 +1,101 @@
+"""Static register-usage analysis (Sec. III-B1 of the paper, step 1).
+
+FERRUM's first phase scans the whole function and records which
+general-purpose and SIMD registers the program ever touches; the complement
+(minus reserved registers) is the spare set available for duplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.instructions import InstrKind
+from repro.asm.liveness import instruction_defs, instruction_uses
+from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.registers import GPR64, RESERVED_GPRS
+
+#: Preferred allocation order for spare GPRs: the "new" registers first, the
+#: classic scratch registers last, callee-saved ones excluded (using them
+#: would force save/restore code in every prologue).
+SPARE_PREFERENCE: tuple[str, ...] = (
+    "r10", "r11", "r12", "r13", "r14", "r15",
+    "r8", "r9", "rcx", "rdx", "rsi", "rdi", "rax", "rbx",
+)
+
+_VECTOR_ROOTS: tuple[str, ...] = tuple(f"ymm{i}" for i in range(16))
+
+
+@dataclass(frozen=True)
+class RegisterUsage:
+    """Which register roots a function uses, split by class."""
+
+    gprs: frozenset[str]
+    vectors: frozenset[str]
+
+    @property
+    def spare_gprs(self) -> tuple[str, ...]:
+        """Unused, non-reserved GPR roots in preference order."""
+        return tuple(
+            root
+            for root in SPARE_PREFERENCE
+            if root not in self.gprs and root not in RESERVED_GPRS
+        )
+
+    @property
+    def spare_vectors(self) -> tuple[str, ...]:
+        """Unused vector roots (``ymmN`` names) in index order."""
+        return tuple(root for root in _VECTOR_ROOTS if root not in self.vectors)
+
+
+def scan_register_usage(func: AsmFunction) -> RegisterUsage:
+    """Scan every instruction and collect touched register roots.
+
+    Calls are *not* treated as using every caller-saved register here: this
+    scan asks "which registers does this code's own text mention", which is
+    the correct question for spare-register discovery because protection
+    values never live across a call (batches flush at sync points).
+    """
+    gprs: set[str] = set()
+    vectors: set[str] = set()
+    for instr in func.instructions():
+        if instr.kind is InstrKind.CALL:
+            continue
+        roots = set(instruction_uses(instr)) | set(instruction_defs(instr))
+        for root in roots:
+            if root in GPR64:
+                gprs.add(root)
+            elif root.startswith("ymm"):
+                vectors.add(root)
+    return RegisterUsage(frozenset(gprs), frozenset(vectors))
+
+
+def roots_touched_in_block(block: AsmBlock) -> frozenset[str]:
+    """GPR roots that a single block's own instructions mention.
+
+    Used by stack-level redundancy (paper Fig. 7) to find registers that are
+    safe to requisition with push/pop inside one block.
+    """
+    roots: set[str] = set()
+    for instr in block.instructions:
+        if instr.kind is InstrKind.CALL:
+            roots.update(GPR64)  # a call may clobber anything caller-saved
+            continue
+        for root in instruction_uses(instr) | instruction_defs(instr):
+            if root in GPR64:
+                roots.add(root)
+    return frozenset(roots)
+
+
+def requisition_candidates(block: AsmBlock) -> tuple[str, ...]:
+    """GPR roots that can be temporarily freed inside ``block`` (Fig. 7).
+
+    A candidate is any non-reserved GPR the block itself never touches; its
+    caller-visible value is preserved by push/pop bracketing, so liveness
+    outside the block is irrelevant.
+    """
+    touched = roots_touched_in_block(block)
+    return tuple(
+        root
+        for root in SPARE_PREFERENCE
+        if root not in touched and root not in RESERVED_GPRS
+    )

@@ -1,0 +1,120 @@
+"""Register liveness analysis over assembly CFGs.
+
+Works at register-*root* granularity (``eax`` and ``rax`` are one node), the
+granularity the protection transforms reason at: a spare register must be
+dead as a whole 64-bit (or 256-bit) entity.
+
+Calls are modeled with the SysV convention: a call reads the argument
+registers and clobbers the caller-saved set. This is conservative for the
+-O0 backend (which passes at most six integer arguments) and keeps the
+analysis intraprocedural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.instructions import Instruction, InstrKind
+from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.registers import ARG_GPRS, CALLEE_SAVED, GPR64
+
+#: Caller-saved GPR roots (clobbered by a call under SysV).
+CALLER_SAVED: frozenset[str] = frozenset(
+    root for root in GPR64 if root not in CALLEE_SAVED and root != "rsp"
+)
+
+#: Vector roots are all caller-saved under SysV.
+CALLER_SAVED_VECTORS: frozenset[str] = frozenset(f"ymm{i}" for i in range(16))
+
+#: Registers read by a ``retq`` (the integer return value).
+RETURN_ROOTS: frozenset[str] = frozenset({"rax", "rsp"})
+
+
+def instruction_uses(instr: Instruction) -> frozenset[str]:
+    """Register roots read by ``instr`` (including implicit call/ret reads)."""
+    if instr.kind is InstrKind.CALL:
+        # Conservative: assume all argument registers may carry arguments.
+        return frozenset(ARG_GPRS) | {"rsp"}
+    if instr.kind is InstrKind.RET:
+        return RETURN_ROOTS
+    uses = {reg.root for reg in instr.read_registers()}
+    if instr.kind in (InstrKind.PUSH, InstrKind.POP):
+        uses.add("rsp")
+    return frozenset(uses)
+
+
+def instruction_defs(instr: Instruction) -> frozenset[str]:
+    """Register roots written by ``instr`` (including call clobbers)."""
+    if instr.kind is InstrKind.CALL:
+        return CALLER_SAVED | CALLER_SAVED_VECTORS | {"rsp"}
+    defs = {reg.root for reg in instr.dest_registers() if reg.root != "rflags"}
+    if instr.kind in (InstrKind.PUSH, InstrKind.POP):
+        defs.add("rsp")
+    return frozenset(defs)
+
+
+@dataclass
+class LivenessResult:
+    """Per-block live-in/live-out sets of register roots."""
+
+    live_in: dict[str, frozenset[str]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def live_at_entry(self, label: str) -> frozenset[str]:
+        return self.live_in.get(label, frozenset())
+
+    def live_at_exit(self, label: str) -> frozenset[str]:
+        return self.live_out.get(label, frozenset())
+
+
+def _block_use_def(block: AsmBlock) -> tuple[frozenset[str], frozenset[str]]:
+    """(upward-exposed uses, defs) for a basic block."""
+    uses: set[str] = set()
+    defs: set[str] = set()
+    for instr in block.instructions:
+        for root in instruction_uses(instr):
+            if root not in defs:
+                uses.add(root)
+        defs.update(instruction_defs(instr))
+    return frozenset(uses), frozenset(defs)
+
+
+def compute_liveness(func: AsmFunction) -> LivenessResult:
+    """Classic backward may-liveness to a fixpoint over the function CFG."""
+    use_def = {blk.label: _block_use_def(blk) for blk in func.blocks}
+    live_in: dict[str, frozenset[str]] = {blk.label: frozenset() for blk in func.blocks}
+    live_out: dict[str, frozenset[str]] = {blk.label: frozenset() for blk in func.blocks}
+    order = list(reversed(func.blocks))
+
+    changed = True
+    while changed:
+        changed = False
+        for blk in order:
+            out: set[str] = set()
+            for succ in func.successors(blk):
+                out.update(live_in.get(succ, frozenset()))
+            uses, defs = use_def[blk.label]
+            new_in = uses | (frozenset(out) - defs)
+            if frozenset(out) != live_out[blk.label] or new_in != live_in[blk.label]:
+                live_out[blk.label] = frozenset(out)
+                live_in[blk.label] = new_in
+                changed = True
+    return LivenessResult(live_in, live_out)
+
+
+def live_before_each(
+    block: AsmBlock, live_out: frozenset[str]
+) -> list[frozenset[str]]:
+    """Live sets immediately *before* each instruction of ``block``.
+
+    Computed by walking backwards from ``live_out``; index ``i`` of the
+    result corresponds to ``block.instructions[i]``.
+    """
+    result: list[frozenset[str]] = [frozenset()] * len(block.instructions)
+    live = set(live_out)
+    for i in range(len(block.instructions) - 1, -1, -1):
+        instr = block.instructions[i]
+        live -= instruction_defs(instr)
+        live |= instruction_uses(instr)
+        result[i] = frozenset(live)
+    return result

@@ -1,0 +1,100 @@
+"""Assembly operand model (AT&T syntax).
+
+Four operand shapes cover the emitted ISA subset:
+
+* :class:`Imm` — ``$42`` immediates.
+* :class:`Reg` — ``%rax`` register references.
+* :class:`Mem` — ``disp(%base,%index,scale)`` effective addresses.
+* :class:`LabelRef` — jump/call targets such as ``.LBB0_3`` or ``printf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.asm.registers import Register
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand: ``$value``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand: ``%name``."""
+
+    register: Register
+
+    def __str__(self) -> str:
+        return str(self.register)
+
+    @property
+    def name(self) -> str:
+        return self.register.name
+
+    @property
+    def root(self) -> str:
+        return self.register.root
+
+    @property
+    def width(self) -> int:
+        return self.register.width
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``disp(%base,%index,scale)``.
+
+    Any of ``base``/``index`` may be absent; ``scale`` is 1, 2, 4 or 8.
+    """
+
+    disp: int = 0
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.index is None and self.scale != 1:
+            # Without an index the scale is meaningless; normalize so that
+            # structural equality matches addressing equality.
+            object.__setattr__(self, "scale", 1)
+
+    def __str__(self) -> str:
+        disp = str(self.disp) if self.disp else ""
+        if self.base is None and self.index is None:
+            return f"{self.disp}"
+        inner = str(self.base) if self.base is not None else ""
+        if self.index is not None:
+            inner += f",{self.index},{self.scale}"
+        return f"{disp}({inner})"
+
+    def registers(self) -> tuple[Register, ...]:
+        """The registers read to form the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A symbolic code reference: a branch target or callee name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Imm, Reg, Mem, LabelRef]

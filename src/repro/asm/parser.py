@@ -1,0 +1,151 @@
+"""AT&T-syntax assembly text parser (inverse of :mod:`repro.asm.printer`).
+
+Accepts the dialect the printer emits plus common cosmetic variation:
+flexible whitespace, ``#`` comments, blank lines. Functions are introduced
+by a ``.globl name`` directive followed by the matching label; any other
+label opens a new basic block of the current function.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.instructions import Instruction
+from repro.asm.operands import Imm, LabelRef, Mem, Operand, Reg
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+from repro.asm.registers import get_register, is_register_name
+from repro.errors import AsmParseError
+
+_LABEL_RE = re.compile(r"^([.\w$@]+):$")
+_MEM_RE = re.compile(r"^(-?\d*)\(([^)]*)\)$")
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+def parse_operand(text: str, line: int = 0) -> Operand:
+    """Parse one operand in AT&T syntax.
+
+    >>> parse_operand("$5")
+    Imm(value=5)
+    >>> parse_operand("-8(%rbp)").disp
+    -8
+    """
+    text = text.strip()
+    if not text:
+        raise AsmParseError("empty operand", line)
+    if text.startswith("$"):
+        body = text[1:]
+        if not _INT_RE.match(body):
+            raise AsmParseError(f"bad immediate {text!r}", line)
+        return Imm(int(body))
+    if text.startswith("%"):
+        return Reg(get_register(text))
+    match = _MEM_RE.match(text)
+    if match:
+        disp = int(match.group(1)) if match.group(1) not in ("", "-") else 0
+        parts = [p.strip() for p in match.group(2).split(",")]
+        base = None
+        index = None
+        scale = 1
+        if parts and parts[0]:
+            base = get_register(parts[0])
+        if len(parts) >= 2 and parts[1]:
+            index = get_register(parts[1])
+        if len(parts) >= 3 and parts[2]:
+            if not _INT_RE.match(parts[2]):
+                raise AsmParseError(f"bad scale in {text!r}", line)
+            scale = int(parts[2])
+        return Mem(disp=disp, base=base, index=index, scale=scale)
+    if _INT_RE.match(text):
+        # Absolute memory reference: bare displacement.
+        return Mem(disp=int(text))
+    if is_register_name(text):
+        raise AsmParseError(f"register {text!r} missing % sigil", line)
+    return LabelRef(text)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on top-level commas (parens protect commas)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_instruction(text: str, line: int = 0) -> Instruction:
+    """Parse one instruction line (without label), e.g. ``movq %rax, %rbx``."""
+    comment = None
+    if "#" in text:
+        text, comment = text.split("#", 1)
+        comment = comment.strip() or None
+    text = text.strip()
+    if not text:
+        raise AsmParseError("empty instruction", line)
+    fields = text.split(None, 1)
+    mnemonic = fields[0]
+    operand_text = fields[1] if len(fields) > 1 else ""
+    operands = tuple(
+        parse_operand(part, line) for part in _split_operands(operand_text)
+    )
+    try:
+        return Instruction(mnemonic, operands, comment=comment)
+    except Exception as exc:  # re-tag with line info
+        raise AsmParseError(str(exc), line) from exc
+
+
+def parse_program(text: str) -> AsmProgram:
+    """Parse a full program in the printer's dialect."""
+    program = AsmProgram()
+    pending_globl: str | None = None
+    func: AsmFunction | None = None
+    block: AsmBlock | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if raw.lstrip().startswith(".") else raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("."):
+            directive = line.split()
+            if directive[0] == ".globl":
+                if len(directive) != 2:
+                    raise AsmParseError(".globl needs a name", lineno)
+                pending_globl = directive[1]
+                continue
+            if directive[0] in (".text", ".data", ".align", ".section"):
+                continue
+            # Labels may also start with '.', e.g. .LBB0_1 — fall through.
+        match = _LABEL_RE.match(line)
+        if match:
+            label = match.group(1)
+            if pending_globl is not None:
+                if label != pending_globl:
+                    raise AsmParseError(
+                        f"label {label!r} does not match .globl {pending_globl!r}",
+                        lineno,
+                    )
+                func = AsmFunction(label, [AsmBlock(label)])
+                program.add_function(func)
+                block = func.blocks[0]
+                pending_globl = None
+            else:
+                if func is None:
+                    raise AsmParseError(f"label {label!r} outside a function", lineno)
+                block = func.add_block(label)
+            continue
+        if func is None or block is None:
+            raise AsmParseError(f"instruction outside a function: {line!r}", lineno)
+        block.append(parse_instruction(raw, lineno))
+    if pending_globl is not None:
+        raise AsmParseError(f".globl {pending_globl!r} without body", 0)
+    return program

@@ -1,0 +1,40 @@
+"""AT&T-syntax text rendering of the assembly model.
+
+The printer and :mod:`repro.asm.parser` form a round-trip pair:
+``parse_program(format_program(p))`` reproduces ``p`` up to instruction
+uids. Property tests pin this invariant.
+"""
+
+from __future__ import annotations
+
+from repro.asm.instructions import Instruction
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction (no indentation, optional trailing comment)."""
+    text = instr.mnemonic
+    if instr.operands:
+        text += " " + ", ".join(str(op) for op in instr.operands)
+    if instr.comment:
+        text += f"  # {instr.comment}"
+    return text
+
+
+def format_block(block: AsmBlock) -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(f"\t{format_instruction(instr)}" for instr in block.instructions)
+    return "\n".join(lines)
+
+
+def format_function(func: AsmFunction) -> str:
+    lines = [f"\t.globl {func.name}"]
+    lines.extend(format_block(blk) for blk in func.blocks)
+    return "\n".join(lines)
+
+
+def format_program(program: AsmProgram) -> str:
+    """Render a whole program as AT&T assembly text."""
+    parts = ["\t.text"]
+    parts.extend(format_function(func) for func in program.functions)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,222 @@
+"""Program-level assembly containers: blocks, functions, programs, CFG.
+
+A function is an ordered list of labeled basic blocks; control transfers via
+explicit terminators (``jmp``/``j<cc>``/``retq``) or by falling through to
+the next block in order, matching how the backend lays code out. The CFG is
+derived, never stored, so transforms can freely rewrite instruction lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.asm.instructions import Instruction, InstrKind
+from repro.errors import AsmError
+
+
+@dataclass
+class AsmBlock:
+    """A labeled basic block: straight-line code ending at a terminator.
+
+    Non-terminator branches (``call``) may appear mid-block. The block label
+    doubles as the CFG node identity within its function.
+    """
+
+    label: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def extend(self, instrs: Iterable[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The trailing terminator instruction, if the block has one."""
+        if self.instructions and self.instructions[-1].kind.is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def body_and_terminator(self) -> tuple[list[Instruction], Instruction | None]:
+        """Split into (non-terminator prefix, terminator-or-None)."""
+        term = self.terminator
+        if term is None:
+            return list(self.instructions), None
+        return list(self.instructions[:-1]), term
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class AsmFunction:
+    """An assembly function: ordered basic blocks, entry first."""
+
+    name: str
+    blocks: list[AsmBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            self.blocks = [AsmBlock(self.name)]
+
+    @property
+    def entry(self) -> AsmBlock:
+        return self.blocks[0]
+
+    def block(self, label: str) -> AsmBlock:
+        """Look up a block by label; raises AsmError when absent."""
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise AsmError(f"no block {label!r} in function {self.name}")
+
+    def has_block(self, label: str) -> bool:
+        return any(blk.label == label for blk in self.blocks)
+
+    def add_block(self, label: str) -> AsmBlock:
+        """Append a fresh empty block and return it."""
+        if self.has_block(label):
+            raise AsmError(f"duplicate block label {label!r} in {self.name}")
+        blk = AsmBlock(label)
+        self.blocks.append(blk)
+        return blk
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in layout order."""
+        for blk in self.blocks:
+            yield from blk.instructions
+
+    def static_size(self) -> int:
+        """Static instruction count (the paper's Sec. IV-B3 size metric)."""
+        return sum(len(blk) for blk in self.blocks)
+
+    # -- CFG -----------------------------------------------------------------
+
+    def successors(self, block: AsmBlock) -> list[str]:
+        """Labels of CFG successor blocks of ``block``."""
+        term = block.terminator
+        idx = self.blocks.index(block)
+        fallthrough = (
+            self.blocks[idx + 1].label if idx + 1 < len(self.blocks) else None
+        )
+        if term is None:
+            return [fallthrough] if fallthrough is not None else []
+        if term.kind is InstrKind.RET:
+            return []
+        if term.kind is InstrKind.JMP:
+            target = term.target_label
+            return [target] if target is not None else []
+        # Conditional branch: taken target plus fallthrough.
+        succs = []
+        target = term.target_label
+        if target is not None:
+            succs.append(target)
+        if fallthrough is not None:
+            succs.append(fallthrough)
+        return succs
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """Map block label -> labels of predecessor blocks."""
+        preds: dict[str, list[str]] = {blk.label: [] for blk in self.blocks}
+        for blk in self.blocks:
+            for succ in self.successors(blk):
+                if succ in preds:
+                    preds[succ].append(blk.label)
+        return preds
+
+    def branch_targets(self) -> set[str]:
+        """Every label referenced by a jump inside this function."""
+        targets = set()
+        for instr in self.instructions():
+            if instr.kind in (InstrKind.JMP, InstrKind.JCC):
+                label = instr.target_label
+                if label is not None:
+                    targets.add(label)
+        return targets
+
+
+@dataclass
+class AsmProgram:
+    """A whole program: ordered functions plus optional provenance metadata.
+
+    ``metadata`` carries free-form tags such as which protection transform
+    produced the program; nothing in execution depends on it.
+    """
+
+    functions: list[AsmFunction] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def function(self, name: str) -> AsmFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise AsmError(f"no function {name!r} in program")
+
+    def has_function(self, name: str) -> bool:
+        return any(func.name == name for func in self.functions)
+
+    def add_function(self, func: AsmFunction) -> AsmFunction:
+        if self.has_function(func.name):
+            raise AsmError(f"duplicate function {func.name!r}")
+        self.functions.append(func)
+        return func
+
+    def function_names(self) -> list[str]:
+        return [func.name for func in self.functions]
+
+    def static_size(self) -> int:
+        """Total static instruction count across all functions."""
+        return sum(func.static_size() for func in self.functions)
+
+    def instructions(self) -> Iterator[Instruction]:
+        for func in self.functions:
+            yield from func.instructions()
+
+    def copy(self) -> "AsmProgram":
+        """Deep copy with fresh instruction objects (new uids)."""
+        prog = AsmProgram(metadata=dict(self.metadata))
+        for func in self.functions:
+            new_func = AsmFunction(func.name, [
+                AsmBlock(blk.label, [instr.copy() for instr in blk.instructions])
+                for blk in func.blocks
+            ])
+            prog.add_function(new_func)
+        return prog
+
+
+def validate_program(program: AsmProgram) -> None:
+    """Check structural invariants; raises :class:`AsmError` on violation.
+
+    * block labels unique within each function,
+    * every jump target resolves to a block in the same function,
+    * every call target resolves to a program function or a known builtin.
+    """
+    from repro.machine.builtins import is_builtin  # local import: layering
+
+    for func in program.functions:
+        seen: set[str] = set()
+        for blk in func.blocks:
+            if blk.label in seen:
+                raise AsmError(f"duplicate label {blk.label!r} in {func.name}")
+            seen.add(blk.label)
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                if instr.kind in (InstrKind.JMP, InstrKind.JCC):
+                    target = instr.target_label
+                    if target is None or target not in seen:
+                        raise AsmError(
+                            f"{func.name}: jump to unknown label {target!r}"
+                        )
+                elif instr.kind is InstrKind.CALL:
+                    target = instr.target_label
+                    if target is None:
+                        raise AsmError(f"{func.name}: indirect call unsupported")
+                    if not program.has_function(target) and not is_builtin(target):
+                        raise AsmError(
+                            f"{func.name}: call to unknown function {target!r}"
+                        )

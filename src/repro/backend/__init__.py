@@ -1,0 +1,14 @@
+"""IR -> x86-64 backend (-O0 style).
+
+Every IR value lives in a stack slot; each instruction reloads its operands
+into scratch registers and spills its result. This is deliberately the
+clang -O0 shape: the reloads, flag rematerializations and argument moves
+the backend inserts are invisible at IR level, and they are exactly the
+unprotected fault sites behind the paper's cross-layer coverage gap
+(Sec. IV-B1, Figs. 8-9).
+"""
+
+from repro.backend.frame import FrameLayout
+from repro.backend.isel import compile_module, compile_function
+
+__all__ = ["FrameLayout", "compile_function", "compile_module"]

@@ -1,0 +1,64 @@
+"""Stack frame layout for the -O0 backend.
+
+Assigns one rbp-relative slot to every IR value that has a result (plus the
+backing storage of each ``alloca``). Alloca storage is addressed directly
+by loads/stores that use the alloca, so the alloca's *pointer value* itself
+needs no slot — it is rematerialized with ``leaq`` where needed, exactly as
+clang -O0 does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.ir.instructions import Alloca
+from repro.ir.module import IRFunction
+from repro.ir.types import IntType
+from repro.ir.values import Value
+
+
+def _slot_size(value: Value) -> int:
+    if isinstance(value.type, IntType):
+        return 8 if value.type.bits == 64 else 4
+    return 8  # pointers
+
+
+class FrameLayout:
+    """rbp-relative slot assignment for one function."""
+
+    def __init__(self, func: IRFunction) -> None:
+        self._offsets: dict[Value, int] = {}
+        self._storage: dict[Alloca, int] = {}
+        cursor = 0
+
+        for arg in func.args:
+            cursor += 8
+            self._offsets[arg] = -cursor
+
+        for instr in func.instructions():
+            if isinstance(instr, Alloca):
+                size = instr.allocated.size_bytes * instr.count
+                cursor += (size + 7) & ~7
+                self._storage[instr] = -cursor
+            elif instr.has_result:
+                cursor += (_slot_size(instr) + 3) & ~3
+                self._offsets[instr] = -((cursor + 7) & ~7)
+                cursor = (cursor + 7) & ~7
+
+        self.size = (cursor + 15) & ~15
+
+    def slot(self, value: Value) -> int:
+        """rbp-relative offset of a value's spill slot."""
+        try:
+            return self._offsets[value]
+        except KeyError:
+            raise BackendError(f"value %{value.name} has no slot") from None
+
+    def storage(self, alloca: Alloca) -> int:
+        """rbp-relative offset of an alloca's backing storage."""
+        try:
+            return self._storage[alloca]
+        except KeyError:
+            raise BackendError(f"alloca %{alloca.name} has no storage") from None
+
+    def has_slot(self, value: Value) -> bool:
+        return value in self._offsets

@@ -1,0 +1,389 @@
+"""-O0 instruction selection: IR -> x86-64 assembly.
+
+Lowering discipline (mirrors clang -O0):
+
+* each IR value is computed into scratch registers and spilled to its frame
+  slot; every use reloads it — these reloads are assembly-level fault sites
+  that IR-level protection cannot see;
+* a branch whose ``i1`` condition was *just* compared uses the live flags
+  (``cmp`` + ``j<cc>``); any other branch **rematerializes** the flags with
+  ``cmpl $0, slot`` + ``jne`` — the paper's Fig. 8/9 pattern;
+* call arguments are marshalled through the SysV registers right before the
+  ``call`` — after any IR-level operand checks have already run;
+* scratch registers are rax/rcx/rdx (+ arg registers at calls), leaving
+  rbx/r10-r15 and all vector registers untouched — the spare set FERRUM's
+  static analysis later discovers.
+"""
+
+from __future__ import annotations
+
+from repro.asm.instructions import Instruction, ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+from repro.asm.registers import ARG_GPRS, get_register, gpr_with_width
+from repro.backend.frame import FrameLayout
+from repro.errors import BackendError
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cast, Check, ICmp, IRInstruction, Jump, Load,
+    PtrAdd, Ret, Store,
+)
+from repro.ir.module import IRFunction, IRModule
+from repro.ir.types import IntType, PointerType
+from repro.ir.values import Constant, Value
+
+_RBP = get_register("rbp")
+_RSP = get_register("rsp")
+
+_PRED_CC = {"eq": "e", "ne": "ne", "slt": "l", "sle": "le",
+            "sgt": "g", "sge": "ge"}
+
+_BINOP_MNEMONIC = {"add": "add", "sub": "sub", "mul": "imul",
+                   "and": "and", "or": "or", "xor": "xor"}
+_SHIFT_MNEMONIC = {"shl": "shl", "ashr": "sar", "lshr": "shr"}
+
+
+def _width(value: Value) -> int:
+    """Operation width of a value: 64 for i64/pointers, else 32."""
+    if isinstance(value.type, IntType) and value.type.bits == 64:
+        return 64
+    if isinstance(value.type, PointerType):
+        return 64
+    return 32
+
+
+def _suffix(width: int) -> str:
+    return "q" if width == 64 else "l"
+
+
+class _FunctionLowering:
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self.frame = FrameLayout(func)
+        self.asm = AsmFunction(func.name, [AsmBlock(func.name)])
+        self._block = self.asm.blocks[0]
+        self._detect_label: str | None = None
+        self._origin = "orig"
+
+    # -- emission helpers --------------------------------------------------
+
+    def _emit(self, instr: Instruction) -> None:
+        if self._origin != "orig":
+            instr.origin = self._origin
+        self._block.append(instr)
+
+    def _label(self, ir_label: str) -> str:
+        return f".L{self.func.name}_{ir_label}"
+
+    def _slot_mem(self, value: Value) -> Mem:
+        return Mem(disp=self.frame.slot(value), base=_RBP)
+
+    def _reg(self, root: str, width: int) -> Reg:
+        return Reg(gpr_with_width(root, width))
+
+    def _load_value(self, value: Value, root: str, width: int | None = None,
+                    comment: str | None = None) -> Reg:
+        """Materialize ``value`` into GPR ``root``; returns the register view."""
+        if width is None:
+            width = _width(value)
+        dest = self._reg(root, width)
+        if isinstance(value, Constant):
+            self._emit(ins(f"mov{_suffix(width)}", Imm(value.value), dest,
+                           comment=comment))
+        elif isinstance(value, Alloca):
+            self._emit(ins("leaq",
+                           Mem(disp=self.frame.storage(value), base=_RBP),
+                           self._reg(root, 64), comment=comment))
+        else:
+            self._emit(ins(f"mov{_suffix(width)}", self._slot_mem(value), dest,
+                           comment=comment))
+        return dest
+
+    def _store_result(self, instr: IRInstruction, root: str,
+                      width: int | None = None) -> None:
+        if width is None:
+            width = _width(instr)
+        self._emit(ins(f"mov{_suffix(width)}", self._reg(root, width),
+                       self._slot_mem(instr)))
+
+    def _operand(self, value: Value, root: str, width: int):
+        """Second ALU operand: immediate when constant, else loaded reg."""
+        if isinstance(value, Constant):
+            return Imm(value.value)
+        return self._load_value(value, root, width)
+
+    def _require_detect(self) -> str:
+        if self._detect_label is None:
+            self._detect_label = f".L{self.func.name}__detect"
+        return self._detect_label
+
+    # -- pointers ------------------------------------------------------------
+
+    def _pointer_operand(self, pointer: Value, root: str) -> Mem:
+        """Memory operand addressing what ``pointer`` points at.
+
+        Allocas fold to direct rbp-relative access (the clang -O0 shape);
+        other pointers are reloaded from their slot into ``root``.
+        """
+        if isinstance(pointer, Alloca):
+            return Mem(disp=self.frame.storage(pointer), base=_RBP)
+        reg = self._load_value(pointer, root, 64)
+        return Mem(base=reg.register)
+
+    # -- per-instruction lowering ---------------------------------------
+
+    def _lower_load(self, instr: Load) -> None:
+        width = _width(instr)
+        mem = self._pointer_operand(instr.pointer, "rcx")
+        self._emit(ins(f"mov{_suffix(width)}", mem, self._reg("rax", width)))
+        self._store_result(instr, "rax", width)
+
+    def _lower_store(self, instr: Store) -> None:
+        width = _width(instr.value)
+        value_reg = self._load_value(instr.value, "rax", width)
+        mem = self._pointer_operand(instr.pointer, "rcx")
+        self._emit(ins(f"mov{_suffix(width)}", value_reg, mem))
+
+    def _lower_binop(self, instr: BinOp) -> None:
+        width = _width(instr)
+        suffix = _suffix(width)
+        op = instr.op
+        if op in _BINOP_MNEMONIC:
+            self._load_value(instr.lhs, "rax", width)
+            src = self._operand(instr.rhs, "rcx", width)
+            self._emit(ins(f"{_BINOP_MNEMONIC[op]}{suffix}", src,
+                           self._reg("rax", width)))
+            self._store_result(instr, "rax", width)
+        elif op in ("sdiv", "srem"):
+            self._load_value(instr.lhs, "rax", width)
+            self._load_value(instr.rhs, "rcx", width)
+            self._emit(ins("cltd" if width == 32 else "cqto"))
+            self._emit(ins(f"idiv{suffix}", self._reg("rcx", width)))
+            self._store_result(instr, "rax" if op == "sdiv" else "rdx", width)
+        elif op in _SHIFT_MNEMONIC:
+            self._load_value(instr.lhs, "rax", width)
+            if isinstance(instr.rhs, Constant):
+                count = Imm(instr.rhs.value)
+            else:
+                self._load_value(instr.rhs, "rcx", width)
+                count = Reg(get_register("cl"))
+            self._emit(ins(f"{_SHIFT_MNEMONIC[op]}{suffix}", count,
+                           self._reg("rax", width)))
+            self._store_result(instr, "rax", width)
+        else:
+            raise BackendError(f"cannot lower binop {op}")
+
+    def _lower_icmp(self, instr: ICmp, materialize: bool) -> None:
+        width = _width(instr.lhs)
+        self._load_value(instr.lhs, "rax", width)
+        src = self._operand(instr.rhs, "rcx", width)
+        self._emit(ins(f"cmp{_suffix(width)}", src, self._reg("rax", width)))
+        if materialize:
+            cc = _PRED_CC[instr.pred]
+            al = Reg(get_register("al"))
+            self._emit(ins(f"set{cc}", al))
+            self._emit(ins("movzbl", al, self._reg("rax", 32)))
+            self._store_result(instr, "rax", 32)
+
+    def _lower_cast(self, instr: Cast) -> None:
+        if instr.op == "sext":
+            src_width = _width(instr.value)
+            if src_width == 64:
+                raise BackendError("sext from i64 unsupported")
+            if isinstance(instr.value, Constant):
+                self._emit(ins("movq", Imm(instr.value.value),
+                               self._reg("rax", 64)))
+            else:
+                self._emit(ins("movslq", self._slot_mem(instr.value),
+                               self._reg("rax", 64)))
+            self._store_result(instr, "rax", 64)
+        elif instr.op == "zext":
+            # i1/i8/i32 slots hold zero-extended 32-bit values already.
+            self._load_value(instr.value, "rax", 32)
+            self._store_result(instr, "rax", _width(instr))
+        else:  # trunc: take the low 32 bits of the 64-bit slot
+            if isinstance(instr.value, Constant):
+                self._emit(ins("movl", Imm(instr.value.value & 0xFFFF_FFFF),
+                               self._reg("rax", 32)))
+            else:
+                self._emit(ins("movl", self._slot_mem(instr.value),
+                               self._reg("rax", 32)))
+            self._store_result(instr, "rax", 32)
+
+    def _lower_ptradd(self, instr: PtrAdd) -> None:
+        ptr_type = instr.base.type
+        stride = ptr_type.element_size if isinstance(ptr_type, PointerType) else 1
+        base = self._load_value(instr.base, "rax", 64)
+        index = self._load_value(instr.index, "rcx", 64)
+        if stride in (1, 2, 4, 8):
+            self._emit(ins("leaq",
+                           Mem(base=base.register, index=index.register,
+                               scale=stride),
+                           self._reg("rax", 64)))
+        else:
+            self._emit(ins("imulq", Imm(stride), self._reg("rcx", 64)))
+            self._emit(ins("addq", self._reg("rcx", 64), self._reg("rax", 64)))
+        self._store_result(instr, "rax", 64)
+
+    def _lower_call(self, instr: Call) -> None:
+        if len(instr.args) > len(ARG_GPRS):
+            raise BackendError(
+                f"call to {instr.callee} with more than {len(ARG_GPRS)} args"
+            )
+        for arg, reg_root in zip(instr.args, ARG_GPRS):
+            self._load_value(arg, reg_root, comment="marshal argument")
+        self._emit(ins("call", LabelRef(instr.callee)))
+        if instr.has_result:
+            self._store_result(instr, "rax")
+
+    def _lower_check(self, instr: Check) -> None:
+        width = _width(instr.original)
+        self._load_value(instr.original, "rax", width)
+        src = self._operand(instr.duplicate, "rcx", width)
+        self._emit(ins(f"cmp{_suffix(width)}", src, self._reg("rax", width),
+                       comment="EDDI check"))
+        self._emit(ins("jne", LabelRef(self._require_detect())))
+
+    def _lower_ret(self, instr: Ret) -> None:
+        if instr.value is not None:
+            self._load_value(instr.value, "rax")
+        self._emit(ins("movq", Reg(_RBP), Reg(_RSP)))
+        self._emit(ins("popq", Reg(_RBP)))
+        self._emit(ins("retq"))
+
+    # -- block/function driver ---------------------------------------------
+
+    def _branch_uses_live_flags(self, block_instrs: list[IRInstruction],
+                                index: int) -> bool:
+        """True when the Br at ``index`` directly follows its own ICmp."""
+        br = block_instrs[index]
+        assert isinstance(br, Br)
+        return (
+            index > 0
+            and isinstance(block_instrs[index - 1], ICmp)
+            and block_instrs[index - 1] is br.cond
+        )
+
+    def _icmp_only_feeds_adjacent_br(self, block_instrs: list[IRInstruction],
+                                     index: int,
+                                     use_counts: dict[Value, int]) -> bool:
+        icmp = block_instrs[index]
+        return (
+            index + 1 < len(block_instrs)
+            and isinstance(block_instrs[index + 1], Br)
+            and block_instrs[index + 1].cond is icmp  # type: ignore[attr-defined]
+            and use_counts.get(icmp, 0) == 1
+        )
+
+    def _lower_br(self, instr: Br, live_flags: bool, next_label: str | None) -> None:
+        then_label = self._label(instr.then_label)
+        else_label = self._label(instr.else_label)
+        if live_flags:
+            assert isinstance(instr.cond, ICmp)
+            cc = _PRED_CC[instr.cond.pred]
+        else:
+            # Fig. 8/9: rematerialize the condition from its slot. This
+            # cmpl writes FLAGS — a brand-new fault site invisible at IR
+            # level.
+            self._emit(ins("cmpl", Imm(0), self._slot_mem(instr.cond),
+                           comment="rematerialize branch condition"))
+            cc = "ne"
+        if next_label == else_label:
+            self._emit(ins(f"j{cc}", LabelRef(then_label)))
+        elif next_label == then_label:
+            from repro.asm.instructions import INVERTED_CC
+
+            self._emit(ins(f"j{INVERTED_CC[cc]}", LabelRef(else_label)))
+        else:
+            self._emit(ins(f"j{cc}", LabelRef(then_label)))
+            self._emit(ins("jmp", LabelRef(else_label)))
+
+    def lower(self) -> AsmFunction:
+        use_counts: dict[Value, int] = {}
+        for instr in self.func.instructions():
+            for operand in instr.operands():
+                use_counts[operand] = use_counts.get(operand, 0) + 1
+
+        # Prologue + spill incoming arguments to their slots.
+        self._emit(ins("pushq", Reg(_RBP)))
+        self._emit(ins("movq", Reg(_RSP), Reg(_RBP)))
+        if self.frame.size:
+            self._emit(ins("subq", Imm(self.frame.size), Reg(_RSP)))
+        for arg, reg_root in zip(self.func.args, ARG_GPRS):
+            width = _width(arg)
+            self._emit(ins(f"mov{_suffix(width)}",
+                           self._reg(reg_root, width), self._slot_mem(arg),
+                           comment=f"spill argument {arg.name}"))
+
+        labels = [self._label(blk.label) for blk in self.func.blocks]
+        for bi, ir_block in enumerate(self.func.blocks):
+            block = AsmBlock(labels[bi])
+            self.asm.blocks.append(block)
+            self._block = block
+            next_label = labels[bi + 1] if bi + 1 < len(labels) else None
+            instrs = ir_block.instructions
+            for ii, instr in enumerate(instrs):
+                if isinstance(instr, Alloca):
+                    continue  # storage handled by the frame
+                # Instrumentation provenance: instructions lowered from an
+                # IR-level protection pass are tagged so a later
+                # assembly-level pass does not re-duplicate them.
+                if isinstance(instr, Check):
+                    self._origin = "check"
+                elif instr.name.startswith("__sig") or (
+                    isinstance(instr, Store)
+                    and instr.pointer.name.startswith("__sig")
+                ) or instr.name.endswith(".dup"):
+                    self._origin = "instrumentation"
+                else:
+                    self._origin = "orig"
+                if isinstance(instr, ICmp):
+                    fold = self._icmp_only_feeds_adjacent_br(instrs, ii, use_counts)
+                    self._lower_icmp(instr, materialize=not fold)
+                elif isinstance(instr, Br):
+                    live = self._branch_uses_live_flags(instrs, ii)
+                    self._lower_br(instr, live, next_label)
+                elif isinstance(instr, Jump):
+                    target = self._label(instr.target)
+                    if target != next_label:
+                        self._emit(ins("jmp", LabelRef(target)))
+                elif isinstance(instr, Ret):
+                    self._lower_ret(instr)
+                elif isinstance(instr, Load):
+                    self._lower_load(instr)
+                elif isinstance(instr, Store):
+                    self._lower_store(instr)
+                elif isinstance(instr, BinOp):
+                    self._lower_binop(instr)
+                elif isinstance(instr, Cast):
+                    self._lower_cast(instr)
+                elif isinstance(instr, PtrAdd):
+                    self._lower_ptradd(instr)
+                elif isinstance(instr, Call):
+                    self._lower_call(instr)
+                elif isinstance(instr, Check):
+                    self._lower_check(instr)
+                else:
+                    raise BackendError(f"cannot lower {instr.opcode}")
+
+        if self._detect_label is not None:
+            detect = AsmBlock(self._detect_label)
+            detect.append(ins("call", LabelRef("__eddi_detect")))
+            detect.append(ins("retq"))
+            self.asm.blocks.append(detect)
+
+        # Entry block must end with a transfer into the first IR block; it
+        # falls through (the first IR block is laid out right after).
+        return self.asm
+
+
+def compile_function(func: IRFunction) -> AsmFunction:
+    """Lower one IR function to assembly."""
+    return _FunctionLowering(func).lower()
+
+
+def compile_module(module: IRModule) -> AsmProgram:
+    """Lower a whole IR module to an assembly program."""
+    program = AsmProgram(metadata={"protection": "none"})
+    for func in module.functions:
+        program.add_function(compile_function(func))
+    return program

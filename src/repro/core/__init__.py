@@ -1,0 +1,30 @@
+"""The paper's contribution: assembly-level EDDI transforms.
+
+* :mod:`repro.core.ferrum` — FERRUM (AS₂ in Table I): SIMD-batched
+  duplication, deferred flag detection, stack-level register requisition.
+* :mod:`repro.core.hybrid` — HYBRID-ASSEMBLY-LEVEL-EDDI (AS₁): immediate
+  scalar duplication at assembly level with branch/comparison protection
+  delegated to IR-level signatures.
+
+Both are built on a shared duplication engine; FERRUM enables the SIMD and
+compare-deferral features, the hybrid baseline disables them — exactly the
+AS₂/AS₁ distinction of the paper's Table I.
+"""
+
+from repro.core.config import FerrumConfig
+from repro.core.annotate import Protection, classify_block
+from repro.core.ferrum import FerrumStats, FerrumTransform, protect_program
+from repro.core.hybrid import HybridStats, protect_program_hybrid
+from repro.core.validate import check_protection_invariants
+
+__all__ = [
+    "FerrumConfig",
+    "FerrumStats",
+    "FerrumTransform",
+    "HybridStats",
+    "Protection",
+    "check_protection_invariants",
+    "classify_block",
+    "protect_program",
+    "protect_program_hybrid",
+]

@@ -1,0 +1,140 @@
+"""Instruction annotation (paper Sec. III-B1, second half).
+
+FERRUM's static analysis walks every instruction and decides which
+protection strategy applies:
+
+* **SIMD-ENABLED-INSTRUCTIONS** — the destination register is not among the
+  sources (the paper's "source register differs from destination"
+  criterion), so the instruction can simply be re-executed into a spare
+  register (or, for 64-bit loads, straight into an XMM lane) and both
+  results shifted into SIMD registers for a batched check (Fig. 6);
+* **GENERAL-INSTRUCTIONS** — read-modify-write shapes and everything else
+  re-executable: duplicated with a scalar spare register and checked
+  immediately (Fig. 4);
+* **COMPARE** — ``cmp``/``test`` feeding a conditional jump: protected with
+  deferred detection via ``set<cc>`` capture pairs (Fig. 5); a
+  ``cmp``+``set<cc>`` materialization pair is duplicated and checked as a
+  unit;
+* **SPECIAL** recipes for instructions with implicit destinations
+  (``idiv``, ``cltd``/``cqto``) and for ``pop``;
+* **NONE** — no register destination (stores, push, control flow): not a
+  fault site under the paper's model, nothing to duplicate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.asm.instructions import Instruction, InstrKind
+from repro.asm.operands import Mem, Reg
+from repro.asm.registers import RegisterKind
+from repro.errors import TransformError
+
+
+class Protection(enum.Enum):
+    """Protection strategy chosen for one instruction."""
+
+    SIMD = "simd"
+    GENERAL = "general"
+    COMPARE = "compare"          # cmp/test + j<cc> (deferred, Fig. 5)
+    COMPARE_SETCC = "compare_setcc"  # cmp/test + set<cc> materialization
+    IDIV = "idiv"
+    CONVERT = "convert"          # cltd / cqto
+    POP = "pop"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Classification of one instruction within its block."""
+
+    protection: Protection
+    #: For COMPARE/COMPARE_SETCC: the flag-consuming instruction.
+    consumer: Instruction | None = None
+
+
+def is_rmw(instr: Instruction) -> bool:
+    """True when the destination root also appears among the sources."""
+    dests = {reg.root for reg in instr.dest_registers() if reg.root != "rflags"}
+    if not dests:
+        return False
+    sources = {reg.root for reg in instr.read_registers()}
+    for op in instr.operands[:-1] if instr.spec.has_dest else instr.operands:
+        if isinstance(op, Mem):
+            sources.update(reg.root for reg in op.registers())
+    # Memory *destinations* never make an instruction RMW here; address
+    # registers of a store are reads, and stores have no register dest.
+    dest_op = instr.dest
+    if isinstance(dest_op, Mem):
+        return False
+    return bool(dests & sources)
+
+
+def _writes_gpr(instr: Instruction) -> bool:
+    dest = instr.dest
+    return isinstance(dest, Reg) and dest.register.kind is RegisterKind.GPR
+
+
+def classify_block(instructions: list[Instruction]) -> list[Annotation]:
+    """Annotate each instruction of a basic block.
+
+    Consumes the cmp-consumer pairing: a ``cmp``/``test`` must be directly
+    followed by its ``j<cc>`` or ``set<cc>`` (the only shapes the -O0
+    backend emits); anything else is a pipeline error worth failing loudly
+    on rather than silently leaving unprotected.
+    """
+    annotations: list[Annotation] = []
+    for index, instr in enumerate(instructions):
+        kind = instr.kind
+
+        if kind in (InstrKind.CMP, InstrKind.TEST):
+            consumer = instructions[index + 1] if index + 1 < len(instructions) else None
+            if consumer is not None and consumer.kind is InstrKind.JCC:
+                annotations.append(Annotation(Protection.COMPARE, consumer))
+            elif consumer is not None and consumer.kind is InstrKind.SETCC:
+                annotations.append(Annotation(Protection.COMPARE_SETCC, consumer))
+            else:
+                raise TransformError(
+                    f"cmp/test not followed by j<cc> or set<cc>: "
+                    f"{instr.mnemonic} then "
+                    f"{consumer.mnemonic if consumer else 'end of block'}"
+                )
+            continue
+
+        if kind is InstrKind.SETCC:
+            # Folded into its compare's COMPARE_SETCC recipe.
+            annotations.append(Annotation(Protection.NONE))
+            continue
+
+        if kind is InstrKind.IDIV:
+            annotations.append(Annotation(Protection.IDIV))
+            continue
+
+        if kind is InstrKind.CONVERT:
+            annotations.append(Annotation(Protection.CONVERT))
+            continue
+
+        if kind is InstrKind.POP:
+            annotations.append(Annotation(Protection.POP))
+            continue
+
+        if kind in (InstrKind.MOV, InstrKind.MOVEXT, InstrKind.LEA):
+            if _writes_gpr(instr) and not is_rmw(instr):
+                annotations.append(Annotation(Protection.SIMD))
+            elif _writes_gpr(instr):
+                annotations.append(Annotation(Protection.GENERAL))
+            else:
+                annotations.append(Annotation(Protection.NONE))
+            continue
+
+        if kind in (InstrKind.ALU, InstrKind.SHIFT, InstrKind.UNARY):
+            if _writes_gpr(instr):
+                annotations.append(Annotation(Protection.GENERAL))
+            else:
+                annotations.append(Annotation(Protection.NONE))
+            continue
+
+        # push, control flow, vector code, nop: nothing to duplicate.
+        annotations.append(Annotation(Protection.NONE))
+    return annotations

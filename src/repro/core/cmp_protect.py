@@ -1,0 +1,157 @@
+"""Deferred detection for the FLAGS register (paper Sec. III-B2, Fig. 5).
+
+The flags produced by a ``cmp``/``test`` cannot be compared directly —
+any comparison would itself rewrite FLAGS. FERRUM instead captures the
+consumed condition twice with ``set<cc>``:
+
+* ``cmp`` (original) → ``set<cc> A`` captures the original flags;
+* ``cmp`` (duplicate, identical operands) → ``set<cc> B`` recomputes and
+  captures independently; the following ``j<cc>`` consumes the *duplicate*
+  flags;
+* both successor blocks of the jump begin with ``cmpb A, B`` + ``jne
+  detect``, so a flag fault that diverts the branch still runs into a
+  checker. Multiple protected branches reuse the same A/B pair — the
+  paper's multi-predecessor trick.
+
+A ``cmp`` + ``set<cc>`` materialization pair (comparison used as a value)
+is duplicated as a unit and checked immediately: flags are dead right after
+the original ``set<cc>`` in backend-generated code.
+
+When no spare register pair exists, captures spill through a requisitioned
+register into two frame-extension slots (stack-level redundancy, Fig. 7
+applied to compare protection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.instructions import Instruction, ins
+from repro.asm.operands import LabelRef, Mem, Reg
+from repro.asm.registers import get_register, gpr_with_width
+from repro.core.spare_regs import RegisterPlan
+from repro.errors import TransformError
+
+_RBP = get_register("rbp")
+
+
+@dataclass
+class CompareProtector:
+    """Per-function compare protection state."""
+
+    plan: RegisterPlan
+    detect_label: str
+    #: Labels of blocks that must begin with an A/B entry check.
+    pending_entry_checks: set[str] = field(default_factory=set)
+    protected_branches: int = field(default=0, init=False)
+    protected_setcc: int = field(default=0, init=False)
+
+    # -- capture sequences ---------------------------------------------------
+
+    def _capture_regs(self) -> tuple[Reg, Reg]:
+        assert self.plan.cmp_a is not None and self.plan.cmp_b is not None
+        return (
+            Reg(gpr_with_width(self.plan.cmp_a, 8)),
+            Reg(gpr_with_width(self.plan.cmp_b, 8)),
+        )
+
+    def protect_branch_compare(
+        self,
+        cmp_instr: Instruction,
+        jcc: Instruction,
+        successor_labels: tuple[str, ...],
+        requisition: str | None = None,
+    ) -> list[Instruction]:
+        """Fig. 5 sequence replacing the original ``cmp`` (``jcc`` follows).
+
+        Returns the instructions from the original compare up to (not
+        including) the jump; records the successors for entry checks.
+        """
+        cc = jcc.spec.cc
+        if cc is None:
+            raise TransformError(f"{jcc.mnemonic} is not a conditional jump")
+        dup_cmp = cmp_instr.copy(origin="dup",
+                                 comment="duplicate comparison")
+        out: list[Instruction] = [cmp_instr]
+        if self.plan.cmp_in_registers:
+            reg_a, reg_b = self._capture_regs()
+            out.append(ins(f"set{cc}", reg_a, origin="capture",
+                           comment="set original flag"))
+            out.append(dup_cmp)
+            out.append(ins(f"set{cc}", reg_b, origin="capture",
+                           comment="set duplication flag"))
+        else:
+            if requisition is None:
+                raise TransformError(
+                    "compare protection without registers needs a "
+                    "requisitioned register"
+                )
+            spare_b = Reg(gpr_with_width(requisition, 8))
+            spare64 = Reg(gpr_with_width(requisition, 64))
+            slot_a = Mem(disp=self.plan.cmp_slot_a, base=_RBP)
+            slot_b = Mem(disp=self.plan.cmp_slot_b, base=_RBP)
+            out.append(ins("pushq", spare64, origin="pre",
+                           comment="requisition capture register"))
+            out.append(ins(f"set{cc}", spare_b, origin="capture"))
+            out.append(ins("movb", spare_b, slot_a, origin="capture",
+                           comment="spill original flag"))
+            out.append(dup_cmp)
+            out.append(ins(f"set{cc}", spare_b, origin="capture"))
+            out.append(ins("movb", spare_b, slot_b, origin="capture",
+                           comment="spill duplication flag"))
+            out.append(ins("popq", spare64, origin="pre",
+                           comment="restore requisitioned register"))
+        self.pending_entry_checks.update(successor_labels)
+        self.protected_branches += 1
+        return out
+
+    def protect_setcc_pair(
+        self,
+        cmp_instr: Instruction,
+        setcc: Instruction,
+        scratch_root: str,
+    ) -> list[Instruction]:
+        """Duplicate a ``cmp`` + ``set<cc>`` materialization and check it."""
+        cc = setcc.spec.cc
+        assert cc is not None
+        dest = setcc.dest
+        assert isinstance(dest, Reg)
+        scratch_b = Reg(gpr_with_width(scratch_root, 8))
+        self.protected_setcc += 1
+        return [
+            cmp_instr,
+            setcc,
+            cmp_instr.copy(origin="dup", comment="duplicate comparison"),
+            ins(f"set{cc}", scratch_b, origin="dup"),
+            ins("cmpb", scratch_b, dest, origin="check"),
+            ins("jne", LabelRef(self.detect_label), origin="check"),
+        ]
+
+    # -- successor entry checks ------------------------------------------
+
+    def entry_check(self, requisition: str | None = None) -> list[Instruction]:
+        """The A/B assertion placed at the top of successor blocks."""
+        if self.plan.cmp_in_registers:
+            reg_a, reg_b = self._capture_regs()
+            return [
+                ins("cmpb", reg_a, reg_b, origin="check",
+                    comment="check flag captures"),
+                ins("jne", LabelRef(self.detect_label), origin="check"),
+            ]
+        if requisition is None:
+            raise TransformError(
+                "compare entry check without registers needs a "
+                "requisitioned register"
+            )
+        spare_b = Reg(gpr_with_width(requisition, 8))
+        spare64 = Reg(gpr_with_width(requisition, 64))
+        slot_a = Mem(disp=self.plan.cmp_slot_a, base=_RBP)
+        slot_b = Mem(disp=self.plan.cmp_slot_b, base=_RBP)
+        return [
+            ins("pushq", spare64, origin="pre"),
+            ins("movb", slot_a, spare_b, origin="check"),
+            ins("cmpb", slot_b, spare_b, origin="check",
+                comment="check spilled flag captures"),
+            ins("jne", LabelRef(self.detect_label), origin="check"),
+            ins("popq", spare64, origin="pre"),
+        ]

@@ -1,0 +1,38 @@
+"""Configuration for the assembly-level duplication engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FerrumConfig:
+    """Knobs of the FERRUM transform (defaults reproduce the paper).
+
+    Attributes:
+        use_simd: batch duplicated results into SIMD registers and check
+            four at a time (AS₂); ``False`` falls back to immediate scalar
+            checks for every instruction (AS₁ behaviour).
+        protect_compares: apply deferred detection (Fig. 5) to cmp/test
+            and set<cc>. The hybrid baseline turns this off because its
+            comparison/branch protection happens at IR level.
+        simd_batch: how many 64-bit results share one SIMD check. The
+            paper's design fills 2×2 XMM registers and merges into YMM,
+            i.e. a batch of 4; smaller values are allowed for ablations.
+        pretend_used_gprs: extra GPR roots the spare-register scan must
+            treat as occupied. The -O0 backend leaves r10-r15 free, so this
+            is how tests and ablations exercise the stack-level redundancy
+            path (Fig. 7) that real register-starved code would take.
+        pretend_used_xmm: same for vector registers (forces the scalar
+            fallback when fewer than 4 XMM lanes remain).
+    """
+
+    use_simd: bool = True
+    protect_compares: bool = True
+    simd_batch: int = 4
+    pretend_used_gprs: frozenset[str] = field(default_factory=frozenset)
+    pretend_used_xmm: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.simd_batch not in (1, 2, 3, 4):
+            raise ValueError("simd_batch must be between 1 and 4")

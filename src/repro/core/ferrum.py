@@ -1,0 +1,387 @@
+"""FERRUM: the assembly-level EDDI transform (paper Sec. III).
+
+Drives the four mechanisms over every function of a program:
+
+1. static analysis — spare-register discovery and instruction annotation
+   (:mod:`repro.core.spare_regs`, :mod:`repro.core.annotate`);
+2. SIMD-batched duplication for SIMD-ENABLED instructions
+   (:mod:`repro.core.simd_dup`), flushed at every point where flags must
+   stay intact or control may leave the block;
+3. scalar duplication with immediate checks for GENERAL instructions and
+   the special shapes (:mod:`repro.core.general_dup`);
+4. deferred detection for comparisons (:mod:`repro.core.cmp_protect`) with
+   entry checks in both successors;
+
+falling back to stack-level register requisition (Fig. 7) whenever the
+function's spare registers don't cover a block's needs. Requisitioned
+registers are bracketed with push/pop *around each protected use*, so the
+scheme stays correct across prologues, epilogues and calls; instructions
+that manipulate ``rsp`` itself (frame setup/teardown) cannot be protected
+with a requisitioned register — FERRUM requires at least one function-wide
+spare for those, and raises :class:`TransformError` otherwise.
+
+Running the transform with ``use_simd=False`` and ``protect_compares=False``
+yields the AS₁ engine of the HYBRID-ASSEMBLY-LEVEL-EDDI baseline
+(:mod:`repro.core.hybrid`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.instructions import Instruction, InstrKind, ins
+from repro.asm.operands import LabelRef, Reg
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+from repro.asm.registers import gpr_with_width
+from repro.core.annotate import Annotation, Protection, classify_block
+from repro.core.cmp_protect import CompareProtector
+from repro.core.config import FerrumConfig
+from repro.core.general_dup import (
+    convert_recipe,
+    general_recipe,
+    idiv_recipe,
+    pop_recipe,
+)
+from repro.core.simd_dup import SimdBatcher, _is_direct_load
+from repro.core.spare_regs import RegisterPlan, build_register_plan
+from repro.errors import TransformError
+from repro.machine.builtins import DETECT_FUNCTION
+
+
+@dataclass
+class FerrumStats:
+    """Counters describing what the transform did."""
+
+    functions: int = 0
+    simd_protected: int = 0
+    general_protected: int = 0
+    compare_branches: int = 0
+    compare_setcc: int = 0
+    idiv_protected: int = 0
+    convert_protected: int = 0
+    pop_protected: int = 0
+    simd_flushes: int = 0
+    requisitioned_uses: int = 0
+    entry_checks: int = 0
+    input_instructions: int = 0
+    output_instructions: int = 0
+
+    @property
+    def protected_instructions(self) -> int:
+        return (
+            self.simd_protected + self.general_protected
+            + self.compare_branches + self.compare_setcc
+            + self.idiv_protected + self.convert_protected
+            + self.pop_protected
+        )
+
+    def merge(self, other: "FerrumStats") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+#: Capability row for the paper's Table I (AS2 = assembly level with SIMD).
+CAPABILITIES = {
+    "basic": "AS2", "store": "AS2", "branch": "AS2",
+    "call": "AS2", "mapping": "AS2", "comparison": "AS2",
+}
+
+
+def _push(root: str) -> Instruction:
+    return ins("pushq", Reg(gpr_with_width(root, 64)), origin="pre",
+               comment="requisition register")
+
+
+def _pop(root: str) -> Instruction:
+    return ins("popq", Reg(gpr_with_width(root, 64)), origin="pre",
+               comment="restore requisitioned register")
+
+
+def _reads_rsp(instr: Instruction) -> bool:
+    return "rsp" in instr.register_roots()
+
+
+class _ScratchProvider:
+    """Resolves scratch registers: plan spares or per-use requisition (Fig. 7).
+
+    ``acquire`` returns ``(root, requisitioned)``; when ``requisitioned``
+    is true the caller must bracket the *entire* use sequence with
+    push/pop. Per-use bracketing makes any non-reserved, non-plan register
+    safe to borrow regardless of how the rest of the block uses it — the
+    only constraint is that the borrowed register must not be one the
+    protected instruction itself reads or writes.
+    """
+
+    def __init__(self, plan: RegisterPlan) -> None:
+        from repro.asm.analysis import SPARE_PREFERENCE
+        from repro.asm.registers import RESERVED_GPRS
+
+        self._plan = plan
+        self._candidates = tuple(
+            root for root in SPARE_PREFERENCE
+            if root not in plan.spare_roots() and root not in RESERVED_GPRS
+        )
+
+    def _pick(self, exclude: frozenset[str], taken: tuple[str, ...] = ()) -> str:
+        for root in self._candidates:
+            if root not in exclude and root not in taken:
+                return root
+        raise TransformError("no requisitionable register available")
+
+    def acquire_general(self, instr: Instruction) -> tuple[str, bool]:
+        if self._plan.general is not None:
+            return self._plan.general, False
+        if _reads_rsp(instr):
+            raise TransformError(
+                "protecting an rsp-manipulating instruction requires at "
+                "least one function-wide spare register"
+            )
+        return self._pick(instr.register_roots()), True
+
+    def acquire_simd_scratch(self, instr: Instruction) -> tuple[str, bool]:
+        if self._plan.simd_scratch is not None:
+            return self._plan.simd_scratch, False
+        return self.acquire_general(instr)
+
+    def acquire_many(self, count: int,
+                     instr: Instruction) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """``count`` distinct clobberable roots: (roots, requisitioned subset).
+
+        Draws from the plan's scratch pool — never the compare-capture
+        pair, whose values must survive to the successors' entry checks —
+        then per-use requisitions, avoiding the instruction's own roots.
+        """
+        roots = list(self._plan.scratch_pool())
+        requisitioned: list[str] = []
+        exclude = instr.register_roots()
+        while len(roots) < count:
+            root = self._pick(exclude, tuple(roots))
+            roots.append(root)
+            requisitioned.append(root)
+        return tuple(roots[:count]), tuple(requisitioned)
+
+    def requisition_for_compare(self, cmp_instr: Instruction) -> str:
+        return self._pick(cmp_instr.register_roots())
+
+    def requisition_for_entry_check(self) -> str:
+        return self._pick(frozenset())
+
+
+class FerrumTransform:
+    """Applies FERRUM (or the AS₁ subset) to assembly programs."""
+
+    def __init__(self, config: FerrumConfig | None = None) -> None:
+        self.config = config or FerrumConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def protect(self, program: AsmProgram) -> tuple[AsmProgram, FerrumStats]:
+        """Return a protected deep copy of ``program`` plus statistics."""
+        protected = program.copy()
+        stats = FerrumStats()
+        for func in protected.functions:
+            stats.merge(self._protect_function(func))
+        protected.metadata["protection"] = (
+            "ferrum" if self.config.use_simd else "assembly-scalar"
+        )
+        return protected, stats
+
+    # -- function-level driver ---------------------------------------------
+
+    def _detect_label(self, func: AsmFunction) -> str:
+        return f".L{func.name}__ferrum_detect"
+
+    def _protect_function(self, func: AsmFunction) -> FerrumStats:
+        stats = FerrumStats(functions=1, input_instructions=func.static_size())
+        plan = build_register_plan(func, self.config)
+        detect = self._detect_label(func)
+        protector = CompareProtector(plan, detect)
+
+        original_blocks = list(func.blocks)
+        for index, block in enumerate(original_blocks):
+            fallthrough = (
+                original_blocks[index + 1].label
+                if index + 1 < len(original_blocks) else None
+            )
+            self._protect_block(block, fallthrough, plan, protector, stats)
+
+        if self.config.protect_compares:
+            provider = _ScratchProvider(plan)
+            for label in sorted(protector.pending_entry_checks):
+                target = func.block(label)
+                requisition = None
+                if not plan.cmp_in_registers:
+                    requisition = provider.requisition_for_entry_check()
+                target.instructions[0:0] = protector.entry_check(requisition)
+                stats.entry_checks += 1
+
+        detect_block = func.add_block(detect)
+        detect_block.append(ins("call", LabelRef(DETECT_FUNCTION),
+                                origin="check"))
+        detect_block.append(ins("retq", origin="check"))
+
+        stats.compare_branches += protector.protected_branches
+        stats.compare_setcc += protector.protected_setcc
+        stats.output_instructions += func.static_size()
+        return stats
+
+    # -- block-level driver --------------------------------------------------
+
+    def _protect_block(
+        self,
+        block: AsmBlock,
+        fallthrough: str | None,
+        plan: RegisterPlan,
+        protector: CompareProtector,
+        stats: FerrumStats,
+    ) -> None:
+        config = self.config
+        detect = protector.detect_label
+        annotations = classify_block(block.instructions)
+        scratch = _ScratchProvider(plan)
+
+        use_simd = config.use_simd and plan.simd_available
+        batcher = SimdBatcher(plan, detect, config.simd_batch) if use_simd else None
+
+        def flush() -> list[Instruction]:
+            return batcher.flush() if batcher is not None else []
+
+        def wrapped(root: str, requisitioned: bool,
+                    body: list[Instruction]) -> list[Instruction]:
+            if not requisitioned:
+                return body
+            stats.requisitioned_uses += 1
+            return [_push(root), *body, _pop(root)]
+
+        out: list[Instruction] = []
+        instrs = block.instructions
+        index = 0
+        while index < len(instrs):
+            instr = instrs[index]
+            ann: Annotation = annotations[index]
+            protection = ann.protection
+
+            if instr.origin != "orig":
+                # Instrumentation emitted by an IR-level protection pass
+                # (checks, signature updates): already redundant, never
+                # re-duplicated. Keep the batch's flag discipline intact.
+                if instr.kind in (InstrKind.CMP, InstrKind.TEST,
+                                  InstrKind.JMP, InstrKind.RET,
+                                  InstrKind.CALL, InstrKind.JCC):
+                    out.extend(flush())
+                out.append(instr)
+                index += 1
+                continue
+
+            if protection is Protection.SIMD and batcher is not None:
+                out.append(instr)
+                if _is_direct_load(instr):
+                    out.extend(batcher.capture(instr))
+                else:
+                    root, requisitioned = scratch.acquire_simd_scratch(instr)
+                    batcher.scratch_requisitioned = root
+                    out.extend(wrapped(root, requisitioned,
+                                       batcher.capture(instr)))
+                stats.simd_protected += 1
+
+            elif protection in (Protection.SIMD, Protection.GENERAL):
+                root, requisitioned = scratch.acquire_general(instr)
+                pre, post = general_recipe(instr, root, detect)
+                out.extend(wrapped(root, requisitioned,
+                                   [*pre, instr, *post]))
+                stats.general_protected += 1
+
+            elif protection is Protection.CONVERT:
+                root, requisitioned = scratch.acquire_general(instr)
+                out.append(instr)
+                out.extend(wrapped(root, requisitioned,
+                                   convert_recipe(instr, root, detect)))
+                stats.convert_protected += 1
+
+            elif protection is Protection.POP:
+                out.append(instr)
+                out.extend(pop_recipe(instr, detect))
+                stats.pop_protected += 1
+
+            elif protection is Protection.IDIV:
+                roots, requisitioned = scratch.acquire_many(4, instr)
+                pre, post = idiv_recipe(instr, roots[:4], detect)
+                body = [*pre, instr, *post]
+                for req_root in reversed(requisitioned):
+                    body = [_push(req_root), *body, _pop(req_root)]
+                    stats.requisitioned_uses += 1
+                out.extend(body)
+                stats.idiv_protected += 1
+
+            elif protection is Protection.COMPARE:
+                out.extend(flush())  # vptest clobbers FLAGS: before the cmp
+                jcc = instrs[index + 1]
+                if config.protect_compares:
+                    # Both control-flow successors of the protected branch
+                    # need an entry check: the jcc target, plus either the
+                    # following jmp's target (the backend's two-jump form)
+                    # or the layout fall-through block.
+                    successors = [jcc.target_label or ""]
+                    follower = (instrs[index + 2]
+                                if index + 2 < len(instrs) else None)
+                    if follower is not None and follower.kind is InstrKind.JMP:
+                        successors.append(follower.target_label or "")
+                    elif follower is None:
+                        if fallthrough is not None:
+                            successors.append(fallthrough)
+                    else:
+                        raise TransformError(
+                            "conditional branch is not at the end of its "
+                            "basic block"
+                        )
+                    requisition = None
+                    if not plan.cmp_in_registers:
+                        requisition = scratch.requisition_for_compare(instr)
+                    out.extend(protector.protect_branch_compare(
+                        instr, jcc, tuple(successors), requisition
+                    ))
+                else:
+                    out.append(instr)
+                out.append(jcc)
+                index += 2
+                continue
+
+            elif protection is Protection.COMPARE_SETCC:
+                out.extend(flush())
+                setcc = instrs[index + 1]
+                if config.protect_compares:
+                    root, requisitioned = scratch.acquire_general(instr)
+                    sequence = protector.protect_setcc_pair(instr, setcc, root)
+                    if requisitioned:
+                        # The original pair stays outside the bracket; only
+                        # the duplicate + check need the scratch register.
+                        out.append(sequence[0])
+                        out.append(sequence[1])
+                        out.extend(wrapped(root, True, sequence[2:]))
+                    else:
+                        out.extend(sequence)
+                else:
+                    out.append(instr)
+                    out.append(setcc)
+                index += 2
+                continue
+
+            else:  # Protection.NONE
+                if instr.kind in (InstrKind.JMP, InstrKind.RET,
+                                  InstrKind.CALL, InstrKind.JCC):
+                    out.extend(flush())
+                out.append(instr)
+
+            index += 1
+
+        out.extend(flush())
+        if batcher is not None:
+            stats.simd_flushes += batcher.flushes
+        block.instructions = out
+
+
+def protect_program(
+    program: AsmProgram, config: FerrumConfig | None = None
+) -> tuple[AsmProgram, FerrumStats]:
+    """Apply FERRUM to ``program``; returns (protected copy, stats)."""
+    return FerrumTransform(config).protect(program)

@@ -1,0 +1,184 @@
+"""Scalar duplication recipes (paper Figs. 4 and 7, plus special cases).
+
+Each recipe returns the instructions to place *before* and *after* the
+original instruction. The after-sequence re-executes the computation into a
+spare register and traps to the detection handler on mismatch with a
+non-destructive ``cmp`` (flags are architecturally dead at every point the
+driver applies these recipes).
+
+Read-modify-write instructions (x86 two-operand ALU shapes, where the
+destination is also a source) get a *pre-copy*: the destination's old value
+is saved into the spare first, and the duplicate replays the operation on
+the spare — this is how an ``addl %eax, %eax`` or ``subq $32, %rsp`` is
+duplicated without undoing the original.
+"""
+
+from __future__ import annotations
+
+from repro.asm.instructions import Instruction, InstrKind, ins
+from repro.asm.operands import Imm, LabelRef, Mem, Operand, Reg
+from repro.asm.registers import Register, get_register, gpr_with_width
+from repro.core.annotate import is_rmw
+from repro.errors import TransformError
+
+_RSP = get_register("rsp")
+
+
+def _suffix(width: int) -> str:
+    return {8: "b", 16: "w", 32: "l", 64: "q"}[width]
+
+
+def _remap_operand(op: Operand, old_root: str, new_root: str) -> Operand:
+    """Replace references to ``old_root`` with ``new_root`` in one operand."""
+    if isinstance(op, Reg) and op.root == old_root:
+        return Reg(gpr_with_width(new_root, op.width))
+    if isinstance(op, Mem):
+        base = op.base
+        index = op.index
+        if base is not None and base.root == old_root:
+            base = gpr_with_width(new_root, base.width)
+        if index is not None and index.root == old_root:
+            index = gpr_with_width(new_root, index.width)
+        if base is not op.base or index is not op.index:
+            return Mem(disp=op.disp, base=base, index=index, scale=op.scale)
+    return op
+
+
+def reexecute_into(instr: Instruction, spare_root: str) -> Instruction:
+    """A duplicate of ``instr`` computing into ``spare_root``.
+
+    The destination register is redirected to the spare; for RMW shapes the
+    driver must have pre-copied the destination into the spare, because all
+    source references to the destination root are redirected too.
+    """
+    dest = instr.dest
+    if not isinstance(dest, Reg):
+        raise TransformError(f"cannot re-execute {instr.mnemonic}: no register dest")
+    old_root = dest.root
+    if instr.kind is InstrKind.SHIFT:
+        count = instr.operands[0]
+        if isinstance(count, Reg) and count.root == old_root:
+            raise TransformError(
+                "cannot duplicate a shift whose count register is its "
+                "destination (never emitted by the backend)"
+            )
+    operands = tuple(
+        _remap_operand(op, old_root, spare_root) for op in instr.operands
+    )
+    return instr.copy(operands=operands, origin="dup",
+                      comment=f"dup of {instr.mnemonic}")
+
+
+def _check(dest: Register, spare_root: str, detect_label: str) -> list[Instruction]:
+    """Compare the spare against the destination; jump to detect on mismatch."""
+    width = dest.width
+    spare = Reg(gpr_with_width(spare_root, width))
+    return [
+        ins(f"cmp{_suffix(width)}", spare, Reg(dest), origin="check"),
+        ins("jne", LabelRef(detect_label), origin="check"),
+    ]
+
+
+def general_recipe(instr: Instruction, spare_root: str,
+                   detect_label: str) -> tuple[list[Instruction], list[Instruction]]:
+    """Fig. 4: (pre, post) instruction lists around a GENERAL instruction."""
+    dest = instr.dest
+    assert isinstance(dest, Reg)
+    pre: list[Instruction] = []
+    if is_rmw(instr):
+        pre.append(ins("movq", Reg(gpr_with_width(dest.root, 64)),
+                       Reg(gpr_with_width(spare_root, 64)),
+                       origin="pre", comment="pre-copy RMW destination"))
+    post = [reexecute_into(instr, spare_root)]
+    post.extend(_check(dest.register, spare_root, detect_label))
+    return pre, post
+
+
+def convert_recipe(instr: Instruction, spare_root: str,
+                   detect_label: str) -> list[Instruction]:
+    """Duplicate ``cltd``/``cqto``/``cltq`` with an arithmetic-shift replay.
+
+    ``cltd`` computes ``edx = eax >> 31`` (arithmetic); ``cqto`` computes
+    ``rdx = rax >> 63``; ``cltq`` is ``rax = sext(eax)`` which replays as a
+    ``movslq``.
+    """
+    if instr.mnemonic == "cltq":
+        spare64 = Reg(gpr_with_width(spare_root, 64))
+        return [
+            ins("movslq", Reg(get_register("eax")), spare64, origin="dup"),
+            ins("cmpq", spare64, Reg(get_register("rax")), origin="check"),
+            ins("jne", LabelRef(detect_label), origin="check"),
+        ]
+    if instr.mnemonic == "cltd":
+        spare32 = Reg(gpr_with_width(spare_root, 32))
+        return [
+            ins("movl", Reg(get_register("eax")), spare32, origin="dup"),
+            ins("sarl", Imm(31), spare32, origin="dup"),
+            ins("cmpl", spare32, Reg(get_register("edx")), origin="check"),
+            ins("jne", LabelRef(detect_label), origin="check"),
+        ]
+    if instr.mnemonic == "cqto":
+        spare64 = Reg(gpr_with_width(spare_root, 64))
+        return [
+            ins("movq", Reg(get_register("rax")), spare64, origin="dup"),
+            ins("sarq", Imm(63), spare64, origin="dup"),
+            ins("cmpq", spare64, Reg(get_register("rdx")), origin="check"),
+            ins("jne", LabelRef(detect_label), origin="check"),
+        ]
+    raise TransformError(f"no convert recipe for {instr.mnemonic}")
+
+
+def pop_recipe(instr: Instruction, detect_label: str) -> list[Instruction]:
+    """Protect ``popq %reg``: compare against the just-popped stack slot.
+
+    After the pop, ``rsp`` has moved past the value, which still sits at
+    ``-8(%rsp)``; a memory-operand compare re-reads it without needing any
+    spare register, so this recipe also works under full register scarcity.
+    """
+    dest = instr.dest
+    assert isinstance(dest, Reg)
+    return [
+        ins("cmpq", Mem(disp=-8, base=_RSP), dest, origin="check",
+            comment="re-read popped value"),
+        ins("jne", LabelRef(detect_label), origin="check"),
+    ]
+
+
+def idiv_recipe(instr: Instruction, spares: tuple[str, str, str, str],
+                detect_label: str) -> tuple[list[Instruction], list[Instruction]]:
+    """Duplicate ``idiv``: save the dividend, replay, compare both results.
+
+    Needs four spares: two to hold the pre-division ``rax``/``rdx``
+    (dividend), two to stash the original quotient/remainder while the
+    duplicate division runs.
+    """
+    src = instr.operands[0]
+    if isinstance(src, Reg) and src.root in ("rax", "rdx"):
+        raise TransformError("idiv source in rax/rdx cannot be duplicated")
+    width = instr.spec.width
+    s_div_lo, s_div_hi, s_quot, s_rem = (
+        Reg(gpr_with_width(root, 64)) for root in spares
+    )
+    rax = Reg(get_register("rax"))
+    rdx = Reg(get_register("rdx"))
+    cmp_q = Reg(gpr_with_width(spares[2], width))
+    cmp_r = Reg(gpr_with_width(spares[3], width))
+    res_q = Reg(gpr_with_width("rax", width))
+    res_r = Reg(gpr_with_width("rdx", width))
+
+    pre = [
+        ins("movq", rax, s_div_lo, origin="pre", comment="save dividend low"),
+        ins("movq", rdx, s_div_hi, origin="pre", comment="save dividend high"),
+    ]
+    post = [
+        ins("movq", rax, s_quot, origin="dup", comment="stash quotient"),
+        ins("movq", rdx, s_rem, origin="dup", comment="stash remainder"),
+        ins("movq", s_div_lo, rax, origin="dup", comment="restore dividend"),
+        ins("movq", s_div_hi, rdx, origin="dup"),
+        instr.copy(origin="dup", comment="duplicate division"),
+        ins(f"cmp{_suffix(width)}", cmp_q, res_q, origin="check"),
+        ins("jne", LabelRef(detect_label), origin="check"),
+        ins(f"cmp{_suffix(width)}", cmp_r, res_r, origin="check"),
+        ins("jne", LabelRef(detect_label), origin="check"),
+    ]
+    return pre, post

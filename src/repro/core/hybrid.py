@@ -1,0 +1,60 @@
+"""HYBRID-ASSEMBLY-LEVEL-EDDI: the paper's second baseline (Sec. IV-A1).
+
+Per Table I, the hybrid technique protects ``basic``, ``store``, ``call``
+and ``mapping`` instructions by immediate scalar duplication at assembly
+level (AS₁ — the Fig. 4 method, no SIMD), while ``branch`` and
+``comparison`` instructions are protected at IR level through signatures.
+
+This module provides the assembly half: the shared duplication engine with
+SIMD and compare-deferral turned off. The IR half is
+:func:`repro.eddi.signatures.protect_branches_with_signatures`; the two are
+composed by :mod:`repro.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import AsmProgram
+from repro.core.config import FerrumConfig
+from repro.core.ferrum import FerrumStats, FerrumTransform
+
+#: Capability row for the paper's Table I.
+CAPABILITIES = {
+    "basic": "AS1", "store": "AS1", "branch": "IR",
+    "call": "AS1", "mapping": "AS1", "comparison": "IR",
+}
+
+
+@dataclass
+class HybridStats:
+    """Assembly-side statistics of the hybrid baseline."""
+
+    asm: FerrumStats
+
+    @property
+    def protected_instructions(self) -> int:
+        return self.asm.protected_instructions
+
+
+def protect_program_hybrid(
+    program: AsmProgram, config: FerrumConfig | None = None
+) -> tuple[AsmProgram, HybridStats]:
+    """Apply the AS₁ scalar-duplication half of the hybrid baseline.
+
+    ``program`` must already carry the IR-level signature protection for
+    branches and comparisons (see :mod:`repro.pipeline`); this pass leaves
+    cmp/test/set<cc>/j<cc> untouched and duplicates everything else with
+    immediate scalar checks.
+    """
+    base = config or FerrumConfig()
+    engine_config = FerrumConfig(
+        use_simd=False,
+        protect_compares=False,
+        simd_batch=base.simd_batch,
+        pretend_used_gprs=base.pretend_used_gprs,
+        pretend_used_xmm=base.pretend_used_xmm,
+    )
+    protected, stats = FerrumTransform(engine_config).protect(program)
+    protected.metadata["protection"] = "hybrid-assembly-eddi"
+    return protected, HybridStats(asm=stats)

@@ -1,0 +1,140 @@
+"""SIMD-batched duplication (paper Sec. III-B3, Fig. 6).
+
+Results of up to four protected instructions are collected into two XMM
+pairs — the duplicate chain in one register of each pair, the original
+results in the other — then merged into two YMM registers with
+``vinserti128`` and compared with a single ``vpxor`` + ``vptest`` + ``jne``.
+
+Capture invariants the batcher maintains:
+
+* lane 0 of a pair is written with ``movq`` (which zeroes lane 1, so a
+  partially filled pair still compares equal in its empty lane);
+* lane 1 is written with ``pinsrq $1``;
+* 64-bit loads re-execute **directly into the lane** (the paper's fast
+  path: ``movq -24(%rbp), %xmm0``); everything else re-executes into the
+  scratch GPR first and is then inserted;
+* 32-bit results compare as zero-extended 64-bit lane values — sound
+  because x86-64 32-bit register writes zero the upper half, and both the
+  original and the duplicate are captured through 64-bit views;
+* a flush emits nothing when the batch is empty, and equalizes the unused
+  upper YMM lane when only one pair is filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.instructions import Instruction, InstrKind, ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.registers import gpr_with_width, xmm_of, ymm_of
+from repro.core.general_dup import reexecute_into
+from repro.core.spare_regs import RegisterPlan
+from repro.errors import TransformError
+
+
+def _is_direct_load(instr: Instruction) -> bool:
+    """64-bit mem->gpr move whose duplicate can target an XMM lane directly."""
+    return (
+        instr.kind is InstrKind.MOV
+        and instr.spec.width == 64
+        and isinstance(instr.operands[0], Mem)
+        and isinstance(instr.operands[1], Reg)
+    )
+
+
+@dataclass
+class SimdBatcher:
+    """Per-basic-block batch state machine."""
+
+    plan: RegisterPlan
+    detect_label: str
+    batch_size: int = 4
+    scratch_requisitioned: str | None = None  # set by the driver per block
+    count: int = field(default=0, init=False)
+    captures: int = field(default=0, init=False)
+    flushes: int = field(default=0, init=False)
+
+    def _scratch_root(self) -> str:
+        if self.plan.simd_scratch is not None:
+            return self.plan.simd_scratch
+        if self.scratch_requisitioned is not None:
+            return self.scratch_requisitioned
+        raise TransformError("SIMD capture without a scratch register")
+
+    def capture(self, instr: Instruction) -> list[Instruction]:
+        """Instructions to place *after* ``instr``; may end with a flush."""
+        if self.plan.xmm is None:
+            raise TransformError("SIMD capture without spare XMM registers")
+        dest = instr.dest
+        assert isinstance(dest, Reg)
+        dup_lo, orig_lo, dup_hi, orig_hi = self.plan.xmm
+        pair_dup = xmm_of(dup_lo if self.count < 2 else dup_hi)
+        pair_orig = xmm_of(orig_lo if self.count < 2 else orig_hi)
+        lane = self.count % 2
+
+        out: list[Instruction] = []
+        dest64 = Reg(gpr_with_width(dest.root, 64))
+        if lane == 0:
+            out.append(ins("movq", dest64, Reg(pair_orig), origin="capture",
+                           comment="capture original result"))
+        else:
+            out.append(ins("pinsrq", Imm(1), dest64, Reg(pair_orig),
+                           origin="capture", comment="capture original result"))
+
+        if _is_direct_load(instr):
+            mem = instr.operands[0]
+            if lane == 0:
+                out.append(ins("movq", mem, Reg(pair_dup), origin="dup",
+                               comment="re-execute load into SIMD lane"))
+            else:
+                out.append(ins("pinsrq", Imm(1), mem, Reg(pair_dup),
+                               origin="dup",
+                               comment="re-execute load into SIMD lane"))
+        else:
+            scratch = self._scratch_root()
+            out.append(reexecute_into(instr, scratch))
+            scratch64 = Reg(gpr_with_width(scratch, 64))
+            if lane == 0:
+                out.append(ins("movq", scratch64, Reg(pair_dup),
+                               origin="capture"))
+            else:
+                out.append(ins("pinsrq", Imm(1), scratch64, Reg(pair_dup),
+                               origin="capture"))
+
+        self.count += 1
+        self.captures += 1
+        if self.count >= self.batch_size:
+            out.extend(self.flush())
+        return out
+
+    def flush(self) -> list[Instruction]:
+        """Compare all pending lanes at once (Fig. 6's check sequence).
+
+        Must only be called where FLAGS are architecturally dead: the
+        sequence ends in ``vptest`` + ``jne``.
+        """
+        if self.count == 0:
+            return []
+        dup_lo, orig_lo, dup_hi, orig_hi = self.plan.xmm or (0, 1, 2, 3)
+        ymm_dup = Reg(ymm_of(dup_lo))
+        ymm_orig = Reg(ymm_of(orig_lo))
+        out: list[Instruction] = []
+        if self.count <= 2:
+            # Only the low pair is filled: copy one xmm into both upper
+            # lanes so they compare equal.
+            filler = Reg(xmm_of(dup_lo))
+            out.append(ins("vinserti128", Imm(1), filler, ymm_dup, ymm_dup,
+                           origin="check", comment="equalize unused lane"))
+            out.append(ins("vinserti128", Imm(1), filler, ymm_orig, ymm_orig,
+                           origin="check", comment="equalize unused lane"))
+        else:
+            out.append(ins("vinserti128", Imm(1), Reg(xmm_of(dup_hi)),
+                           ymm_dup, ymm_dup, origin="check"))
+            out.append(ins("vinserti128", Imm(1), Reg(xmm_of(orig_hi)),
+                           ymm_orig, ymm_orig, origin="check"))
+        out.append(ins("vpxor", ymm_orig, ymm_dup, ymm_dup, origin="check"))
+        out.append(ins("vptest", ymm_dup, ymm_dup, origin="check"))
+        out.append(ins("jne", LabelRef(self.detect_label), origin="check"))
+        self.count = 0
+        self.flushes += 1
+        return out

@@ -1,0 +1,161 @@
+"""Spare-register planning (paper Sec. III-B1, first half + III-B4).
+
+FERRUM needs, per function:
+
+* two persistent byte-capable GPRs for deferred compare detection
+  (the paper's ``%r11b``/``%r12b`` pair, Fig. 5);
+* one scalar scratch GPR for GENERAL duplication (Fig. 4);
+* one scratch GPR that SIMD captures re-execute into (Fig. 6);
+* four spare XMM registers (two result pairs merged into two YMM).
+
+When the scan finds fewer spares than that, the plan records *fallbacks*:
+scratch registers are requisitioned per basic block with push/pop
+bracketing (Fig. 7), and compare captures are spilled to two slots carved
+out of an extended stack frame (registers cannot carry them across the
+block boundary to the successor's entry check once they have been popped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.analysis import scan_register_usage
+from repro.asm.operands import Imm, Reg
+from repro.asm.program import AsmFunction
+from repro.core.config import FerrumConfig
+from repro.errors import TransformError
+
+
+@dataclass(frozen=True)
+class RegisterPlan:
+    """Protection-register assignment for one function."""
+
+    general: str | None        # scalar dup scratch root, None -> requisition
+    simd_scratch: str | None   # SIMD re-execution root, None -> requisition
+    cmp_a: str | None          # compare capture A, None -> frame slots
+    cmp_b: str | None
+    xmm: tuple[int, int, int, int] | None  # (dup_lo, orig_lo, dup_hi, orig_hi)
+    extra: tuple[str, ...] = ()  # additional scratch (idiv needs four)
+    cmp_slot_a: int = 0        # rbp-relative offsets when cmp_a/b are None
+    cmp_slot_b: int = 0
+
+    @property
+    def simd_available(self) -> bool:
+        return self.xmm is not None
+
+    @property
+    def cmp_in_registers(self) -> bool:
+        return self.cmp_a is not None and self.cmp_b is not None
+
+    def spare_roots(self) -> tuple[str, ...]:
+        """Every plan-owned root — excluded from per-block requisition."""
+        roots = [r for r in (self.general, self.simd_scratch,
+                             self.cmp_a, self.cmp_b) if r is not None]
+        roots.extend(self.extra)
+        return tuple(roots)
+
+    def scratch_pool(self) -> tuple[str, ...]:
+        """Roots safe to clobber inside one protected-use sequence.
+
+        Excludes the compare-capture pair: its values stay live from the
+        captures at the end of a block to the entry checks of the
+        successors, and any clobber in between would leave the pair
+        unequal — a guaranteed false detection at the next entry check.
+        """
+        roots = [r for r in (self.general, self.simd_scratch) if r is not None]
+        roots.extend(self.extra)
+        return tuple(roots)
+
+
+def _extend_frame(func: AsmFunction, extra: int) -> int:
+    """Grow the function's frame by ``extra`` bytes; return old frame size.
+
+    Looks for the prologue's ``subq $N, %rsp`` in the entry block and bumps
+    it (inserting one when the frame was empty). The new bytes sit at the
+    deepest rbp-relative offsets, inside the frame, so they survive calls —
+    unlike red-zone slots.
+    """
+    entry = func.entry
+    for index, instr in enumerate(entry.instructions[:4]):
+        if (
+            instr.mnemonic == "subq"
+            and isinstance(instr.operands[0], Imm)
+            and isinstance(instr.operands[1], Reg)
+            and instr.operands[1].root == "rsp"
+        ):
+            old = instr.operands[0].value
+            entry.instructions[index] = instr.copy(
+                operands=(Imm(old + extra), instr.operands[1]),
+                comment="frame extended for compare-capture slots",
+            )
+            return old
+    # No subq: insert one after the `movq %rsp, %rbp` of the prologue.
+    for index, instr in enumerate(entry.instructions[:4]):
+        if (
+            instr.mnemonic == "movq"
+            and isinstance(instr.operands[1], Reg)
+            and instr.operands[1].root == "rbp"
+            and isinstance(instr.operands[0], Reg)
+            and instr.operands[0].root == "rsp"
+        ):
+            from repro.asm.instructions import ins
+            from repro.asm.registers import get_register
+
+            entry.instructions.insert(
+                index + 1,
+                ins("subq", Imm(extra), Reg(get_register("rsp")),
+                    comment="frame extended for compare-capture slots"),
+            )
+            return 0
+    raise TransformError(
+        f"{func.name}: cannot find prologue to extend the frame"
+    )
+
+
+def build_register_plan(func: AsmFunction, config: FerrumConfig) -> RegisterPlan:
+    """Scan ``func`` and assign protection registers (with fallbacks)."""
+    usage = scan_register_usage(func)
+    spare_gprs = [
+        root for root in usage.spare_gprs
+        if root not in config.pretend_used_gprs
+    ]
+    spare_xmm = [
+        root for root in usage.spare_vectors
+        if root not in config.pretend_used_xmm
+    ]
+
+    # Assignment priority: the general scratch comes first — it is the only
+    # register that can protect rsp-manipulating instructions (prologue
+    # subq, epilogue movq), which per-block requisition cannot cover. The
+    # compare pair comes next (it carries state across block boundaries);
+    # the SIMD scratch and idiv extras degrade to per-block requisition.
+    general = spare_gprs.pop(0) if spare_gprs else None
+    if len(spare_gprs) >= 2:
+        cmp_a = spare_gprs.pop(0)
+        cmp_b = spare_gprs.pop(0)
+    else:
+        cmp_a = cmp_b = None  # need both or neither
+    simd_scratch = spare_gprs.pop(0) if spare_gprs else None
+    extra = tuple(spare_gprs[:2])  # idiv needs four scratch roots in total
+
+    xmm: tuple[int, int, int, int] | None = None
+    if config.use_simd and len(spare_xmm) >= 4:
+        indices = tuple(int(root[3:]) for root in spare_xmm[:4])
+        xmm = (indices[0], indices[1], indices[2], indices[3])
+
+    cmp_slot_a = cmp_slot_b = 0
+    if config.protect_compares and cmp_a is None:
+        old_size = _extend_frame(func, 16)
+        cmp_slot_a = -(old_size + 8)
+        cmp_slot_b = -(old_size + 16)
+
+    return RegisterPlan(
+        general=general,
+        simd_scratch=simd_scratch,
+        cmp_a=cmp_a,
+        cmp_b=cmp_b,
+        xmm=xmm,
+        extra=extra,
+        cmp_slot_a=cmp_slot_a,
+        cmp_slot_b=cmp_slot_b,
+    )

@@ -1,0 +1,131 @@
+"""Static validation of protection invariants in transformed programs.
+
+The fault-injection campaigns verify protection *empirically*; this module
+checks the structural discipline a correct transform must obey, so a
+regression fails fast with a named invariant instead of a mysterious
+false detection three layers down:
+
+* **flags discipline** — between a flag-producing ``cmp``/``test``/
+  ``vptest`` and its consuming ``j<cc>``/``set<cc>``, no instruction may
+  overwrite RFLAGS;
+* **checker targets** — every checker branch (``origin="check"`` ``jne``)
+  jumps to a detect block that calls the detection builtin;
+* **batch discipline** — every ``vptest`` is immediately preceded by the
+  ``vpxor`` that computes the lane difference;
+* **bracket balance** — requisition ``push``/``pop`` pairs (``origin=
+  "pre"``) balance within every basic block, so rsp is consistent on all
+  paths.
+"""
+
+from __future__ import annotations
+
+from repro.asm.instructions import Instruction, InstrKind
+from repro.asm.program import AsmProgram
+from repro.errors import TransformError
+from repro.machine.builtins import DETECT_FUNCTION
+
+
+def _consumes_flags(instr: Instruction) -> bool:
+    return instr.spec.reads_flags
+
+
+def _produces_flags(instr: Instruction) -> bool:
+    return instr.spec.writes_flags
+
+
+def check_flags_discipline(program: AsmProgram) -> None:
+    """No flag producer may be shadowed before its consumer runs.
+
+    Walk each block; whenever flags are produced, any later flag *consumer*
+    in the block must see the most recent producer — i.e. a consumer never
+    follows two producers without consuming in between **unless** the
+    intervening producer is itself part of a protection pair (a duplicate
+    comparison feeding its own ``set<cc>``). The practical invariant that
+    catches real bugs: a ``j<cc>``/``set<cc>`` must be *immediately*
+    preceded (modulo non-flag instructions) by some producer, and a
+    checker ``jne`` must directly follow its compare.
+    """
+    for func in program.functions:
+        for block in func.blocks:
+            flags_valid = False
+            for instr in block.instructions:
+                if _consumes_flags(instr):
+                    if not flags_valid:
+                        raise TransformError(
+                            f"{func.name}/{block.label}: {instr.mnemonic} "
+                            "consumes flags but no producer is live"
+                        )
+                if _produces_flags(instr):
+                    flags_valid = True
+                elif instr.kind in (InstrKind.CALL,):
+                    flags_valid = False  # calls clobber flags
+
+
+def check_checker_targets(program: AsmProgram) -> None:
+    """Every protection checker branch must reach a detection block."""
+    detect_labels = set()
+    for func in program.functions:
+        for block in func.blocks:
+            if any(
+                instr.kind is InstrKind.CALL
+                and instr.target_label == DETECT_FUNCTION
+                for instr in block.instructions
+            ):
+                detect_labels.add(block.label)
+    for func in program.functions:
+        for block in func.blocks:
+            for instr in block.instructions:
+                if instr.origin == "check" and instr.kind is InstrKind.JCC:
+                    target = instr.target_label
+                    if target not in detect_labels:
+                        raise TransformError(
+                            f"{func.name}/{block.label}: checker branch "
+                            f"targets {target!r}, not a detect block"
+                        )
+
+
+def check_batch_discipline(program: AsmProgram) -> None:
+    """``vptest`` must directly follow the ``vpxor`` producing its operand."""
+    for func in program.functions:
+        for block in func.blocks:
+            previous: Instruction | None = None
+            for instr in block.instructions:
+                if instr.kind is InstrKind.VECTEST:
+                    if previous is None or previous.kind is not InstrKind.VECALU:
+                        raise TransformError(
+                            f"{func.name}/{block.label}: vptest without an "
+                            "immediately preceding vpxor"
+                        )
+                previous = instr
+
+
+def check_bracket_balance(program: AsmProgram) -> None:
+    """Requisition push/pop brackets must balance within each block."""
+    for func in program.functions:
+        for block in func.blocks:
+            depth = 0
+            for instr in block.instructions:
+                if instr.origin != "pre":
+                    continue
+                if instr.kind is InstrKind.PUSH:
+                    depth += 1
+                elif instr.kind is InstrKind.POP:
+                    depth -= 1
+                    if depth < 0:
+                        raise TransformError(
+                            f"{func.name}/{block.label}: requisition pop "
+                            "without a matching push"
+                        )
+            if depth != 0:
+                raise TransformError(
+                    f"{func.name}/{block.label}: {depth} requisition "
+                    "push(es) not popped"
+                )
+
+
+def check_protection_invariants(program: AsmProgram) -> None:
+    """Run every structural protection check; raises TransformError."""
+    check_flags_discipline(program)
+    check_checker_targets(program)
+    check_batch_discipline(program)
+    check_bracket_balance(program)

@@ -1,0 +1,19 @@
+"""IR-level protection passes.
+
+* :mod:`repro.eddi.ir_eddi` — the IR-LEVEL-EDDI baseline (paper Fig. 2):
+  duplicate computational IR instructions, check shadows at sync points.
+* :mod:`repro.eddi.signatures` — SWIFT-style signature control-flow
+  protection plus comparison duplication, the IR half of the
+  HYBRID-ASSEMBLY-LEVEL-EDDI baseline (paper Table I: branch/comparison
+  protected at IR level).
+"""
+
+from repro.eddi.ir_eddi import IrEddiStats, protect_module
+from repro.eddi.signatures import SignatureStats, protect_branches_with_signatures
+
+__all__ = [
+    "IrEddiStats",
+    "SignatureStats",
+    "protect_branches_with_signatures",
+    "protect_module",
+]

@@ -1,0 +1,52 @@
+"""Evaluation harness: drivers for every table and figure in the paper.
+
+* :func:`run_fig10` — SDC coverage per benchmark per technique (Fig. 10);
+* :func:`run_fig11` — runtime performance overhead (Fig. 11);
+* :func:`run_transform_time` — FERRUM transform wall-clock (Sec. IV-B3);
+* :func:`run_crosslayer_gap` — anticipated (IR-level) vs measured
+  (assembly-level) IR-EDDI coverage (the Sec. I "28 % gap" claim);
+* :func:`table1` / :func:`table2` — the capability matrix and the
+  benchmark roster.
+"""
+
+from repro.evaluation.experiments import (
+    CoverageRow,
+    Fig10Result,
+    Fig11Result,
+    GapResult,
+    TransformTimeResult,
+    run_crosslayer_gap,
+    run_fig10,
+    run_fig11,
+    run_transform_time,
+    table1,
+    table2,
+)
+from repro.evaluation.report import (
+    render_fig10,
+    render_fig11,
+    render_gap,
+    render_table1,
+    render_table2,
+    render_transform_time,
+)
+
+__all__ = [
+    "CoverageRow",
+    "Fig10Result",
+    "Fig11Result",
+    "GapResult",
+    "TransformTimeResult",
+    "render_fig10",
+    "render_fig11",
+    "render_gap",
+    "render_table1",
+    "render_table2",
+    "render_transform_time",
+    "run_crosslayer_gap",
+    "run_fig10",
+    "run_fig11",
+    "run_transform_time",
+    "table1",
+    "table2",
+]

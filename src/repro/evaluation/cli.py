@@ -1,0 +1,100 @@
+"""``ferrum-eval``: command-line driver for the paper's experiments.
+
+Examples::
+
+    ferrum-eval table1
+    ferrum-eval fig10 --samples 1000
+    ferrum-eval fig11 --scale 2
+    ferrum-eval gap --samples 300 --workloads knn needle
+    ferrum-eval all --samples 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation import (
+    render_fig10,
+    render_fig11,
+    render_gap,
+    render_table1,
+    render_table2,
+    render_transform_time,
+    run_crosslayer_gap,
+    run_fig10,
+    run_fig11,
+    run_transform_time,
+)
+from repro.evaluation.report import render_fig10_outcomes
+from repro.workloads import workload_names
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ferrum-eval",
+        description="Regenerate the FERRUM paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "fig10", "fig11", "transform-time",
+                 "gap", "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--samples", type=int, default=200,
+                        help="faults per injection campaign (paper: 1000)")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="campaign RNG seed")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload problem-size multiplier")
+    parser.add_argument("--workloads", nargs="*", choices=workload_names(),
+                        default=None, help="subset of benchmarks")
+    parser.add_argument("--outcomes", action="store_true",
+                        help="with fig10: also print the outcome breakdown")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    workloads = tuple(args.workloads) if args.workloads else None
+
+    if args.experiment in ("table1", "all"):
+        print(render_table1())
+        print()
+    if args.experiment in ("table2", "all"):
+        print(render_table2())
+        print()
+    if args.experiment in ("fig10", "all"):
+        result = run_fig10(samples=args.samples, seed=args.seed,
+                           scale=args.scale, workloads=workloads)
+        print(render_fig10(result))
+        print()
+        from repro.evaluation.figures import render_fig10_chart
+
+        print(render_fig10_chart(result))
+        if args.outcomes:
+            print()
+            print(render_fig10_outcomes(result))
+        print()
+    if args.experiment in ("fig11", "all"):
+        fig11 = run_fig11(scale=args.scale, workloads=workloads)
+        print(render_fig11(fig11))
+        print()
+        from repro.evaluation.figures import render_fig11_chart
+
+        print(render_fig11_chart(fig11))
+        print()
+    if args.experiment in ("transform-time", "all"):
+        print(render_transform_time(
+            run_transform_time(scale=args.scale, workloads=workloads)
+        ))
+        print()
+    if args.experiment in ("gap", "all"):
+        result = run_crosslayer_gap(samples=args.samples, seed=args.seed,
+                                    scale=args.scale, workloads=workloads)
+        print(render_gap(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""ASCII bar-chart rendering of the paper's figures.
+
+Figs. 10 and 11 in the paper are grouped bar charts (benchmark on the
+x-axis, one bar per technique). These helpers render the same figures as
+monospace text so a terminal-only regeneration still *looks* like the
+paper's plots, not just its data tables.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import Fig10Result, Fig11Result, TECHNIQUES
+
+#: Bar glyph per technique, in the paper's series order.
+_GLYPHS = {"ir-eddi": "I", "hybrid": "H", "ferrum": "F"}
+
+
+def _bar(value: float, scale: float, width: int, glyph: str) -> str:
+    length = 0 if scale <= 0 else round(min(value / scale, 1.0) * width)
+    return glyph * length
+
+
+def _legend() -> str:
+    return "  ".join(f"{glyph} = {name}" for name, glyph in
+                     ((t, _GLYPHS[t]) for t in TECHNIQUES))
+
+
+def render_fig10_chart(result: Fig10Result, width: int = 50) -> str:
+    """Fig. 10 as horizontal bars: SDC coverage per benchmark/technique."""
+    lines = [
+        f"Fig. 10 — SDC coverage (bar length = coverage, full width = 100%)",
+        _legend(),
+        "",
+    ]
+    label_width = max((len(row.benchmark) for row in result.rows), default=8)
+    for row in result.rows:
+        for technique in TECHNIQUES:
+            coverage = row.coverage(technique)
+            bar = _bar(coverage, 1.0, width, _GLYPHS[technique])
+            name = row.benchmark if technique == TECHNIQUES[0] else ""
+            lines.append(
+                f"{name:<{label_width}} |{bar:<{width}}| {coverage * 100:5.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_fig11_chart(result: Fig11Result, width: int = 50) -> str:
+    """Fig. 11 as horizontal bars: runtime overhead per benchmark/technique."""
+    peak = max(
+        (float(row[t]) for row in result.rows for t in TECHNIQUES),
+        default=1.0,
+    )
+    lines = [
+        f"Fig. 11 — runtime overhead (full width = {peak * 100:.0f}%)",
+        _legend(),
+        "",
+    ]
+    label_width = max(
+        (len(str(row["benchmark"])) for row in result.rows), default=8
+    )
+    for row in result.rows:
+        for technique in TECHNIQUES:
+            overhead = float(row[technique])
+            bar = _bar(overhead, peak, width, _GLYPHS[technique])
+            name = str(row["benchmark"]) if technique == TECHNIQUES[0] else ""
+            lines.append(
+                f"{name:<{label_width}} |{bar:<{width}}| {overhead * 100:6.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

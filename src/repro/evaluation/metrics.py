@@ -1,0 +1,24 @@
+"""Evaluation metrics (paper Sec. IV-A3)."""
+
+from __future__ import annotations
+
+from repro.faultinjection.outcome import sdc_coverage
+
+__all__ = ["runtime_overhead", "sdc_coverage", "speedup_in_overhead"]
+
+
+def runtime_overhead(cycles_protected: int, cycles_raw: int) -> float:
+    """(Runtime_prot - Runtime_raw) / Runtime_raw."""
+    if cycles_raw <= 0:
+        raise ValueError("raw cycle count must be positive")
+    return (cycles_protected - cycles_raw) / cycles_raw
+
+
+def speedup_in_overhead(overhead_baseline: float, overhead_new: float) -> float:
+    """Relative reduction in overhead: the paper's "52 % speed-up" metric.
+
+    Defined as (overhead_baseline - overhead_new) / overhead_baseline.
+    """
+    if overhead_baseline <= 0:
+        raise ValueError("baseline overhead must be positive")
+    return (overhead_baseline - overhead_new) / overhead_baseline

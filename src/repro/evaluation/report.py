@@ -1,0 +1,115 @@
+"""Plain-text rendering of experiment results in paper-style tables."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import (
+    Fig10Result,
+    Fig11Result,
+    GapResult,
+    TECHNIQUES,
+    TransformTimeResult,
+    table1,
+    table2,
+)
+from repro.faultinjection.outcome import Outcome
+from repro.utils.text import format_table, percent
+
+
+def render_table1() -> str:
+    """Table I: technique capability matrix."""
+    data = table1()
+    classes = ["basic", "store", "branch", "call", "mapping", "comparison"]
+    rows = [
+        [name] + [data[name][cls] for cls in classes] for name in data
+    ]
+    return format_table(
+        ["technique"] + classes, rows,
+        title="Table I: protection level per instruction class",
+    )
+
+
+def render_table2() -> str:
+    """Table II: benchmark roster."""
+    rows = [[r["Benchmark"], r["Suite"], r["Domain"]] for r in table2()]
+    return format_table(["Benchmark", "Suite", "Domain"], rows,
+                        title="Table II: details of benchmarks")
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Fig. 10: SDC coverage per benchmark per technique."""
+    headers = ["benchmark", "SDC_raw"] + [f"{t} cov" for t in TECHNIQUES]
+    rows = []
+    for row in result.rows:
+        cells = [row.benchmark, percent(row.raw.sdc_probability)]
+        cells.extend(percent(row.coverage(t)) for t in TECHNIQUES)
+        rows.append(cells)
+    rows.append(
+        ["AVERAGE", ""]
+        + [percent(result.average_coverage(t)) for t in TECHNIQUES]
+    )
+    return format_table(
+        headers, rows,
+        title=f"Fig. 10: SDC coverage ({result.samples} faults/campaign, "
+              f"seed {result.seed})",
+    )
+
+
+def render_fig10_outcomes(result: Fig10Result) -> str:
+    """Supplementary per-outcome breakdown behind Fig. 10."""
+    headers = ["benchmark", "technique"] + [o.value for o in Outcome]
+    rows = []
+    for row in result.rows:
+        rows.append([row.benchmark, "raw"]
+                    + [str(row.raw.outcomes[o]) for o in Outcome])
+        for technique in TECHNIQUES:
+            campaign = row.campaigns[technique]
+            rows.append([row.benchmark, technique]
+                        + [str(campaign.outcomes[o]) for o in Outcome])
+    return format_table(headers, rows, title="Fault outcome breakdown")
+
+
+def render_fig11(result: Fig11Result) -> str:
+    """Fig. 11: runtime performance overhead."""
+    headers = ["benchmark", "raw cycles"] + list(TECHNIQUES)
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [row["benchmark"], str(row["raw_cycles"])]
+            + [percent(float(row[t])) for t in TECHNIQUES]
+        )
+    rows.append(
+        ["AVERAGE", ""]
+        + [percent(result.average_overhead(t)) for t in TECHNIQUES]
+    )
+    return format_table(headers, rows,
+                        title="Fig. 11: runtime performance overhead")
+
+
+def render_transform_time(result: TransformTimeResult) -> str:
+    """Sec. IV-B3: FERRUM execution time vs static size."""
+    rows = [
+        [r["benchmark"], str(r["static_instructions"]),
+         str(r["output_instructions"]), f"{float(r['seconds']) * 1000:.1f} ms"]
+        for r in result.rows
+    ]
+    rows.append(["AVERAGE", "", "", f"{result.average_seconds * 1000:.1f} ms"])
+    return format_table(
+        ["benchmark", "static instrs", "protected instrs", "transform time"],
+        rows, title="Sec. IV-B3: time to execute FERRUM",
+    )
+
+
+def render_gap(result: GapResult) -> str:
+    """Sec. I/IV-B1: anticipated vs measured IR-EDDI coverage."""
+    rows = [
+        [r["benchmark"], percent(float(r["anticipated"])),
+         percent(float(r["measured"])), percent(float(r["gap"]))]
+        for r in result.rows
+    ]
+    rows.append(["AVERAGE", "", "", percent(result.average_gap)])
+    return format_table(
+        ["benchmark", "anticipated (IR FI)", "measured (asm FI)", "gap"],
+        rows,
+        title="Cross-layer gap: IR-EDDI coverage, IR-level vs assembly-level "
+              "injection",
+    )

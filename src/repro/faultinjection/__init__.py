@@ -1,0 +1,37 @@
+"""Assembly-level (and IR-level) transient-fault injection.
+
+Implements the paper's fault model (Sec. II-A, IV-A2): a single bit-flip in
+the destination register of one uniformly sampled dynamically executed
+instruction per run; ``cmp``/``test`` treat RFLAGS as the destination.
+Outcomes are classified as benign / SDC / detected / crash / timeout by
+comparing against a golden run.
+"""
+
+from repro.faultinjection.outcome import Outcome, OutcomeCounts
+from repro.faultinjection.injector import (
+    FaultPlan,
+    inject_asm_fault,
+    inject_ir_fault,
+    profile_fault_sites,
+)
+from repro.faultinjection.campaign import CampaignResult, run_campaign, run_ir_campaign
+from repro.faultinjection.multibit import (
+    MultiBitPlan,
+    inject_multibit_fault,
+    run_multibit_campaign,
+)
+
+__all__ = [
+    "CampaignResult",
+    "FaultPlan",
+    "MultiBitPlan",
+    "Outcome",
+    "OutcomeCounts",
+    "inject_asm_fault",
+    "inject_ir_fault",
+    "inject_multibit_fault",
+    "profile_fault_sites",
+    "run_campaign",
+    "run_multibit_campaign",
+    "run_ir_campaign",
+]

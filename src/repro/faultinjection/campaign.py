@@ -1,0 +1,133 @@
+"""Fault-injection campaigns: many sampled faults, aggregated outcomes.
+
+A campaign reproduces the paper's measurement protocol (Sec. IV-A2): N
+independent runs, one uniformly sampled single-bit fault each, outcomes
+aggregated into an :class:`OutcomeCounts` histogram. Sampling is fully
+deterministic from a seed; each run forks its own RNG stream, so campaigns
+are reproducible and embarrassingly parallel in structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.program import AsmProgram
+from repro.faultinjection.injector import (
+    FaultPlan,
+    inject_asm_fault,
+    inject_ir_fault,
+)
+from repro.faultinjection.outcome import Outcome, OutcomeCounts
+from repro.ir.interp import IRInterpreter
+from repro.ir.module import IRModule
+from repro.machine.cpu import Machine
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated result of one injection campaign."""
+
+    samples: int
+    outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
+    fault_sites: int = 0
+    dynamic_instructions: int = 0
+
+    @property
+    def sdc_probability(self) -> float:
+        return self.outcomes.sdc_probability
+
+    def summary(self) -> str:
+        parts = [
+            f"{outcome.value}={self.outcomes[outcome]}" for outcome in Outcome
+        ]
+        return (
+            f"{self.samples} faults over {self.fault_sites} sites: "
+            + ", ".join(parts)
+        )
+
+
+#: State inherited by forked campaign workers (see ``run_campaign``).
+_PARALLEL_STATE: dict = {}
+
+
+def _parallel_inject(plan: FaultPlan) -> Outcome:
+    state = _PARALLEL_STATE
+    return inject_asm_fault(
+        state["program"], plan, state["golden"],
+        function=state["function"], args=state["args"],
+    )
+
+
+def run_campaign(
+    program: AsmProgram,
+    samples: int,
+    seed: int = 0,
+    function: str = "main",
+    args: tuple[int, ...] = (),
+    processes: int = 1,
+) -> CampaignResult:
+    """Inject ``samples`` single-bit faults at assembly level.
+
+    One golden (fault-free) execution establishes the reference output and
+    the dynamic fault-site population; each sample then flips one bit at a
+    uniformly chosen site/register/bit and classifies the outcome.
+
+    ``processes > 1`` fans the (independent) runs out over forked worker
+    processes; results are identical to the sequential order because every
+    run derives its own RNG stream from the seed.
+    """
+    golden = Machine(program).run(function=function, args=args)
+    result = CampaignResult(
+        samples=samples,
+        fault_sites=golden.fault_sites,
+        dynamic_instructions=golden.dynamic_instructions,
+    )
+    rng = DeterministicRng(seed)
+    plans = [
+        FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+        for run_index in range(samples)
+    ]
+    if processes > 1:
+        import multiprocessing
+
+        _PARALLEL_STATE.update(
+            program=program, golden=golden, function=function, args=args
+        )
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes) as pool:
+            outcomes = pool.map(_parallel_inject, plans, chunksize=8)
+        _PARALLEL_STATE.clear()
+        for outcome in outcomes:
+            result.outcomes.record(outcome)
+        return result
+    machine = Machine(program)
+    for plan in plans:
+        outcome = inject_asm_fault(program, plan, golden,
+                                   function=function, args=args,
+                                   machine=machine)
+        result.outcomes.record(outcome)
+    return result
+
+
+def run_ir_campaign(
+    module: IRModule,
+    samples: int,
+    seed: int = 0,
+    function: str = "main",
+    args: tuple[int, ...] = (),
+) -> CampaignResult:
+    """Inject ``samples`` faults at IR level (LLFI-style)."""
+    golden = IRInterpreter(module).run(function=function, args=args)
+    result = CampaignResult(
+        samples=samples,
+        fault_sites=golden.fault_sites,
+        dynamic_instructions=golden.dynamic_instructions,
+    )
+    rng = DeterministicRng(seed)
+    for run_index in range(samples):
+        plan = FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+        outcome = inject_ir_fault(module, plan, golden,
+                                  function=function, args=args)
+        result.outcomes.record(outcome)
+    return result

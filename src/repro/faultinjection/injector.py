@@ -1,0 +1,174 @@
+"""Single-fault injection into one program execution.
+
+The sampling protocol follows the paper (Sec. IV-A2): profile the golden
+run to count dynamic *fault sites* (instructions with a register or FLAGS
+destination), pick one uniformly, pick a destination register of that site
+and a uniform bit in it, flip the bit right after the instruction's
+writeback, and let the program run on.
+
+``cmp``/``test`` (and ``vptest``) have FLAGS as their destination; flips
+there target the five condition bits the modeled ISA consumes — flipping an
+unused RFLAGS bit would be trivially benign noise and is excluded, as in
+PINFI-style injectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.instructions import Instruction
+from repro.asm.program import AsmProgram
+from repro.asm.registers import RegisterKind
+from repro.errors import (
+    DetectionExit,
+    ExecutionLimitExceeded,
+    InjectionError,
+    MachineError,
+    MachineFault,
+)
+from repro.faultinjection.outcome import Outcome
+from repro.ir.interp import IRInterpreter, IRRunResult
+from repro.ir.module import IRModule
+from repro.machine.cpu import Machine, RunResult
+from repro.machine.flags import INJECTABLE_FLAG_BITS
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fully determined fault: which dynamic site, which bit.
+
+    ``register_pick`` and ``bit_pick`` are uniform floats in [0, 1) drawn
+    up front, so the plan is immutable and independent of execution state;
+    they resolve to a concrete register/bit at the sampled site (whose
+    destination set and width are only known at runtime).
+    """
+
+    site_index: int
+    register_pick: float
+    bit_pick: float
+
+    @staticmethod
+    def sample(rng: DeterministicRng, fault_sites: int) -> "FaultPlan":
+        if fault_sites <= 0:
+            raise InjectionError("program has no fault sites")
+        return FaultPlan(
+            site_index=rng.randint(0, fault_sites - 1),
+            register_pick=rng.random(),
+            bit_pick=rng.random(),
+        )
+
+
+def profile_fault_sites(
+    program: AsmProgram, function: str = "main",
+    args: tuple[int, ...] = (), max_instructions: int | None = None,
+) -> RunResult:
+    """Golden run: collects output and the dynamic fault-site count."""
+    machine = Machine(program)
+    return machine.run(function=function, args=args,
+                       max_instructions=max_instructions)
+
+
+def _apply_flip(machine: Machine, instr: Instruction, plan: FaultPlan) -> None:
+    dests = instr.dest_registers()
+    register = dests[int(plan.register_pick * len(dests)) % len(dests)]
+    if register.kind is RegisterKind.FLAGS:
+        bits = INJECTABLE_FLAG_BITS
+        bit = bits[int(plan.bit_pick * len(bits)) % len(bits)]
+    else:
+        bit = int(plan.bit_pick * register.width) % register.width
+    machine.registers.flip(register, bit)
+
+
+def inject_asm_fault(
+    program: AsmProgram,
+    plan: FaultPlan,
+    golden: RunResult,
+    function: str = "main",
+    args: tuple[int, ...] = (),
+    timeout_factor: int = 6,
+    machine: Machine | None = None,
+) -> Outcome:
+    """Run ``program`` once with ``plan``'s fault; classify the outcome.
+
+    The instruction budget is ``timeout_factor`` times the golden run's
+    dynamic length, so runaway loops classify as timeouts without hanging
+    the campaign. Passing a pre-built ``machine`` (for the same program)
+    skips per-run construction; ``run`` resets all architectural state.
+    """
+    if machine is None:
+        machine = Machine(program)
+    fired = False
+
+    def hook(m: Machine, instr: Instruction, site: int) -> None:
+        nonlocal fired
+        if site == plan.site_index:
+            _apply_flip(m, instr, plan)
+            fired = True
+
+    budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
+    try:
+        result = machine.run(function=function, args=args, fault_hook=hook,
+                             max_instructions=budget)
+    except DetectionExit:
+        return Outcome.DETECTED
+    except ExecutionLimitExceeded:
+        return Outcome.TIMEOUT
+    except MachineFault:
+        return Outcome.CRASH
+    except MachineError:
+        return Outcome.CRASH
+    if not fired:
+        raise InjectionError(
+            f"fault site {plan.site_index} never executed "
+            f"(golden counted {golden.fault_sites})"
+        )
+    if result.output == golden.output and result.exit_code == golden.exit_code:
+        return Outcome.BENIGN
+    return Outcome.SDC
+
+
+def inject_ir_fault(
+    module: IRModule,
+    plan: FaultPlan,
+    golden: IRRunResult,
+    function: str = "main",
+    args: tuple[int, ...] = (),
+    timeout_factor: int = 10,
+) -> Outcome:
+    """IR-level injection (LLFI-style): flip a bit in an IR result value.
+
+    Used by the cross-layer gap experiment: IR-level EDDI looks nearly
+    perfect under IR-level injection; the gap only appears at assembly
+    level.
+    """
+    interp = IRInterpreter(module)
+    interp.max_instructions = max(
+        golden.dynamic_instructions * timeout_factor, 10_000
+    )
+    fired = False
+
+    def hook(ip: IRInterpreter, instr, site: int) -> None:
+        nonlocal fired
+        if site == plan.site_index:
+            width = 64
+            from repro.ir.interp import _width_of
+
+            width = _width_of(instr)
+            bit = int(plan.bit_pick * width) % width
+            ip.flip_value(instr, bit)
+            fired = True
+
+    try:
+        result = interp.run(function=function, args=args, fault_hook=hook)
+    except DetectionExit:
+        return Outcome.DETECTED
+    except ExecutionLimitExceeded:
+        return Outcome.TIMEOUT
+    except MachineError:
+        return Outcome.CRASH
+    if not fired:
+        raise InjectionError(f"IR fault site {plan.site_index} never executed")
+    if result.output == golden.output and result.exit_code == golden.exit_code:
+        return Outcome.BENIGN
+    return Outcome.SDC

@@ -1,0 +1,136 @@
+"""Multi-bit fault injection — the paper's stated future work (Sec. II-A).
+
+The paper: "There are recent studies showing that multiple bit-flips are
+limited in current systems but may become a concern in the future [...]
+Exploring multiple bit-flips are our future work." This module implements
+that exploration on the same substrate:
+
+* **spatial** double faults — two bits flip in the destination register of
+  the *same* dynamic instruction (one particle strike corrupting a wider
+  datapath slice);
+* **temporal** double faults — two independent single-bit faults at two
+  different dynamic instructions within one run (two strikes).
+
+Duplication-based protection is provably complete only for the single-
+fault model; under double faults a strike pair that corrupts the original
+and its duplicate identically escapes every EDDI checker. Campaigns here
+quantify how rare that is in practice for FERRUM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import AsmProgram
+from repro.errors import (
+    DetectionExit,
+    ExecutionLimitExceeded,
+    InjectionError,
+    MachineError,
+    MachineFault,
+)
+from repro.faultinjection.campaign import CampaignResult
+from repro.faultinjection.injector import FaultPlan, _apply_flip
+from repro.faultinjection.outcome import Outcome
+from repro.machine.cpu import Machine, RunResult
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class MultiBitPlan:
+    """Two single-bit events; ``spatial`` pins both to one instruction."""
+
+    first: FaultPlan
+    second: FaultPlan
+
+    @property
+    def spatial(self) -> bool:
+        return self.first.site_index == self.second.site_index
+
+    @staticmethod
+    def sample_spatial(rng: DeterministicRng, fault_sites: int) -> "MultiBitPlan":
+        """Two distinct bits in the destination of one dynamic instruction."""
+        if fault_sites <= 0:
+            raise InjectionError("program has no fault sites")
+        site = rng.randint(0, fault_sites - 1)
+        first_bit = rng.random()
+        second_bit = rng.random()
+        register = rng.random()
+        return MultiBitPlan(
+            FaultPlan(site, register, first_bit),
+            FaultPlan(site, register, second_bit),
+        )
+
+    @staticmethod
+    def sample_temporal(rng: DeterministicRng, fault_sites: int) -> "MultiBitPlan":
+        """Two independent strikes at two dynamic instructions."""
+        if fault_sites <= 0:
+            raise InjectionError("program has no fault sites")
+        return MultiBitPlan(
+            FaultPlan.sample(rng, fault_sites),
+            FaultPlan.sample(rng, fault_sites),
+        )
+
+
+def inject_multibit_fault(
+    program: AsmProgram,
+    plan: MultiBitPlan,
+    golden: RunResult,
+    function: str = "main",
+    args: tuple[int, ...] = (),
+    timeout_factor: int = 6,
+    machine: Machine | None = None,
+) -> Outcome:
+    """Run once with both of ``plan``'s faults; classify the outcome."""
+    if machine is None:
+        machine = Machine(program)
+
+    def hook(m: Machine, instr, site: int) -> None:
+        if site == plan.first.site_index:
+            _apply_flip(m, instr, plan.first)
+        if site == plan.second.site_index:
+            _apply_flip(m, instr, plan.second)
+
+    budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
+    try:
+        result = machine.run(function=function, args=args, fault_hook=hook,
+                             max_instructions=budget)
+    except DetectionExit:
+        return Outcome.DETECTED
+    except ExecutionLimitExceeded:
+        return Outcome.TIMEOUT
+    except (MachineFault, MachineError):
+        return Outcome.CRASH
+    if result.output == golden.output and result.exit_code == golden.exit_code:
+        return Outcome.BENIGN
+    return Outcome.SDC
+
+
+def run_multibit_campaign(
+    program: AsmProgram,
+    samples: int,
+    seed: int = 0,
+    mode: str = "spatial",
+    function: str = "main",
+    args: tuple[int, ...] = (),
+) -> CampaignResult:
+    """A seeded campaign of double faults (``mode``: spatial | temporal)."""
+    if mode not in ("spatial", "temporal"):
+        raise InjectionError(f"unknown multi-bit mode {mode!r}")
+    golden = Machine(program).run(function=function, args=args)
+    result = CampaignResult(
+        samples=samples,
+        fault_sites=golden.fault_sites,
+        dynamic_instructions=golden.dynamic_instructions,
+    )
+    rng = DeterministicRng(seed)
+    machine = Machine(program)
+    sampler = (MultiBitPlan.sample_spatial if mode == "spatial"
+               else MultiBitPlan.sample_temporal)
+    for run_index in range(samples):
+        plan = sampler(rng.fork(run_index), golden.fault_sites)
+        outcome = inject_multibit_fault(program, plan, golden,
+                                        function=function, args=args,
+                                        machine=machine)
+        result.outcomes.record(outcome)
+    return result

@@ -1,0 +1,56 @@
+"""Fault-outcome taxonomy and bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Outcome(enum.Enum):
+    """Classification of one fault-injection run (standard taxonomy)."""
+
+    BENIGN = "benign"        # output identical to the golden run (masked)
+    SDC = "sdc"              # run completed but output differs
+    DETECTED = "detected"    # a protection checker fired
+    CRASH = "crash"          # architectural fault (segfault, div-by-zero...)
+    TIMEOUT = "timeout"      # dynamic-instruction budget exhausted (hang)
+
+
+@dataclass
+class OutcomeCounts:
+    """Histogram of outcomes over a campaign."""
+
+    counts: dict[Outcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in Outcome}
+    )
+
+    def record(self, outcome: Outcome) -> None:
+        self.counts[outcome] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def rate(self, outcome: Outcome) -> float:
+        """Fraction of runs with ``outcome`` (0.0 on an empty campaign)."""
+        total = self.total
+        return self.counts[outcome] / total if total else 0.0
+
+    @property
+    def sdc_probability(self) -> float:
+        """P(SDC) over all injected faults — the paper's SDC metric."""
+        return self.rate(Outcome.SDC)
+
+    def __getitem__(self, outcome: Outcome) -> int:
+        return self.counts[outcome]
+
+
+def sdc_coverage(sdc_raw: float, sdc_protected: float) -> float:
+    """The paper's SDC-coverage metric: (SDCraw - SDCprot) / SDCraw.
+
+    Returns 1.0 when the unprotected program shows no SDCs at all (nothing
+    to cover — vacuously full coverage).
+    """
+    if sdc_raw <= 0:
+        return 1.0
+    return (sdc_raw - sdc_protected) / sdc_raw

@@ -1,0 +1,41 @@
+"""LLVM-like intermediate representation.
+
+The IR mirrors the slice of LLVM that clang -O0 produces for integer C
+code — every local lives in an ``alloca`` slot, expressions ``load`` their
+operands and ``store`` their results, and no phi nodes exist. That shape is
+load-bearing for this reproduction: the paper's cross-layer coverage gap
+arises precisely from the backend-inserted reloads and flag
+rematerializations such IR requires when lowered to assembly.
+"""
+
+from repro.ir.types import I1, I8, I32, I64, IntType, PointerType, Type, VoidType
+from repro.ir.values import Argument, Constant, Value
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Check,
+    ICmp,
+    IRInstruction,
+    Jump,
+    Load,
+    PtrAdd,
+    Ret,
+    Store,
+)
+from repro.ir.module import IRBlock, IRFunction, IRModule
+from repro.ir.builder import IRBuilder
+from repro.ir.parser import IRParseError, parse_ir
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+from repro.ir.interp import IRInterpreter, IRRunResult
+
+__all__ = [
+    "Alloca", "Argument", "BinOp", "Br", "Call", "Cast", "Check", "Constant",
+    "I1", "I8", "I32", "I64", "ICmp", "IRBlock", "IRBuilder", "IRFunction",
+    "IRInstruction", "IRInterpreter", "IRModule", "IRRunResult", "IntType",
+    "Jump", "Load", "PointerType", "PtrAdd", "Ret", "Store", "Type",
+    "IRParseError", "VoidType", "format_module", "parse_ir", "verify_module",
+]

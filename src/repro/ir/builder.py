@@ -1,0 +1,90 @@
+"""Convenience builder for emitting IR.
+
+Tracks an insertion block and provides one method per instruction; the
+frontend's lowering and the tests both construct IR exclusively through
+this interface.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cast, ICmp, IRInstruction, Jump, Load, PtrAdd,
+    Ret, Store,
+)
+from repro.ir.module import IRBlock, IRFunction
+from repro.ir.types import Type, VOID
+from repro.ir.values import Value
+
+
+class IRBuilder:
+    """Appends instructions to a current block of a function."""
+
+    def __init__(self, function: IRFunction) -> None:
+        self.function = function
+        self._block: IRBlock | None = None
+        self._label_counter = 0
+
+    # -- block management --------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> IRBlock:
+        """Create a fresh uniquely-labeled block (not yet positioned into)."""
+        self._label_counter += 1
+        return self.function.add_block(f"{hint}{self._label_counter}")
+
+    def position_at(self, block: IRBlock) -> None:
+        self._block = block
+
+    @property
+    def block(self) -> IRBlock:
+        if self._block is None:
+            raise IRError("builder has no insertion block")
+        return self._block
+
+    @property
+    def terminated(self) -> bool:
+        """True when the current block already ends in a terminator."""
+        return self.block.terminator is not None
+
+    def _emit(self, instr: IRInstruction) -> IRInstruction:
+        if self.terminated:
+            raise IRError(
+                f"emitting {instr.opcode} after terminator in {self.block.label}"
+            )
+        return self.block.append(instr)
+
+    # -- instructions ------------------------------------------------------
+
+    def alloca(self, allocated: Type, count: int = 1, name: str = "") -> Value:
+        return self._emit(Alloca(allocated, count, name))
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        return self._emit(Load(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> None:
+        self._emit(Store(value, pointer))
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(BinOp(op, lhs, rhs, name))
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(ICmp(pred, lhs, rhs, name))
+
+    def cast(self, op: str, value: Value, to: Type, name: str = "") -> Value:
+        return self._emit(Cast(op, value, to, name))
+
+    def ptradd(self, base: Value, index: Value, name: str = "") -> Value:
+        return self._emit(PtrAdd(base, index, name))
+
+    def call(self, callee: str, args: list[Value], return_type: Type = VOID,
+             name: str = "") -> Value:
+        return self._emit(Call(callee, args, return_type, name))
+
+    def br(self, cond: Value, then_label: str, else_label: str) -> None:
+        self._emit(Br(cond, then_label, else_label))
+
+    def jump(self, target: str) -> None:
+        self._emit(Jump(target))
+
+    def ret(self, value: Value | None = None) -> None:
+        self._emit(Ret(value))

@@ -1,0 +1,290 @@
+"""IR instruction set.
+
+A deliberately -O0-shaped subset of LLVM: stack slots (``alloca``), explicit
+``load``/``store``, integer arithmetic, comparisons producing ``i1``,
+width casts, pointer arithmetic (``ptradd``, a single-index GEP), calls,
+and structured terminators. No phi nodes — the frontend keeps every mutable
+variable in a slot, exactly like clang -O0, which is what makes the paper's
+cross-layer effects appear when the backend lowers this IR.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.types import I1, IntType, PointerType, Type, VOID, VoidType
+from repro.ir.values import Value
+
+#: Binary integer operations (LLVM names).
+BINARY_OPS: tuple[str, ...] = (
+    "add", "sub", "mul", "sdiv", "srem",
+    "and", "or", "xor", "shl", "ashr", "lshr",
+)
+
+#: Integer comparison predicates.
+ICMP_PREDICATES: tuple[str, ...] = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+class IRInstruction(Value):
+    """Base class: an instruction is also a value (possibly of void type)."""
+
+    opcode: str = "?"
+
+    def operands(self) -> tuple[Value, ...]:
+        """Value operands, for verification and duplication transforms."""
+        return ()
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        """Rewrite operands through ``mapping`` (used by the EDDI pass)."""
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def has_result(self) -> bool:
+        return not isinstance(self.type, VoidType)
+
+
+class Alloca(IRInstruction):
+    """Reserve a stack slot for ``count`` elements of ``allocated``."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated: Type, count: int = 1, name: str = "") -> None:
+        super().__init__(PointerType(allocated), name)
+        self.allocated = allocated
+        self.count = count
+
+
+class Load(IRInstruction):
+    """Load a value through a typed pointer."""
+
+    opcode = "load"
+
+    def __init__(self, pointer: Value, name: str = "") -> None:
+        ptr_type = pointer.type
+        if not isinstance(ptr_type, PointerType) or ptr_type.pointee is None:
+            raise IRError(f"load needs a typed pointer, got {pointer.type}")
+        super().__init__(ptr_type.pointee, name)
+        self.pointer = pointer
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.pointer,)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.pointer = mapping.get(self.pointer, self.pointer)
+
+
+class Store(IRInstruction):
+    """Store ``value`` through ``pointer``. A sync point for EDDI."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise IRError(f"store needs a pointer, got {pointer.type}")
+        super().__init__(VOID)
+        self.value = value
+        self.pointer = pointer
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value, self.pointer)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.value = mapping.get(self.value, self.value)
+        self.pointer = mapping.get(self.pointer, self.pointer)
+
+
+class BinOp(IRInstruction):
+    """Integer binary operation."""
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary op {op!r}")
+        if lhs.type != rhs.type or not isinstance(lhs.type, IntType):
+            raise IRError(f"binop {op} type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, name)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+
+class ICmp(IRInstruction):
+    """Integer comparison producing an ``i1``."""
+
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in ICMP_PREDICATES:
+            raise IRError(f"unknown icmp predicate {pred!r}")
+        if lhs.type != rhs.type:
+            raise IRError(f"icmp type mismatch: {lhs.type} vs {rhs.type}")
+        super().__init__(I1, name)
+        self.pred = pred
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+
+class Cast(IRInstruction):
+    """Width cast: ``sext``, ``zext`` or ``trunc``."""
+
+    def __init__(self, op: str, value: Value, to: Type, name: str = "") -> None:
+        if op not in ("sext", "zext", "trunc"):
+            raise IRError(f"unknown cast {op!r}")
+        super().__init__(to, name)
+        self.op = op
+        self.value = value
+
+    @property
+    def opcode(self) -> str:  # type: ignore[override]
+        return self.op
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value,)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.value = mapping.get(self.value, self.value)
+
+
+class PtrAdd(IRInstruction):
+    """``ptradd base, index``: single-index GEP with the pointee's stride."""
+
+    opcode = "ptradd"
+
+    def __init__(self, base: Value, index: Value, name: str = "") -> None:
+        if not isinstance(base.type, PointerType):
+            raise IRError(f"ptradd base must be a pointer, got {base.type}")
+        super().__init__(base.type, name)
+        self.base = base
+        self.index = index
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.base, self.index)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.base = mapping.get(self.base, self.base)
+        self.index = mapping.get(self.index, self.index)
+
+
+class Call(IRInstruction):
+    """Direct call by callee name. A sync point for EDDI."""
+
+    opcode = "call"
+
+    def __init__(self, callee: str, args: list[Value], return_type: Type,
+                 name: str = "") -> None:
+        super().__init__(return_type, name)
+        self.callee = callee
+        self.args = list(args)
+
+    def operands(self) -> tuple[Value, ...]:
+        return tuple(self.args)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.args = [mapping.get(a, a) for a in self.args]
+
+
+class Check(IRInstruction):
+    """EDDI checker intrinsic: trap to the detect handler when ``a != b``.
+
+    Only the IR-level EDDI pass emits these (the paper's Fig. 2 lowers the
+    checker as ``icmp``+``br checkBb``; a dedicated intrinsic is the
+    equivalent single-instruction form). The backend expands it to a
+    compare plus a ``jne`` into the function's detection block; the IR
+    interpreter raises :class:`repro.errors.DetectionExit` on mismatch.
+    """
+
+    opcode = "check"
+
+    def __init__(self, original: Value, duplicate: Value) -> None:
+        if original.type != duplicate.type:
+            raise IRError(
+                f"check of mismatched types {original.type} vs {duplicate.type}"
+            )
+        super().__init__(VOID)
+        self.original = original
+        self.duplicate = duplicate
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.original, self.duplicate)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.original = mapping.get(self.original, self.original)
+        self.duplicate = mapping.get(self.duplicate, self.duplicate)
+
+
+class Br(IRInstruction):
+    """Conditional branch on an ``i1``. A sync point for EDDI."""
+
+    opcode = "br"
+
+    def __init__(self, cond: Value, then_label: str, else_label: str) -> None:
+        if cond.type != I1:
+            raise IRError(f"br condition must be i1, got {cond.type}")
+        super().__init__(VOID)
+        self.cond = cond
+        self.then_label = then_label
+        self.else_label = else_label
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond,)
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        self.cond = mapping.get(self.cond, self.cond)
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Jump(IRInstruction):
+    """Unconditional branch."""
+
+    opcode = "jump"
+
+    def __init__(self, target: str) -> None:
+        super().__init__(VOID)
+        self.target = target
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Ret(IRInstruction):
+    """Return (with optional value). A sync point for EDDI."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Value | None = None) -> None:
+        super().__init__(VOID)
+        self.value = value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def replace_operands(self, mapping: dict[Value, Value]) -> None:
+        if self.value is not None:
+            self.value = mapping.get(self.value, self.value)
+
+    @property
+    def is_terminator(self) -> bool:
+        return True

@@ -1,0 +1,332 @@
+"""IR interpreter with IR-level fault injection.
+
+Two roles:
+
+* **differential oracle** — the backend is tested by checking that compiled
+  programs produce the same output as direct IR execution;
+* **IR-level fault injection** — the cross-layer gap experiment
+  (paper Sec. I: "28% gap between anticipated and measured coverage")
+  measures IR-EDDI's coverage with faults injected into IR instruction
+  results, the way LLFI does, and contrasts it with assembly-level
+  injection on the compiled binary.
+
+The interpreter reuses the machine's memory/builtin behaviour (same bump
+allocator, same LCG) so raw outputs agree between layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (
+    DetectionExit,
+    ExecutionLimitExceeded,
+    IRInterpError,
+    MachineFault,
+)
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cast, Check, ICmp, IRInstruction, Jump, Load,
+    PtrAdd, Ret, Store,
+)
+from repro.ir.module import IRFunction, IRModule
+from repro.ir.types import IntType, PointerType
+from repro.ir.values import Constant, Value
+from repro.machine.memory import Memory, MemoryLayout
+from repro.utils.bitops import flip_bit, to_signed, to_unsigned
+
+#: Hook invoked after each value-producing dynamic instruction:
+#: (interpreter, instruction, site_ordinal) -> replacement value or None.
+IRFaultHook = Callable[["IRInterpreter", IRInstruction, int], None]
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class IRRunResult:
+    """Outcome of one complete IR execution."""
+
+    exit_code: int
+    output: tuple[str, ...]
+    dynamic_instructions: int
+    fault_sites: int
+
+    @property
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+class _Frame:
+    __slots__ = ("values", "stack_base")
+
+    def __init__(self, stack_base: int) -> None:
+        self.values: dict[Value, int] = {}
+        self.stack_base = stack_base
+
+
+def _width_of(value: Value) -> int:
+    if isinstance(value.type, IntType):
+        return max(value.type.bits, 1)
+    return 64  # pointers
+
+
+class IRInterpreter:
+    """Executes an :class:`IRModule` directly."""
+
+    def __init__(
+        self,
+        module: IRModule,
+        layout: MemoryLayout | None = None,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        self.module = module
+        self.layout = layout or MemoryLayout()
+        self.max_instructions = max_instructions
+        self.memory = Memory(self.layout)
+        self.output: list[str] = []
+        self.heap_cursor = self.layout.heap_base
+        self.lcg_state = 0x1234_5678
+        self._stack_cursor = self.layout.stack_top - 16
+        self._executed = 0
+        self._sites = 0
+        self._fault_hook: IRFaultHook | None = None
+        self._exit_requested = False
+        self._exit_code = 0
+        self._current_frame = _Frame(self._stack_cursor)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        function: str = "main",
+        args: tuple[int, ...] = (),
+        fault_hook: IRFaultHook | None = None,
+    ) -> IRRunResult:
+        """Execute ``function(*args)`` and return the run outcome."""
+        self.memory = Memory(self.layout)
+        self.output = []
+        self.heap_cursor = self.layout.heap_base
+        self.lcg_state = 0x1234_5678
+        self._stack_cursor = self.layout.stack_top - 16
+        self._executed = 0
+        self._sites = 0
+        self._fault_hook = fault_hook
+        self._exit_requested = False
+        self._exit_code = 0
+
+        result = self._call(self.module.function(function), tuple(args))
+        if not self._exit_requested:
+            self._exit_code = to_signed(result, 32)
+        return IRRunResult(
+            exit_code=self._exit_code,
+            output=tuple(self.output),
+            dynamic_instructions=self._executed,
+            fault_sites=self._sites,
+        )
+
+    @property
+    def current_values(self) -> dict[Value, int]:
+        """Value environment of the innermost active frame (for fault hooks)."""
+        return self._current_frame.values
+
+    def flip_value(self, instr: IRInstruction, bit: int) -> None:
+        """Flip one bit of an instruction's just-computed result (fault)."""
+        width = _width_of(instr)
+        values = self.current_values
+        values[instr] = flip_bit(values[instr], bit, width)
+
+    # -- execution internals ---------------------------------------------
+
+    def _call(self, func: IRFunction, args: tuple[int, ...]) -> int:
+        if len(args) != len(func.args):
+            raise IRInterpError(
+                f"{func.name} expects {len(func.args)} args, got {len(args)}"
+            )
+        saved_stack = self._stack_cursor
+        frame = _Frame(self._stack_cursor)
+        self._current_frame = frame
+        for formal, actual in zip(func.args, args):
+            frame.values[formal] = to_unsigned(actual, 64)
+
+        block = func.entry
+        index = 0
+        result = 0
+        while True:
+            if self._exit_requested:
+                break
+            if index >= len(block.instructions):
+                raise IRInterpError(f"fell off block {block.label}")
+            if self._executed >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {self.max_instructions} IR instructions"
+                )
+            instr = block.instructions[index]
+            self._executed += 1
+
+            if isinstance(instr, Ret):
+                result = self._value(frame, instr.value) if instr.value else 0
+                break
+            if isinstance(instr, Jump):
+                block = func.block(instr.target)
+                index = 0
+                continue
+            if isinstance(instr, Br):
+                cond = self._value(frame, instr.cond)
+                block = func.block(instr.then_label if cond & 1 else instr.else_label)
+                index = 0
+                continue
+
+            self._execute(frame, instr)
+            if instr.has_result:
+                if self._fault_hook is not None:
+                    self._fault_hook(self, instr, self._sites)
+                self._sites += 1
+            index += 1
+
+        self._stack_cursor = saved_stack
+        return result
+
+    def _value(self, frame: _Frame, value: Value) -> int:
+        if isinstance(value, Constant):
+            return to_unsigned(value.value, _width_of(value))
+        try:
+            return frame.values[value]
+        except KeyError:
+            raise IRInterpError(f"use of undefined value %{value.name}") from None
+
+    def _execute(self, frame: _Frame, instr: IRInstruction) -> None:
+        if isinstance(instr, Alloca):
+            size = instr.allocated.size_bytes * instr.count
+            self._stack_cursor -= (size + 15) & ~15
+            if self._stack_cursor < self.layout.stack_base:
+                raise MachineFault("IR stack overflow")
+            frame.values[instr] = self._stack_cursor
+        elif isinstance(instr, Load):
+            addr = self._value(frame, instr.pointer)
+            size = instr.type.size_bytes
+            frame.values[instr] = self.memory.read_uint(addr, size)
+        elif isinstance(instr, Store):
+            addr = self._value(frame, instr.pointer)
+            size = instr.value.type.size_bytes
+            self.memory.write_uint(addr, self._value(frame, instr.value), size)
+        elif isinstance(instr, BinOp):
+            frame.values[instr] = self._binop(frame, instr)
+        elif isinstance(instr, ICmp):
+            frame.values[instr] = self._icmp(frame, instr)
+        elif isinstance(instr, Cast):
+            frame.values[instr] = self._cast(frame, instr)
+        elif isinstance(instr, PtrAdd):
+            base = self._value(frame, instr.base)
+            index = to_signed(self._value(frame, instr.index),
+                              _width_of(instr.index))
+            ptr_type = instr.base.type
+            stride = ptr_type.element_size if isinstance(ptr_type, PointerType) else 1
+            frame.values[instr] = to_unsigned(base + index * stride, 64)
+        elif isinstance(instr, Call):
+            frame.values[instr] = self._do_call(frame, instr)
+        elif isinstance(instr, Check):
+            if self._value(frame, instr.original) != self._value(
+                frame, instr.duplicate
+            ):
+                raise DetectionExit("IR-level EDDI checker reported a mismatch")
+        else:
+            raise IRInterpError(f"cannot interpret {instr.opcode}")
+
+    def _binop(self, frame: _Frame, instr: BinOp) -> int:
+        width = _width_of(instr)
+        a = self._value(frame, instr.lhs)
+        b = self._value(frame, instr.rhs)
+        sa, sb = to_signed(a, width), to_signed(b, width)
+        op = instr.op
+        if op == "add":
+            return to_unsigned(a + b, width)
+        if op == "sub":
+            return to_unsigned(a - b, width)
+        if op == "mul":
+            return to_unsigned(sa * sb, width)
+        if op == "sdiv":
+            if sb == 0:
+                raise MachineFault("IR division by zero")
+            return to_unsigned(int(sa / sb), width)
+        if op == "srem":
+            if sb == 0:
+                raise MachineFault("IR remainder by zero")
+            return to_unsigned(sa - int(sa / sb) * sb, width)
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "shl":
+            return to_unsigned(a << (b & (width - 1)), width)
+        if op == "ashr":
+            return to_unsigned(sa >> (b & (width - 1)), width)
+        if op == "lshr":
+            return a >> (b & (width - 1))
+        raise IRInterpError(f"unknown binop {op}")
+
+    def _icmp(self, frame: _Frame, instr: ICmp) -> int:
+        width = _width_of(instr.lhs)
+        a = self._value(frame, instr.lhs)
+        b = self._value(frame, instr.rhs)
+        sa, sb = to_signed(a, width), to_signed(b, width)
+        pred = instr.pred
+        result = {
+            "eq": a == b,
+            "ne": a != b,
+            "slt": sa < sb,
+            "sle": sa <= sb,
+            "sgt": sa > sb,
+            "sge": sa >= sb,
+        }[pred]
+        return int(result)
+
+    def _cast(self, frame: _Frame, instr: Cast) -> int:
+        value = self._value(frame, instr.value)
+        from_width = _width_of(instr.value)
+        to_width = _width_of(instr)
+        if instr.op == "trunc":
+            return to_unsigned(value, to_width)
+        if instr.op == "zext":
+            return to_unsigned(value, from_width)
+        return to_unsigned(to_signed(value, from_width), to_width)
+
+    def _do_call(self, frame: _Frame, call: Call) -> int:
+        args = tuple(self._value(frame, a) for a in call.args)
+        name = call.callee
+        if self.module.has_function(name):
+            saved = self._current_frame
+            result = self._call(self.module.function(name), args)
+            self._current_frame = saved
+            return result
+        if name == "malloc":
+            aligned = (args[0] + 15) & ~15
+            if self.heap_cursor + aligned > self.layout.heap_base + self.layout.heap_size:
+                raise MachineFault("IR heap exhausted")
+            addr = self.heap_cursor
+            self.heap_cursor += max(aligned, 16)
+            return addr
+        if name == "free":
+            return 0
+        if name == "print_int":
+            self.output.append(str(to_signed(args[0], 32)))
+            return 0
+        if name == "print_long":
+            self.output.append(str(to_signed(args[0], 64)))
+            return 0
+        if name == "srand":
+            self.lcg_state = args[0] & _LCG_MASK
+            return 0
+        if name == "rand_next":
+            self.lcg_state = (self.lcg_state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+            return (self.lcg_state >> 33) & 0x7FFF_FFFF
+        if name == "exit":
+            self._exit_requested = True
+            self._exit_code = to_signed(args[0], 32)
+            return 0
+        if name == "__eddi_detect":
+            raise DetectionExit("IR-level EDDI checker reported a mismatch")
+        raise IRInterpError(f"call to unknown function {name!r}")

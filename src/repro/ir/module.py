@@ -1,0 +1,118 @@
+"""IR containers: blocks, functions, modules.
+
+Mirrors the assembly-side containers (:mod:`repro.asm.program`) one level
+up: ordered blocks with explicit terminators and fall-through prohibited
+(every block must end in ``br``/``jump``/``ret``), which simplifies both the
+verifier and the backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.ir.instructions import Br, IRInstruction, Jump, Ret
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument
+
+
+@dataclass
+class IRBlock:
+    """A labeled IR basic block."""
+
+    label: str
+    instructions: list[IRInstruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> IRInstruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def append(self, instr: IRInstruction) -> IRInstruction:
+        self.instructions.append(instr)
+        return instr
+
+    def __iter__(self) -> Iterator[IRInstruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class IRFunction:
+    """An IR function: typed arguments plus ordered blocks (entry first)."""
+
+    def __init__(self, name: str, arg_types: list[tuple[str, Type]],
+                 return_type: Type = VOID) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.args = [
+            Argument(arg_name, arg_type, index)
+            for index, (arg_name, arg_type) in enumerate(arg_types)
+        ]
+        self.blocks: list[IRBlock] = []
+
+    @property
+    def entry(self) -> IRBlock:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, label: str) -> IRBlock:
+        if any(blk.label == label for blk in self.blocks):
+            raise IRError(f"duplicate block {label!r} in {self.name}")
+        block = IRBlock(label)
+        self.blocks.append(block)
+        return block
+
+    def block(self, label: str) -> IRBlock:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise IRError(f"no block {label!r} in {self.name}")
+
+    def instructions(self) -> Iterator[IRInstruction]:
+        for blk in self.blocks:
+            yield from blk.instructions
+
+    def successors(self, block: IRBlock) -> list[str]:
+        term = block.terminator
+        if term is None:
+            raise IRError(f"block {block.label} in {self.name} lacks a terminator")
+        if isinstance(term, Ret):
+            return []
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Br):
+            return [term.then_label, term.else_label]
+        raise IRError(f"unknown terminator {term.opcode}")
+
+    def static_size(self) -> int:
+        return sum(len(blk) for blk in self.blocks)
+
+
+class IRModule:
+    """A translation unit: ordered functions."""
+
+    def __init__(self) -> None:
+        self.functions: list[IRFunction] = []
+
+    def add_function(self, func: IRFunction) -> IRFunction:
+        if self.has_function(func.name):
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions.append(func)
+        return func
+
+    def has_function(self, name: str) -> bool:
+        return any(f.name == name for f in self.functions)
+
+    def function(self, name: str) -> IRFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise IRError(f"no function {name!r}")
+
+    def static_size(self) -> int:
+        return sum(func.static_size() for func in self.functions)

@@ -1,0 +1,255 @@
+"""Parser for the IR text format (inverse of :mod:`repro.ir.printer`).
+
+Reads modules printed by :func:`repro.ir.printer.format_module` back into
+:class:`repro.ir.module.IRModule` objects. Useful for writing IR test
+fixtures directly, inspecting transformed IR dumps, and property-testing
+the printer (print → parse → print is a fixpoint).
+
+Grammar (one instruction per line)::
+
+    define <type> @<name>(<type> %arg, ...) {
+    <label>:
+      %v = alloca <type>[, count]
+      %v = load <type>, %ptr
+      store <type> <val>, %ptr
+      %v = <binop> <type> <a>, <b>
+      %v = icmp <pred> <type> <a>, <b>
+      %v = sext|zext|trunc <type> <a> to <type>
+      %v = ptradd <type> %base, <idx>
+      %v = call <type> @f(<args>)   |   call void @f(<args>)
+      check <type> <a>, <b>
+      br i1 <cond>, label %then, label %else
+      br label %target
+      ret <type> <val>   |   ret void
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca, BINARY_OPS, BinOp, Br, Call, Cast, Check, ICmp,
+    ICMP_PREDICATES, Jump, Load, PtrAdd, Ret, Store,
+)
+from repro.ir.module import IRBlock, IRFunction, IRModule
+from repro.ir.types import I1, I8, I32, I64, PointerType, Type, VOID
+from repro.ir.values import Constant, Value
+
+_DEFINE_RE = re.compile(r"^define\s+(\S+)\s+@([\w.]+)\((.*)\)\s*\{$")
+_LABEL_RE = re.compile(r"^([\w.]+):$")
+_ASSIGN_RE = re.compile(r"^%([\w.]+)\s*=\s*(.+)$")
+_CALL_RE = re.compile(r"^call\s+(\S+)\s+@([\w.]+)\((.*)\)$")
+
+_INT_TYPES: dict[str, Type] = {"i1": I1, "i8": I8, "i32": I32, "i64": I64}
+
+
+class IRParseError(IRError):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type token: ``i32``, ``i64*``, ``ptr``, ``void``."""
+    text = text.strip()
+    if text == "void":
+        return VOID
+    if text == "ptr":
+        return PointerType(None)
+    depth = 0
+    while text.endswith("*"):
+        depth += 1
+        text = text[:-1]
+    base = _INT_TYPES.get(text)
+    if base is None:
+        raise IRError(f"unknown type {text!r}")
+    result: Type = base
+    for _ in range(depth):
+        result = PointerType(result)
+    return result
+
+
+class _FunctionParser:
+    def __init__(self, module: IRModule, func: IRFunction) -> None:
+        self.module = module
+        self.func = func
+        self.values: dict[str, Value] = {arg.name: arg for arg in func.args}
+        self.block: IRBlock | None = None
+
+    def _value(self, token: str, type_: Type, line: int) -> Value:
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:]
+            try:
+                return self.values[name]
+            except KeyError:
+                raise IRParseError(f"use of unknown value %{name}", line) from None
+        try:
+            return Constant(int(token), type_)
+        except ValueError:
+            raise IRParseError(f"bad operand {token!r}", line) from None
+
+    def _define(self, name: str, value: Value, line: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}", line)
+        value.name = name
+        self.values[name] = value
+
+    def _split_args(self, text: str) -> list[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    # -- statement parsing ---------------------------------------------------
+
+    def parse_line(self, text: str, line: int) -> None:
+        label_match = _LABEL_RE.match(text)
+        if label_match:
+            self.block = self.func.add_block(label_match.group(1))
+            return
+        if self.block is None:
+            raise IRParseError("instruction before first label", line)
+        assign = _ASSIGN_RE.match(text)
+        if assign:
+            instr = self._parse_valued(assign.group(2).strip(), line)
+            self._define(assign.group(1), instr, line)
+            self.block.append(instr)
+            return
+        self.block.append(self._parse_void(text, line))
+
+    def _parse_valued(self, body: str, line: int):
+        head, _, rest = body.partition(" ")
+        rest = rest.strip()
+        if head == "alloca":
+            parts = self._split_args(rest)
+            allocated = parse_type(parts[0])
+            count = int(parts[1]) if len(parts) > 1 else 1
+            return Alloca(allocated, count)
+        if head == "load":
+            type_text, _, pointer_text = rest.partition(",")
+            loaded = parse_type(type_text)
+            pointer = self._value(pointer_text, PointerType(loaded), line)
+            return Load(pointer)
+        if head in BINARY_OPS:
+            type_text, _, operands = rest.partition(" ")
+            operand_type = parse_type(type_text)
+            a_text, b_text = self._split_args(operands)
+            return BinOp(head, self._value(a_text, operand_type, line),
+                         self._value(b_text, operand_type, line))
+        if head == "icmp":
+            pred, _, rest2 = rest.partition(" ")
+            if pred not in ICMP_PREDICATES:
+                raise IRParseError(f"bad icmp predicate {pred!r}", line)
+            type_text, _, operands = rest2.strip().partition(" ")
+            operand_type = parse_type(type_text)
+            a_text, b_text = self._split_args(operands)
+            return ICmp(pred, self._value(a_text, operand_type, line),
+                        self._value(b_text, operand_type, line))
+        if head in ("sext", "zext", "trunc"):
+            match = re.match(r"^(\S+)\s+(\S+)\s+to\s+(\S+)$", rest)
+            if not match:
+                raise IRParseError(f"malformed cast {body!r}", line)
+            from_type = parse_type(match.group(1))
+            value = self._value(match.group(2), from_type, line)
+            return Cast(head, value, parse_type(match.group(3)))
+        if head == "ptradd":
+            type_text, _, operands = rest.partition(" ")
+            base_type = parse_type(type_text)
+            base_text, index_text = self._split_args(operands)
+            return PtrAdd(self._value(base_text, base_type, line),
+                          self._value(index_text, I64, line))
+        if head == "call":
+            return self._parse_call("call " + rest, line)
+        raise IRParseError(f"unknown instruction {head!r}", line)
+
+    def _parse_call(self, body: str, line: int) -> Call:
+        match = _CALL_RE.match(body)
+        if not match:
+            raise IRParseError(f"malformed call {body!r}", line)
+        return_type = parse_type(match.group(1))
+        args = [self._value(token, I64, line)
+                for token in self._split_args(match.group(3))]
+        return Call(match.group(2), args, return_type)
+
+    def _parse_void(self, text: str, line: int):
+        if text.startswith("store "):
+            match = re.match(r"^store\s+(\S+)\s+(\S+),\s*(\S+)$", text)
+            if not match:
+                raise IRParseError(f"malformed store {text!r}", line)
+            stored_type = parse_type(match.group(1))
+            value = self._value(match.group(2), stored_type, line)
+            pointer = self._value(match.group(3), PointerType(stored_type),
+                                  line)
+            return Store(value, pointer)
+        if text.startswith("check "):
+            match = re.match(r"^check\s+(\S+)\s+(\S+),\s*(\S+)$", text)
+            if not match:
+                raise IRParseError(f"malformed check {text!r}", line)
+            checked_type = parse_type(match.group(1))
+            return Check(self._value(match.group(2), checked_type, line),
+                         self._value(match.group(3), checked_type, line))
+        if text.startswith("br i1 "):
+            match = re.match(
+                r"^br\s+i1\s+(\S+),\s*label\s+%([\w.]+),\s*label\s+%([\w.]+)$",
+                text,
+            )
+            if not match:
+                raise IRParseError(f"malformed br {text!r}", line)
+            return Br(self._value(match.group(1), I1, line),
+                      match.group(2), match.group(3))
+        if text.startswith("br label "):
+            match = re.match(r"^br\s+label\s+%([\w.]+)$", text)
+            if not match:
+                raise IRParseError(f"malformed br {text!r}", line)
+            return Jump(match.group(1))
+        if text == "ret void":
+            return Ret()
+        if text.startswith("ret "):
+            match = re.match(r"^ret\s+(\S+)\s+(\S+)$", text)
+            if not match:
+                raise IRParseError(f"malformed ret {text!r}", line)
+            return Ret(self._value(match.group(2),
+                                   parse_type(match.group(1)), line))
+        if text.startswith("call "):
+            return self._parse_call(text, line)
+        raise IRParseError(f"unknown statement {text!r}", line)
+
+
+def parse_ir(text: str) -> IRModule:
+    """Parse IR text (the printer's dialect) into a module."""
+    module = IRModule()
+    parser: _FunctionParser | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        define = _DEFINE_RE.match(line)
+        if define:
+            if parser is not None:
+                raise IRParseError("nested function definition", lineno)
+            return_type = parse_type(define.group(1))
+            args = []
+            for token in (t.strip() for t in define.group(3).split(",")):
+                if not token:
+                    continue
+                type_text, _, name = token.partition("%")
+                if not name:
+                    raise IRParseError(f"malformed parameter {token!r}", lineno)
+                args.append((name.strip(), parse_type(type_text)))
+            func = IRFunction(define.group(2), args, return_type)
+            module.add_function(func)
+            parser = _FunctionParser(module, func)
+            continue
+        if line == "}":
+            if parser is None:
+                raise IRParseError("stray '}'", lineno)
+            parser = None
+            continue
+        if parser is None:
+            raise IRParseError(f"statement outside a function: {line!r}", lineno)
+        parser.parse_line(line, lineno)
+    if parser is not None:
+        raise IRParseError("unterminated function", lineno)
+    return module

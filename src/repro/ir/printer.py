@@ -1,0 +1,112 @@
+"""Human-readable IR rendering (LLVM-flavoured), for docs, tests and debug.
+
+Value names are uniquified per function at print time (the lowering reuses
+hint names like ``%i`` freely), so printed modules are unambiguous and can
+be re-read by :mod:`repro.ir.parser`: print → parse → print is a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cast, Check, ICmp, IRInstruction, Jump, Load,
+    PtrAdd, Ret, Store,
+)
+from repro.ir.module import IRFunction, IRModule
+from repro.ir.types import VoidType
+from repro.ir.values import Constant, Value
+
+
+class _Namer:
+    """Assigns unique printed names to values within one function."""
+
+    def __init__(self) -> None:
+        self._names: dict[Value, str] = {}
+        self._used: set[str] = set()
+
+    def define(self, value: Value) -> str:
+        name = value.name
+        if name in self._used:
+            index = 1
+            while f"{name}.{index}" in self._used:
+                index += 1
+            name = f"{name}.{index}"
+        self._used.add(name)
+        self._names[value] = name
+        return name
+
+    def ref(self, value: Value) -> str:
+        if isinstance(value, Constant):
+            return str(value.value)
+        try:
+            return f"%{self._names[value]}"
+        except KeyError:
+            return f"%{value.name}"  # cross-function/ill-formed: best effort
+
+
+def format_instruction(instr: IRInstruction,
+                       namer: _Namer | None = None) -> str:
+    """Render one IR instruction (with optional unique naming context)."""
+    namer = namer or _Namer()
+    ref = namer.ref
+    if instr.has_result and instr not in namer._names:
+        name = namer.define(instr)
+    else:
+        name = namer._names.get(instr, instr.name)
+    if isinstance(instr, Alloca):
+        suffix = f", {instr.count}" if instr.count != 1 else ""
+        return f"%{name} = alloca {instr.allocated}{suffix}"
+    if isinstance(instr, Load):
+        return f"%{name} = load {instr.type}, {ref(instr.pointer)}"
+    if isinstance(instr, Store):
+        return (f"store {instr.value.type} {ref(instr.value)}, "
+                f"{ref(instr.pointer)}")
+    if isinstance(instr, BinOp):
+        return (f"%{name} = {instr.op} {instr.type} "
+                f"{ref(instr.lhs)}, {ref(instr.rhs)}")
+    if isinstance(instr, ICmp):
+        return (f"%{name} = icmp {instr.pred} {instr.lhs.type} "
+                f"{ref(instr.lhs)}, {ref(instr.rhs)}")
+    if isinstance(instr, Cast):
+        return (f"%{name} = {instr.op} {instr.value.type} "
+                f"{ref(instr.value)} to {instr.type}")
+    if isinstance(instr, PtrAdd):
+        return (f"%{name} = ptradd {instr.base.type} {ref(instr.base)}, "
+                f"{ref(instr.index)}")
+    if isinstance(instr, Call):
+        args = ", ".join(ref(a) for a in instr.args)
+        if isinstance(instr.type, VoidType):
+            return f"call void @{instr.callee}({args})"
+        return f"%{name} = call {instr.type} @{instr.callee}({args})"
+    if isinstance(instr, Check):
+        return (f"check {instr.original.type} {ref(instr.original)}, "
+                f"{ref(instr.duplicate)}")
+    if isinstance(instr, Br):
+        return (f"br i1 {ref(instr.cond)}, label %{instr.then_label}, "
+                f"label %{instr.else_label}")
+    if isinstance(instr, Jump):
+        return f"br label %{instr.target}"
+    if isinstance(instr, Ret):
+        if instr.value is None:
+            return "ret void"
+        return f"ret {instr.value.type} {ref(instr.value)}"
+    return f"<unknown {instr.opcode}>"
+
+
+def format_function(func: IRFunction) -> str:
+    namer = _Namer()
+    arg_names = [namer.define(arg) for arg in func.args]
+    args = ", ".join(
+        f"{arg.type} %{name}" for arg, name in zip(func.args, arg_names)
+    )
+    lines = [f"define {func.return_type} @{func.name}({args}) {{"]
+    for block in func.blocks:
+        lines.append(f"{block.label}:")
+        lines.extend(f"  {format_instruction(i, namer)}"
+                     for i in block.instructions)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: IRModule) -> str:
+    """Render a whole module."""
+    return "\n\n".join(format_function(f) for f in module.functions) + "\n"

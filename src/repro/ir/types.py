@@ -1,0 +1,83 @@
+"""IR type system: integers, pointers, void.
+
+Pointers are typed (``i32*``) so address arithmetic knows its element size;
+``malloc`` returns a wildcard pointer assignable to any pointer type, the
+one concession to C's ``void*`` idiom the frontend needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class of IR types."""
+
+    @property
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """An integer type of ``bits`` width (1, 8, 32 or 64)."""
+
+    bits: int
+
+    @property
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A typed pointer. ``pointee=None`` is the wildcard (malloc result)."""
+
+    pointee: Type | None
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+    @property
+    def element_size(self) -> int:
+        if self.pointee is None:
+            return 1
+        return self.pointee.size_bytes
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*" if self.pointee is not None else "ptr"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The type of value-less calls and returns."""
+
+    @property
+    def size_bytes(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+VOID = VoidType()
+
+
+def compatible(dst: Type, src: Type) -> bool:
+    """Assignment compatibility: exact match, or wildcard-pointer adoption."""
+    if dst == src:
+        return True
+    if isinstance(dst, PointerType) and isinstance(src, PointerType):
+        return dst.pointee is None or src.pointee is None
+    return False

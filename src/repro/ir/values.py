@@ -1,0 +1,52 @@
+"""IR value model: everything an instruction can take as an operand.
+
+A :class:`Value` is anything with a type that can flow into an operand
+position: constants, function arguments, and instructions that produce
+results (:class:`repro.ir.instructions.IRInstruction` subclasses this).
+Values are identified by object, with ``name`` used only for printing.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.types import Type
+
+_value_ids = itertools.count()
+
+
+class Value:
+    """Base class of IR values."""
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name or f"v{next(_value_ids)}"
+
+    def __repr__(self) -> str:
+        return f"%{self.name}:{self.type}"
+
+    def short(self) -> str:
+        """Operand rendering used by the printer."""
+        return f"%{self.name}"
+
+
+class Constant(Value):
+    """An integer (or null-pointer) constant."""
+
+    def __init__(self, value: int, type_: Type) -> None:
+        super().__init__(type_, name=str(value))
+        self.value = value
+
+    def short(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.type}"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, name: str, type_: Type, index: int) -> None:
+        super().__init__(type_, name=name)
+        self.index = index

@@ -1,0 +1,99 @@
+"""IR structural verifier.
+
+Checks the invariants the backend and the EDDI pass rely on:
+
+* every block ends in exactly one terminator, with none mid-block;
+* branch targets resolve within the function;
+* every operand is a constant, an argument of the function, an ``alloca``
+  (slots are function-scoped), or an instruction defined *earlier in the
+  same block* — the -O0 discipline: values never flow between blocks except
+  through memory;
+* calls reference module functions or known runtime builtins, with matching
+  arity for module functions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRVerifyError
+from repro.ir.instructions import Alloca, Call, IRInstruction
+from repro.ir.module import IRFunction, IRModule
+from repro.ir.values import Constant, Value
+
+#: Runtime builtins callable from IR (kept in sync with machine builtins).
+BUILTIN_SIGNATURES: dict[str, int] = {
+    "malloc": 1,
+    "free": 1,
+    "print_int": 1,
+    "print_long": 1,
+    "srand": 1,
+    "rand_next": 0,
+    "exit": 1,
+    "__eddi_detect": 0,
+}
+
+
+def _verify_function(module: IRModule, func: IRFunction) -> None:
+    if not func.blocks:
+        raise IRVerifyError(f"{func.name}: function has no blocks")
+    labels = {blk.label for blk in func.blocks}
+    if len(labels) != len(func.blocks):
+        raise IRVerifyError(f"{func.name}: duplicate block labels")
+
+    args = set(func.args)
+    allocas: set[Value] = {
+        instr for instr in func.instructions() if isinstance(instr, Alloca)
+    }
+
+    for block in func.blocks:
+        term = block.terminator
+        if term is None:
+            raise IRVerifyError(f"{func.name}/{block.label}: missing terminator")
+        defined: set[Value] = set()
+        for position, instr in enumerate(block.instructions):
+            if instr.is_terminator and instr is not term:
+                raise IRVerifyError(
+                    f"{func.name}/{block.label}: terminator mid-block"
+                )
+            for operand in instr.operands():
+                if isinstance(operand, Constant) or operand in args:
+                    continue
+                if operand in allocas or operand in defined:
+                    continue
+                raise IRVerifyError(
+                    f"{func.name}/{block.label}: operand %{operand.name} of "
+                    f"{instr.opcode} at position {position} is not available "
+                    f"(cross-block value flow must go through memory)"
+                )
+            if isinstance(instr, IRInstruction) and instr.has_result:
+                defined.add(instr)
+            if isinstance(instr, Call):
+                _verify_call(module, func, instr)
+        for target in func.successors(block):
+            if target not in labels:
+                raise IRVerifyError(
+                    f"{func.name}/{block.label}: branch to unknown {target!r}"
+                )
+
+
+def _verify_call(module: IRModule, func: IRFunction, call: Call) -> None:
+    if module.has_function(call.callee):
+        callee = module.function(call.callee)
+        if len(call.args) != len(callee.args):
+            raise IRVerifyError(
+                f"{func.name}: call to {call.callee} with {len(call.args)} "
+                f"args, expected {len(callee.args)}"
+            )
+    elif call.callee in BUILTIN_SIGNATURES:
+        if len(call.args) != BUILTIN_SIGNATURES[call.callee]:
+            raise IRVerifyError(
+                f"{func.name}: builtin {call.callee} takes "
+                f"{BUILTIN_SIGNATURES[call.callee]} args, got {len(call.args)}"
+            )
+    else:
+        raise IRVerifyError(f"{func.name}: call to unknown {call.callee!r}")
+
+
+def verify_module(module: IRModule) -> None:
+    """Verify every function; raises :class:`IRVerifyError` on violation."""
+    for func in module.functions:
+        _verify_function(module, func)

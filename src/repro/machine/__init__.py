@@ -1,0 +1,24 @@
+"""Architectural simulator for the modeled x86-64 subset.
+
+The machine executes :class:`repro.asm.AsmProgram` objects functionally
+(register file with sub-register aliasing, RFLAGS, byte-addressable
+segmented memory, SysV-ish calls, builtin runtime) and, optionally, through
+an in-order scoreboard timing model that charges port pressure and
+dependence stalls — the mechanism by which FERRUM's vector duplication is
+cheaper than scalar duplication.
+"""
+
+from repro.machine.cpu import Machine, RunResult
+from repro.machine.memory import Memory, MemoryLayout
+from repro.machine.state import RegisterFile
+from repro.machine.timing import TimingConfig, TimingModel
+
+__all__ = [
+    "Machine",
+    "Memory",
+    "MemoryLayout",
+    "RegisterFile",
+    "RunResult",
+    "TimingConfig",
+    "TimingModel",
+]

@@ -1,0 +1,236 @@
+"""The machine: program loading, fetch/execute loop, fault-site hooks.
+
+A :class:`Machine` is constructed once per program; each :meth:`Machine.run`
+resets architectural state and executes from a chosen entry function until
+``ret`` to the sentinel frame, an ``exit`` call, an architectural fault, the
+instruction budget, or a protection-checker detection.
+
+Fault injection attaches through ``fault_hook``: the machine numbers every
+dynamically executed *fault site* (instruction with at least one register or
+FLAGS destination, the paper's fault model) and invokes the hook right after
+the instruction's writeback, which is where a transient fault in the
+destination register manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.asm.instructions import Instruction
+from repro.asm.program import AsmProgram, validate_program
+from repro.asm.registers import ARG_GPRS, get_register
+from repro.errors import ExecutionLimitExceeded, MachineFault
+from repro.machine.builtins import call_builtin, is_builtin
+from repro.machine.memory import Memory, MemoryLayout
+from repro.machine.semantics import Flow
+from repro.machine.state import RegisterFile
+from repro.machine.timing import TimingConfig, TimingModel
+from repro.utils.bitops import to_signed
+
+#: Return-address sentinel marking the bottom of the call stack.
+_SENTINEL = (1 << 64) - 1
+
+_RSP = get_register("rsp")
+_RAX = get_register("rax")
+_EAX = get_register("eax")
+
+FaultHook = Callable[["Machine", Instruction, int], None]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one complete (non-crashing) program execution."""
+
+    exit_code: int
+    output: tuple[str, ...]
+    dynamic_instructions: int
+    fault_sites: int
+    cycles: int | None = None
+
+    @property
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+
+class Machine:
+    """Executes an :class:`AsmProgram` over simulated architectural state."""
+
+    def __init__(
+        self,
+        program: AsmProgram,
+        layout: MemoryLayout | None = None,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        validate_program(program)
+        self.program = program
+        self.layout = layout or MemoryLayout()
+        self.max_instructions = max_instructions
+
+        self._code: list[Instruction] = []
+        self._func_of: list[str] = []
+        self._label_index: dict[tuple[str, str], int] = {}
+        self._entry: dict[str, int] = {}
+        for func in program.functions:
+            self._entry[func.name] = len(self._code)
+            for block in func.blocks:
+                self._label_index[(func.name, block.label)] = len(self._code)
+                for instr in block.instructions:
+                    self._code.append(instr)
+                    self._func_of.append(func.name)
+        # Fast-path caches: handler and fault-site flag per code index.
+        from repro.machine.semantics import handler_for
+
+        self._handlers = [handler_for(instr) for instr in self._code]
+        self._is_site = [bool(instr.dest_registers()) for instr in self._code]
+
+        # Mutable per-run state, initialized by _reset().
+        self.registers = RegisterFile()
+        self.memory = Memory(self.layout)
+        self.output: list[str] = []
+        self.heap_cursor = self.layout.heap_base
+        self.lcg_state = 0x1234_5678
+        self._exit_requested = False
+        self._exit_code = 0
+        self._mem_reads: list[tuple[int, int]] = []
+        self._mem_writes: list[tuple[int, int]] = []
+        self._collect_mem = False
+
+    # -- helpers used by semantics/builtins ---------------------------------
+
+    def note_mem_read(self, addr: int, size: int) -> None:
+        if self._collect_mem:
+            self._mem_reads.append((addr, size))
+
+    def note_mem_write(self, addr: int, size: int) -> None:
+        if self._collect_mem:
+            self._mem_writes.append((addr, size))
+
+    def request_exit(self, code: int) -> None:
+        self._exit_requested = True
+        self._exit_code = code
+
+    # -- execution -----------------------------------------------------------
+
+    def _reset(self) -> None:
+        self.registers = RegisterFile()
+        self.memory = Memory(self.layout)
+        self.output = []
+        self.heap_cursor = self.layout.heap_base
+        self.lcg_state = 0x1234_5678
+        self._exit_requested = False
+        self._exit_code = 0
+
+    def run(
+        self,
+        function: str = "main",
+        args: tuple[int, ...] = (),
+        fault_hook: FaultHook | None = None,
+        timing: TimingConfig | None = None,
+        max_instructions: int | None = None,
+    ) -> RunResult:
+        """Execute ``function(*args)`` to completion.
+
+        Raises:
+            MachineFault / SegmentationFault: on architectural faults (crash).
+            DetectionExit: when an EDDI checker fires.
+            ExecutionLimitExceeded: on instruction-budget exhaustion (hang).
+        """
+        self._reset()
+        if function not in self._entry:
+            raise MachineFault(f"no entry function {function!r}")
+        if len(args) > len(ARG_GPRS):
+            raise MachineFault(f"too many arguments ({len(args)})")
+        for value, reg_name in zip(args, ARG_GPRS):
+            self.registers.write(get_register(reg_name), value & ((1 << 64) - 1))
+
+        timer = TimingModel(timing) if timing is not None else None
+        self._collect_mem = timer is not None
+
+        rsp = self.layout.stack_top - 16
+        self.registers.write(_RSP, rsp - 8)
+        self.memory.write_uint(rsp - 8, _SENTINEL, 8)
+
+        budget = max_instructions if max_instructions is not None else self.max_instructions
+        code = self._code
+        handlers = self._handlers
+        is_site = self._is_site
+        collect_mem = self._collect_mem
+        code_len = len(code)
+        pc = self._entry[function]
+        executed = 0
+        sites = 0
+
+        while not self._exit_requested:
+            if pc >= code_len or pc < 0:
+                raise MachineFault(f"execution fell outside code at index {pc}")
+            if executed >= budget:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {budget} dynamic instructions"
+                )
+            instr = code[pc]
+            if collect_mem:
+                self._mem_reads.clear()
+                self._mem_writes.clear()
+            effect = handlers[pc](self, instr)
+            executed += 1
+
+            if timer is not None:
+                reads: list[int] = []
+                for addr, size in self._mem_reads:
+                    reads.extend(TimingModel.granules(addr, size))
+                writes: list[int] = []
+                for addr, size in self._mem_writes:
+                    writes.extend(TimingModel.granules(addr, size))
+                timer.observe(instr, reads, writes, effect.taken)
+
+            if is_site[pc]:
+                if fault_hook is not None:
+                    fault_hook(self, instr, sites)
+                sites += 1
+
+            flow = effect.flow
+            if flow is Flow.NEXT:
+                pc += 1
+            elif flow is Flow.JUMP:
+                key = (self._func_of[pc], effect.target or "")
+                try:
+                    pc = self._label_index[key]
+                except KeyError:
+                    raise MachineFault(f"jump to unknown label {key}") from None
+            elif flow is Flow.CALL:
+                target = effect.target or ""
+                if is_builtin(target):
+                    result = call_builtin(self, target)
+                    self.registers.write(_RAX, result & ((1 << 64) - 1))
+                    pc += 1
+                else:
+                    new_rsp = self.registers.read(_RSP) - 8
+                    self.registers.write(_RSP, new_rsp)
+                    self.memory.write_uint(new_rsp, pc + 1, 8)
+                    try:
+                        pc = self._entry[target]
+                    except KeyError:
+                        raise MachineFault(
+                            f"call to unknown function {target!r}"
+                        ) from None
+            elif flow is Flow.RET:
+                cur_rsp = self.registers.read(_RSP)
+                return_to = self.memory.read_uint(cur_rsp, 8)
+                self.registers.write(_RSP, cur_rsp + 8)
+                if return_to == _SENTINEL:
+                    self._exit_code = to_signed(self.registers.read(_EAX), 32)
+                    break
+                if return_to >= len(code):
+                    raise MachineFault(
+                        f"return to corrupted address {return_to:#x}"
+                    )
+                pc = int(return_to)
+
+        return RunResult(
+            exit_code=self._exit_code,
+            output=tuple(self.output),
+            dynamic_instructions=executed,
+            fault_sites=sites,
+            cycles=timer.cycles if timer is not None else None,
+        )

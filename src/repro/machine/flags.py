@@ -1,0 +1,100 @@
+"""RFLAGS modeling: bit positions, arithmetic flag computation, conditions.
+
+The five flags that matter to the modeled ISA (CF, PF, ZF, SF, OF) live at
+their real x86 bit positions inside a 64-bit RFLAGS value, so a fault
+injected "into the destination register" of a ``cmp`` (paper Fig. 9) is a
+literal bit-flip in this word.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import parity_even, to_signed, to_unsigned
+
+CF_BIT = 0
+PF_BIT = 2
+ZF_BIT = 6
+SF_BIT = 7
+OF_BIT = 11
+
+#: Bit positions eligible for flag-targeted fault injection.
+INJECTABLE_FLAG_BITS: tuple[int, ...] = (CF_BIT, PF_BIT, ZF_BIT, SF_BIT, OF_BIT)
+
+
+def pack_flags(cf: bool, pf: bool, zf: bool, sf: bool, of: bool) -> int:
+    """Pack individual flags into an RFLAGS word."""
+    return (
+        (int(cf) << CF_BIT)
+        | (int(pf) << PF_BIT)
+        | (int(zf) << ZF_BIT)
+        | (int(sf) << SF_BIT)
+        | (int(of) << OF_BIT)
+    )
+
+
+def flags_for_result(result: int, width: int, cf: bool = False, of: bool = False) -> int:
+    """RFLAGS after a logical op: ZF/SF/PF from result, CF/OF as given."""
+    result = to_unsigned(result, width)
+    zf = result == 0
+    sf = bool(result >> (width - 1))
+    pf = parity_even(result)
+    return pack_flags(cf, pf, zf, sf, of)
+
+
+def flags_for_add(a: int, b: int, width: int) -> tuple[int, int]:
+    """(result, rflags) for ``a + b`` at ``width`` bits."""
+    full = a + b
+    result = to_unsigned(full, width)
+    cf = full >> width != 0
+    sa, sb, sr = to_signed(a, width), to_signed(b, width), to_signed(result, width)
+    of = (sa >= 0) == (sb >= 0) and (sr >= 0) != (sa >= 0)
+    return result, flags_for_result(result, width, cf=cf, of=of)
+
+
+def flags_for_sub(a: int, b: int, width: int) -> tuple[int, int]:
+    """(result, rflags) for ``a - b`` at ``width`` bits (also cmp)."""
+    result = to_unsigned(a - b, width)
+    cf = to_unsigned(a, width) < to_unsigned(b, width)
+    sa, sb, sr = to_signed(a, width), to_signed(b, width), to_signed(result, width)
+    of = (sa >= 0) != (sb >= 0) and (sr >= 0) != (sa >= 0)
+    return result, flags_for_result(result, width, cf=cf, of=of)
+
+
+def get_flag(rflags: int, bit: int) -> bool:
+    return bool((rflags >> bit) & 1)
+
+
+def condition_holds(cc: str, rflags: int) -> bool:
+    """Evaluate an x86 condition code against an RFLAGS value.
+
+    >>> condition_holds("e", 1 << ZF_BIT)
+    True
+    """
+    cf = get_flag(rflags, CF_BIT)
+    zf = get_flag(rflags, ZF_BIT)
+    sf = get_flag(rflags, SF_BIT)
+    of = get_flag(rflags, OF_BIT)
+    if cc == "e":
+        return zf
+    if cc == "ne":
+        return not zf
+    if cc == "l":
+        return sf != of
+    if cc == "ge":
+        return sf == of
+    if cc == "le":
+        return zf or sf != of
+    if cc == "g":
+        return not zf and sf == of
+    if cc == "b":
+        return cf
+    if cc == "ae":
+        return not cf
+    if cc == "be":
+        return cf or zf
+    if cc == "a":
+        return not cf and not zf
+    if cc == "s":
+        return sf
+    if cc == "ns":
+        return not sf
+    raise ValueError(f"unknown condition code {cc!r}")

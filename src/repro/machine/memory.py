@@ -1,0 +1,92 @@
+"""Segmented byte-addressable memory.
+
+Three segments cover what compiled workloads need: a heap served by the
+``malloc`` builtin, a downward-growing stack, and a small globals area. Any
+access outside a mapped segment raises :class:`SegmentationFault`, which the
+fault-injection campaign classifies as a crash — exactly how a wild pointer
+dereference behaves on the paper's real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SegmentationFault
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Base addresses and sizes of the three segments (bytes)."""
+
+    globals_base: int = 0x0001_0000
+    globals_size: int = 16 * 1024
+    heap_base: int = 0x0010_0000
+    heap_size: int = 2 * 1024 * 1024
+    stack_top: int = 0x7FFF_0000
+    stack_size: int = 256 * 1024
+
+    @property
+    def stack_base(self) -> int:
+        return self.stack_top - self.stack_size
+
+
+class _Segment:
+    __slots__ = ("name", "start", "data")
+
+    def __init__(self, name: str, start: int, size: int) -> None:
+        self.name = name
+        self.start = start
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.data)
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.start <= addr and addr + size <= self.end
+
+
+class Memory:
+    """Little-endian memory over the configured segments."""
+
+    def __init__(self, layout: MemoryLayout | None = None) -> None:
+        self.layout = layout or MemoryLayout()
+        # Stack first: rbp-relative slot traffic dominates -O0 code, so the
+        # linear segment scan should hit it on the first probe.
+        self._segments = (
+            _Segment("stack", self.layout.stack_base, self.layout.stack_size),
+            _Segment("heap", self.layout.heap_base, self.layout.heap_size),
+            _Segment("globals", self.layout.globals_base, self.layout.globals_size),
+        )
+
+    def _segment_for(self, addr: int, size: int) -> _Segment:
+        for seg in self._segments:
+            if seg.contains(addr, size):
+                return seg
+        raise SegmentationFault(
+            f"access of {size} bytes at {addr:#x} hits no mapped segment"
+        )
+
+    def read_uint(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes at ``addr`` as a little-endian unsigned int."""
+        seg = self._segment_for(addr, size)
+        off = addr - seg.start
+        return int.from_bytes(seg.data[off : off + size], "little")
+
+    def write_uint(self, addr: int, value: int, size: int) -> None:
+        """Write the low ``size`` bytes of ``value`` at ``addr``."""
+        seg = self._segment_for(addr, size)
+        off = addr - seg.start
+        seg.data[off : off + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        seg = self._segment_for(addr, size)
+        off = addr - seg.start
+        return bytes(seg.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        seg = self._segment_for(addr, len(data))
+        off = addr - seg.start
+        seg.data[off : off + len(data)] = data

@@ -1,0 +1,92 @@
+"""Architectural register file with x86-64 sub-register semantics.
+
+Values are stored per register *root* (64-bit GPRs, 256-bit vectors). Reads
+extract the view width; writes follow the hardware rules:
+
+* 64-bit GPR writes replace the root;
+* 32-bit writes zero-extend into the root (the famous x86-64 rule);
+* 16/8-bit writes merge, preserving upper bits;
+* 128-bit (xmm) writes merge into the low lane of the ymm root, preserving
+  the upper lane — legacy-SSE behaviour, which FERRUM's ``movq``/``pinsrq``
+  batching relies on;
+* 256-bit writes replace the vector root.
+"""
+
+from __future__ import annotations
+
+from repro.asm.registers import GPR64, Register, RegisterKind
+from repro.utils.bitops import flip_bit, mask_for_width, to_unsigned
+
+
+class RegisterFile:
+    """GPRs, vector registers and RFLAGS of one hardware thread."""
+
+    def __init__(self) -> None:
+        self._gprs: dict[str, int] = {root: 0 for root in GPR64}
+        self._vectors: dict[str, int] = {f"ymm{i}": 0 for i in range(16)}
+        self.rflags: int = 0
+
+    # -- typed accessors -------------------------------------------------
+
+    def read(self, reg: Register) -> int:
+        """Read a register view as an unsigned int of its width."""
+        if reg.kind is RegisterKind.GPR:
+            return self._gprs[reg.root] & mask_for_width(reg.width)
+        if reg.kind is RegisterKind.VECTOR:
+            return self._vectors[reg.root] & mask_for_width(reg.width)
+        if reg.kind is RegisterKind.FLAGS:
+            return self.rflags
+        raise ValueError(f"cannot read register {reg.name}")
+
+    def write(self, reg: Register, value: int) -> None:
+        """Write a register view, applying the width-dependent merge rules."""
+        if reg.kind is RegisterKind.GPR:
+            value = to_unsigned(value, reg.width)
+            if reg.width == 64:
+                self._gprs[reg.root] = value
+            elif reg.width == 32:
+                self._gprs[reg.root] = value  # implicit zero-extension
+            else:
+                mask = mask_for_width(reg.width)
+                self._gprs[reg.root] = (self._gprs[reg.root] & ~mask) | value
+        elif reg.kind is RegisterKind.VECTOR:
+            value = to_unsigned(value, reg.width)
+            if reg.width == 256:
+                self._vectors[reg.root] = value
+            else:  # xmm view: merge into low 128 bits, preserve upper lane
+                mask = mask_for_width(128)
+                self._vectors[reg.root] = (self._vectors[reg.root] & ~mask) | value
+        elif reg.kind is RegisterKind.FLAGS:
+            self.rflags = to_unsigned(value, 64)
+        else:
+            raise ValueError(f"cannot write register {reg.name}")
+
+    # -- convenience names used by semantics/builtins --------------------
+
+    def read_root(self, root: str) -> int:
+        if root in self._gprs:
+            return self._gprs[root]
+        return self._vectors[root]
+
+    def write_root(self, root: str, value: int) -> None:
+        if root in self._gprs:
+            self._gprs[root] = to_unsigned(value, 64)
+        else:
+            self._vectors[root] = to_unsigned(value, 256)
+
+    # -- fault injection ---------------------------------------------------
+
+    def flip(self, reg: Register, bit: int) -> None:
+        """Flip one bit of a register view in place (the fault primitive)."""
+        if reg.kind is RegisterKind.FLAGS:
+            self.rflags = flip_bit(self.rflags, bit, 64)
+            return
+        value = self.read(reg)
+        self.write(reg, flip_bit(value, bit, reg.width))
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all register state (tests use this to diff runs)."""
+        state = dict(self._gprs)
+        state.update(self._vectors)
+        state["rflags"] = self.rflags
+        return state

@@ -1,0 +1,23 @@
+"""Mini-C frontend.
+
+A small C-like language sufficient for the Rodinia-style workloads:
+
+* types ``int`` (32-bit), ``long`` (64-bit), ``void``, and pointers;
+* functions, locals, fixed-size local arrays (which decay to pointers);
+* ``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``;
+* integer arithmetic (`+ - * / % << >> & | ^`), comparisons, short-circuit
+  ``&&``/``||``, unary ``-``/``!``, compound assignment, ``++``/``--``;
+* indexing ``p[i]`` on pointers/arrays, address-free (no ``&``);
+* builtin runtime: ``malloc``, ``free``, ``print_int``, ``print_long``,
+  ``srand``, ``rand_next``, ``exit``.
+
+Lowering is clang -O0 style: every local lives in an ``alloca`` slot and
+every expression loads/stores through it — deliberately, because the
+paper's cross-layer effects come from compiling exactly this IR shape.
+"""
+
+from repro.minic.lexer import Token, TokenKind, tokenize
+from repro.minic.parser import parse
+from repro.minic.lowering import compile_to_ir
+
+__all__ = ["Token", "TokenKind", "compile_to_ir", "parse", "tokenize"]

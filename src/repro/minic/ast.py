@@ -1,0 +1,163 @@
+"""Mini-C abstract syntax tree.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TypeName:
+    """A source-level type: base ('int' | 'long' | 'void') plus pointer depth."""
+
+    base: str
+    pointer_depth: int = 0
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointer_depth
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    @property
+    def is_void(self) -> bool:
+        return self.base == "void" and self.pointer_depth == 0
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-' | '!'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, shift, bitwise, '&&', '||'
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    callee: str
+    args: tuple[Expr, ...]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Declaration(Stmt):
+    type: TypeName
+    name: str
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value`` (compound ops are desugared by the parser)."""
+
+    target: Expr  # VarRef or Index
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    type: TypeName
+    name: str
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    line: int
+    return_type: TypeName
+    name: str
+    params: tuple[Param, ...]
+    body: Block
+
+
+@dataclass(frozen=True)
+class Program:
+    functions: tuple[FunctionDef, ...] = field(default_factory=tuple)

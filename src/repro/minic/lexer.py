@@ -1,0 +1,115 @@
+"""Mini-C lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "int", "long", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+)
+_SINGLE_OPS = "+-*/%<>=!&|^(){}[];,"
+
+
+class TokenKind(enum.Enum):
+    INT_LITERAL = "int_literal"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind.value} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        char = source[i]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if char.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise LexError(
+                    f"bad number suffix {source[i]!r}", line, col
+                )
+            tokens.append(Token(TokenKind.INT_LITERAL, source[start:i],
+                                start_line, start_col))
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, char, line, col))
+            advance(1)
+            continue
+        raise LexError(f"unexpected character {char!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

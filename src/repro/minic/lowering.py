@@ -1,0 +1,497 @@
+"""Mini-C AST -> IR lowering with type checking (clang -O0 style).
+
+Every local variable and parameter gets an ``alloca`` slot; reads load the
+slot and writes store it. Values never flow between basic blocks except
+through memory. Both properties match clang -O0 and are load-bearing for
+the reproduction: the backend-inserted reloads they force are precisely the
+fault sites IR-level EDDI cannot see (paper Sec. IV-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import Ret
+from repro.ir.module import IRBlock, IRFunction, IRModule
+from repro.ir.types import I1, I32, I64, PointerType, Type, VOID
+from repro.ir.values import Constant, Value
+from repro.minic import ast
+
+_INT = ast.TypeName("int")
+_LONG = ast.TypeName("long")
+_VOID = ast.TypeName("void")
+#: Wildcard pointer type of ``malloc`` results.
+_WILD_PTR = ast.TypeName("void", 1)
+
+#: Builtin signatures: name -> (param types, return type).
+BUILTINS: dict[str, tuple[tuple[ast.TypeName, ...], ast.TypeName]] = {
+    "malloc": ((_INT,), _WILD_PTR),
+    "free": ((_WILD_PTR,), _VOID),
+    "print_int": ((_INT,), _VOID),
+    "print_long": ((_LONG,), _VOID),
+    "srand": ((_INT,), _VOID),
+    "rand_next": ((), _INT),
+    "exit": ((_INT,), _VOID),
+}
+
+_CMP_PREDS = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+              ">": "sgt", ">=": "sge"}
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+              "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+
+
+def _ir_type(tn: ast.TypeName) -> Type:
+    if tn.is_pointer:
+        inner = ast.TypeName(tn.base, tn.pointer_depth - 1)
+        if inner.is_void:
+            return PointerType(None)
+        return PointerType(_ir_type(inner))
+    if tn.base == "int":
+        return I32
+    if tn.base == "long":
+        return I64
+    if tn.base == "void":
+        return VOID
+    raise SemanticError(f"unknown type {tn}")
+
+
+@dataclass
+class _Binding:
+    slot: Value               # the alloca (or, for arrays, the array alloca)
+    type: ast.TypeName        # declared source type (arrays: element type + ptr)
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class _Typed:
+    """A lowered expression: IR value plus its source-level type."""
+
+    value: Value
+    type: ast.TypeName
+
+
+class _FunctionLowering:
+    def __init__(self, module: IRModule, func_ast: ast.FunctionDef,
+                 signatures: dict[str, tuple[tuple[ast.TypeName, ...],
+                                             ast.TypeName]]) -> None:
+        self.module = module
+        self.func_ast = func_ast
+        self.signatures = signatures
+        self.function = IRFunction(
+            func_ast.name,
+            [(p.name, _ir_type(p.type)) for p in func_ast.params],
+            _ir_type(func_ast.return_type),
+        )
+        self.builder = IRBuilder(self.function)
+        self.scopes: list[dict[str, _Binding]] = []
+        self.loop_stack: list[tuple[IRBlock, IRBlock]] = []  # (continue, break)
+
+    def _err(self, line: int, message: str) -> SemanticError:
+        return SemanticError(f"{self.func_ast.name}:{line}: {message}")
+
+    # -- scope handling ------------------------------------------------------
+
+    def _declare(self, line: int, name: str, binding: _Binding) -> None:
+        if name in self.scopes[-1]:
+            raise self._err(line, f"redeclaration of {name!r}")
+        self.scopes[-1][name] = binding
+
+    def _lookup(self, line: int, name: str) -> _Binding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise self._err(line, f"use of undeclared variable {name!r}")
+
+    # -- type coercion -------------------------------------------------------
+
+    def _coerce(self, line: int, typed: _Typed, target: ast.TypeName) -> Value:
+        source = typed.type
+        if source == target:
+            return typed.value
+        if source.is_pointer and target.is_pointer:
+            # Wildcard pointers (malloc / free) adopt/erase the pointee.
+            if source == _WILD_PTR or target == _WILD_PTR:
+                return typed.value
+            raise self._err(line, f"cannot convert {source} to {target}")
+        if source.is_pointer or target.is_pointer:
+            raise self._err(line, f"cannot convert {source} to {target}")
+        if target.base == "long" and source.base == "int":
+            return self.builder.cast("sext", typed.value, I64)
+        if target.base == "int" and source.base == "long":
+            return self.builder.cast("trunc", typed.value, I32)
+        raise self._err(line, f"cannot convert {source} to {target}")
+
+    def _promote_pair(self, line: int, lhs: _Typed, rhs: _Typed) \
+            -> tuple[Value, Value, ast.TypeName]:
+        if lhs.type.is_pointer or rhs.type.is_pointer:
+            raise self._err(line, "pointer arithmetic only supports p + i")
+        common = _LONG if "long" in (lhs.type.base, rhs.type.base) else _INT
+        return (self._coerce(line, lhs, common),
+                self._coerce(line, rhs, common), common)
+
+    # -- expressions -----------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> _Typed:
+        if isinstance(expr, ast.IntLiteral):
+            if -(2 ** 31) <= expr.value < 2 ** 31:
+                return _Typed(Constant(expr.value, I32), _INT)
+            return _Typed(Constant(expr.value, I64), _LONG)
+        if isinstance(expr, ast.VarRef):
+            binding = self._lookup(expr.line, expr.name)
+            if binding.is_array:
+                # Array-to-pointer decay: the slot address is the value.
+                return _Typed(binding.slot, binding.type)
+            value = self.builder.load(binding.slot, name=expr.name)
+            return _Typed(value, binding.type)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Index):
+            ptr, elem_type = self._element_pointer(expr)
+            return _Typed(self.builder.load(ptr), elem_type)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        raise self._err(expr.line, f"cannot lower expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: ast.Unary) -> _Typed:
+        operand = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            if operand.type.is_pointer:
+                raise self._err(expr.line, "cannot negate a pointer")
+            zero = Constant(0, _ir_type(operand.type))
+            return _Typed(self.builder.binop("sub", zero, operand.value),
+                          operand.type)
+        # '!': compare against zero, materialize as int 0/1.
+        zero = Constant(0, _ir_type(operand.type) if not operand.type.is_pointer
+                        else I64)
+        cond = self.builder.icmp("eq", operand.value, zero)
+        return _Typed(self.builder.cast("zext", cond, I32), _INT)
+
+    def _lower_binary(self, expr: ast.Binary) -> _Typed:
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        if expr.op in _CMP_PREDS:
+            cond = self._lower_comparison(expr)
+            return _Typed(self.builder.cast("zext", cond, I32), _INT)
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if expr.op == "+" and (lhs.type.is_pointer or rhs.type.is_pointer):
+            ptr, idx = (lhs, rhs) if lhs.type.is_pointer else (rhs, lhs)
+            if idx.type.is_pointer:
+                raise self._err(expr.line, "cannot add two pointers")
+            index = self._coerce(expr.line, idx, _LONG)
+            return _Typed(self.builder.ptradd(ptr.value, index), ptr.type)
+        if expr.op == "-" and lhs.type.is_pointer:
+            if rhs.type.is_pointer:
+                raise self._err(expr.line, "pointer difference unsupported")
+            index = self._coerce(expr.line, rhs, _LONG)
+            zero = Constant(0, I64)
+            neg = self.builder.binop("sub", zero, index)
+            return _Typed(self.builder.ptradd(lhs.value, neg), lhs.type)
+        a, b, common = self._promote_pair(expr.line, lhs, rhs)
+        op = _ARITH_OPS.get(expr.op)
+        if op is None:
+            raise self._err(expr.line, f"unsupported operator {expr.op!r}")
+        return _Typed(self.builder.binop(op, a, b), common)
+
+    def _lower_short_circuit(self, expr: ast.Binary) -> _Typed:
+        """``a && b`` / ``a || b`` with a result slot (value flows via memory)."""
+        result_slot = self.builder.alloca(I32, name=f"sc{expr.line}")
+        is_and = expr.op == "&&"
+        rhs_block = self.builder.new_block("sc_rhs")
+        short_block = self.builder.new_block("sc_short")
+        join_block = self.builder.new_block("sc_join")
+
+        lhs_cond = self._lower_condition(expr.lhs)
+        if is_and:
+            self.builder.br(lhs_cond, rhs_block.label, short_block.label)
+        else:
+            self.builder.br(lhs_cond, short_block.label, rhs_block.label)
+
+        self.builder.position_at(short_block)
+        self.builder.store(Constant(0 if is_and else 1, I32), result_slot)
+        self.builder.jump(join_block.label)
+
+        self.builder.position_at(rhs_block)
+        rhs_cond = self._lower_condition(expr.rhs)
+        rhs_int = self.builder.cast("zext", rhs_cond, I32)
+        self.builder.store(rhs_int, result_slot)
+        self.builder.jump(join_block.label)
+
+        self.builder.position_at(join_block)
+        return _Typed(self.builder.load(result_slot), _INT)
+
+    def _lower_comparison(self, expr: ast.Binary) -> Value:
+        """Lower a comparison operator to a bare ``i1`` (no zext)."""
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if lhs.type.is_pointer != rhs.type.is_pointer:
+            raise self._err(expr.line, "comparison of pointer and integer")
+        if lhs.type.is_pointer:
+            return self.builder.icmp(_CMP_PREDS[expr.op], lhs.value, rhs.value)
+        a, b, _ = self._promote_pair(expr.line, lhs, rhs)
+        return self.builder.icmp(_CMP_PREDS[expr.op], a, b)
+
+    def _lower_condition(self, expr: ast.Expr) -> Value:
+        """Lower an expression to an ``i1`` for branching.
+
+        Comparisons and ``!`` feed the branch directly (the clang -O0
+        shape); anything else is compared against zero.
+        """
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_PREDS:
+            return self._lower_comparison(expr)
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            operand = self._lower_expr(expr.operand)
+            zero_type = I64 if operand.type.is_pointer else _ir_type(operand.type)
+            return self.builder.icmp("eq", operand.value,
+                                     Constant(0, zero_type))
+        typed = self._lower_expr(expr)
+        if typed.value.type == I1:
+            return typed.value
+        zero_type = I64 if typed.type.is_pointer else _ir_type(typed.type)
+        return self.builder.icmp("ne", typed.value, Constant(0, zero_type))
+
+    def _element_pointer(self, expr: ast.Index) -> tuple[Value, ast.TypeName]:
+        base = self._lower_expr(expr.base)
+        if not base.type.is_pointer:
+            raise self._err(expr.line, "indexing a non-pointer")
+        if base.type == _WILD_PTR:
+            raise self._err(expr.line, "cannot index a void pointer")
+        index = self._lower_expr(expr.index)
+        index64 = self._coerce(expr.line, index, _LONG)
+        elem_type = ast.TypeName(base.type.base, base.type.pointer_depth - 1)
+        return self.builder.ptradd(base.value, index64), elem_type
+
+    def _lower_call(self, expr: ast.CallExpr) -> _Typed:
+        if expr.callee in self.signatures:
+            param_types, return_type = self.signatures[expr.callee]
+        elif expr.callee in BUILTINS:
+            param_types, return_type = BUILTINS[expr.callee]
+        else:
+            raise self._err(expr.line, f"call to unknown function {expr.callee!r}")
+        if len(expr.args) != len(param_types):
+            raise self._err(
+                expr.line,
+                f"{expr.callee} expects {len(param_types)} args, got {len(expr.args)}",
+            )
+        args = []
+        for arg_expr, param_type in zip(expr.args, param_types):
+            typed = self._lower_expr(arg_expr)
+            args.append(self._coerce(arg_expr.line, typed, param_type))
+        value = self.builder.call(expr.callee, args, _ir_type(return_type),
+                                  name=expr.callee)
+        return _Typed(value, return_type)
+
+    # -- statements ------------------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if self.builder.terminated:
+            return  # unreachable code after return/break: drop it
+        if isinstance(stmt, ast.Block):
+            self.scopes.append({})
+            for inner in stmt.statements:
+                self._lower_stmt(inner)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Declaration):
+            self._lower_declaration(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise self._err(stmt.line, "break outside a loop")
+            self.builder.jump(self.loop_stack[-1][1].label)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise self._err(stmt.line, "continue outside a loop")
+            self.builder.jump(self.loop_stack[-1][0].label)
+        else:
+            raise self._err(stmt.line, f"cannot lower {type(stmt).__name__}")
+
+    def _lower_declaration(self, stmt: ast.Declaration) -> None:
+        if stmt.array_size is not None:
+            elem = _ir_type(stmt.type)
+            slot = self.builder.alloca(elem, count=stmt.array_size,
+                                       name=stmt.name)
+            pointer_type = ast.TypeName(stmt.type.base,
+                                        stmt.type.pointer_depth + 1)
+            self._declare(stmt.line, stmt.name,
+                          _Binding(slot, pointer_type, is_array=True))
+            return
+        slot = self.builder.alloca(_ir_type(stmt.type), name=stmt.name)
+        self._declare(stmt.line, stmt.name, _Binding(slot, stmt.type))
+        if stmt.init is not None:
+            typed = self._lower_expr(stmt.init)
+            self.builder.store(self._coerce(stmt.line, typed, stmt.type), slot)
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        if isinstance(stmt.target, ast.VarRef):
+            binding = self._lookup(stmt.line, stmt.target.name)
+            if binding.is_array:
+                raise self._err(stmt.line, "cannot assign to an array")
+            typed = self._lower_expr(stmt.value)
+            self.builder.store(self._coerce(stmt.line, typed, binding.type),
+                               binding.slot)
+        else:
+            assert isinstance(stmt.target, ast.Index)
+            ptr, elem_type = self._element_pointer(stmt.target)
+            typed = self._lower_expr(stmt.value)
+            self.builder.store(self._coerce(stmt.line, typed, elem_type), ptr)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        then_block = self.builder.new_block("if_then")
+        join_block = self.builder.new_block("if_join")
+        else_block = (self.builder.new_block("if_else")
+                      if stmt.else_body is not None else join_block)
+
+        cond = self._lower_condition(stmt.cond)
+        self.builder.br(cond, then_block.label, else_block.label)
+
+        self.builder.position_at(then_block)
+        self._lower_stmt(stmt.then_body)
+        if not self.builder.terminated:
+            self.builder.jump(join_block.label)
+
+        if stmt.else_body is not None:
+            self.builder.position_at(else_block)
+            self._lower_stmt(stmt.else_body)
+            if not self.builder.terminated:
+                self.builder.jump(join_block.label)
+
+        self.builder.position_at(join_block)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        cond_block = self.builder.new_block("while_cond")
+        body_block = self.builder.new_block("while_body")
+        end_block = self.builder.new_block("while_end")
+
+        self.builder.jump(cond_block.label)
+        self.builder.position_at(cond_block)
+        cond = self._lower_condition(stmt.cond)
+        self.builder.br(cond, body_block.label, end_block.label)
+
+        self.builder.position_at(body_block)
+        self.loop_stack.append((cond_block, end_block))
+        self._lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.terminated:
+            self.builder.jump(cond_block.label)
+
+        self.builder.position_at(end_block)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        cond_block = self.builder.new_block("for_cond")
+        body_block = self.builder.new_block("for_body")
+        step_block = self.builder.new_block("for_step")
+        end_block = self.builder.new_block("for_end")
+
+        self.builder.jump(cond_block.label)
+        self.builder.position_at(cond_block)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            self.builder.br(cond, body_block.label, end_block.label)
+        else:
+            self.builder.jump(body_block.label)
+
+        self.builder.position_at(body_block)
+        self.loop_stack.append((step_block, end_block))
+        self._lower_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.terminated:
+            self.builder.jump(step_block.label)
+
+        self.builder.position_at(step_block)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self.builder.jump(cond_block.label)
+
+        self.builder.position_at(end_block)
+        self.scopes.pop()
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        declared = self.func_ast.return_type
+        if declared.is_void:
+            if stmt.value is not None:
+                raise self._err(stmt.line, "void function returns a value")
+            self.builder.ret()
+            return
+        if stmt.value is None:
+            raise self._err(stmt.line, "non-void function returns nothing")
+        typed = self._lower_expr(stmt.value)
+        self.builder.ret(self._coerce(stmt.line, typed, declared))
+
+    # -- driver ------------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        entry = self.function.add_block("entry")
+        self.builder.position_at(entry)
+        self.scopes.append({})
+        for param, arg in zip(self.func_ast.params, self.function.args):
+            slot = self.builder.alloca(_ir_type(param.type),
+                                       name=f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self._declare(self.func_ast.line, param.name,
+                          _Binding(slot, param.type))
+        self._lower_stmt(self.func_ast.body)
+        if not self.builder.terminated:
+            if self.func_ast.return_type.is_void:
+                self.builder.ret()
+            elif self.func_ast.name == "main":
+                self.builder.ret(Constant(0, I32))
+            else:
+                raise self._err(self.func_ast.line,
+                                "control reaches end of non-void function")
+        self.scopes.pop()
+        self._prune_unreachable_blocks()
+        return self.function
+
+    def _prune_unreachable_blocks(self) -> None:
+        """Drop blocks with no terminator left dangling by early returns."""
+        for block in self.function.blocks:
+            if block.terminator is None and not block.instructions:
+                # Empty join block after a statement that always returns:
+                # give it an explicit terminator so the verifier passes.
+                if self.func_ast.return_type.is_void:
+                    block.append(Ret())
+                else:
+                    block.append(
+                        Ret(Constant(0, _ir_type(self.func_ast.return_type)))
+                    )
+
+
+def compile_to_ir(source: str) -> IRModule:
+    """Compile mini-C source text to a verified IR module."""
+    from repro.ir.verifier import verify_module
+    from repro.minic.parser import parse
+
+    program = parse(source)
+    module = IRModule()
+    signatures = {
+        f.name: (tuple(p.type for p in f.params), f.return_type)
+        for f in program.functions
+    }
+    if len(signatures) != len(program.functions):
+        raise SemanticError("duplicate function definition")
+    for func_ast in program.functions:
+        if func_ast.name in BUILTINS:
+            raise SemanticError(f"{func_ast.name!r} shadows a builtin")
+        module.add_function(
+            _FunctionLowering(module, func_ast, signatures).lower()
+        )
+    verify_module(module)
+    return module

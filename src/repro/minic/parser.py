@@ -1,0 +1,306 @@
+"""Recursive-descent parser for mini-C.
+
+Produces the AST of :mod:`repro.minic.ast`. Compound assignments and
+``++``/``--`` are desugared here (``x += e`` becomes ``x = x + e``) so the
+lowering stage only sees plain assignments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+_BASE_TYPES = ("int", "long", "void")
+
+#: Binary operator precedence tiers, weakest first.
+_PRECEDENCE: tuple[tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "<<=": "<<", ">>=": ">>"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._current
+        return ParseError(message, tok.line, tok.column)
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self._current
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def _match(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._match(kind, text)
+        if token is None:
+            want = text or kind.value
+            raise self._error(f"expected {want!r}, found {self._current.text!r}")
+        return token
+
+    def _at_type(self) -> bool:
+        return self._current.kind is TokenKind.KEYWORD and \
+            self._current.text in _BASE_TYPES
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self._check(TokenKind.EOF):
+            functions.append(self._function())
+        return ast.Program(tuple(functions))
+
+    def _type_name(self) -> ast.TypeName:
+        base = self._expect(TokenKind.KEYWORD).text
+        if base not in _BASE_TYPES:
+            raise self._error(f"{base!r} is not a type")
+        depth = 0
+        while self._match(TokenKind.OP, "*"):
+            depth += 1
+        return ast.TypeName(base, depth)
+
+    def _function(self) -> ast.FunctionDef:
+        line = self._current.line
+        return_type = self._type_name()
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.OP, "(")
+        params: list[ast.Param] = []
+        if not self._check(TokenKind.OP, ")"):
+            while True:
+                ptype = self._type_name()
+                pname = self._expect(TokenKind.IDENT).text
+                params.append(ast.Param(ptype, pname))
+                if not self._match(TokenKind.OP, ","):
+                    break
+        self._expect(TokenKind.OP, ")")
+        body = self._block()
+        return ast.FunctionDef(line, return_type, name, tuple(params), body)
+
+    def _block(self) -> ast.Block:
+        line = self._current.line
+        self._expect(TokenKind.OP, "{")
+        statements: list[ast.Stmt] = []
+        while not self._check(TokenKind.OP, "}"):
+            if self._check(TokenKind.EOF):
+                raise self._error("unterminated block")
+            statements.append(self._statement())
+        self._expect(TokenKind.OP, "}")
+        return ast.Block(line, tuple(statements))
+
+    def _statement(self) -> ast.Stmt:
+        line = self._current.line
+        if self._check(TokenKind.OP, "{"):
+            return self._block()
+        if self._check(TokenKind.KEYWORD, "if"):
+            return self._if()
+        if self._check(TokenKind.KEYWORD, "while"):
+            return self._while()
+        if self._check(TokenKind.KEYWORD, "for"):
+            return self._for()
+        if self._match(TokenKind.KEYWORD, "return"):
+            value = None
+            if not self._check(TokenKind.OP, ";"):
+                value = self._expression()
+            self._expect(TokenKind.OP, ";")
+            return ast.Return(line, value)
+        if self._match(TokenKind.KEYWORD, "break"):
+            self._expect(TokenKind.OP, ";")
+            return ast.Break(line)
+        if self._match(TokenKind.KEYWORD, "continue"):
+            self._expect(TokenKind.OP, ";")
+            return ast.Continue(line)
+        if self._at_type():
+            return self._declaration()
+        stmt = self._simple_statement()
+        self._expect(TokenKind.OP, ";")
+        return stmt
+
+    def _declaration(self) -> ast.Stmt:
+        line = self._current.line
+        type_name = self._type_name()
+        if type_name.is_void:
+            raise self._error("cannot declare a void variable")
+        name = self._expect(TokenKind.IDENT).text
+        array_size = None
+        init = None
+        if self._match(TokenKind.OP, "["):
+            size_tok = self._expect(TokenKind.INT_LITERAL)
+            array_size = int(size_tok.text)
+            self._expect(TokenKind.OP, "]")
+        if self._match(TokenKind.OP, "="):
+            if array_size is not None:
+                raise self._error("array initializers are not supported")
+            init = self._expression()
+        self._expect(TokenKind.OP, ";")
+        return ast.Declaration(line, type_name, name, array_size, init)
+
+    def _if(self) -> ast.Stmt:
+        line = self._current.line
+        self._expect(TokenKind.KEYWORD, "if")
+        self._expect(TokenKind.OP, "(")
+        cond = self._expression()
+        self._expect(TokenKind.OP, ")")
+        then_body = self._statement()
+        else_body = None
+        if self._match(TokenKind.KEYWORD, "else"):
+            else_body = self._statement()
+        return ast.If(line, cond, then_body, else_body)
+
+    def _while(self) -> ast.Stmt:
+        line = self._current.line
+        self._expect(TokenKind.KEYWORD, "while")
+        self._expect(TokenKind.OP, "(")
+        cond = self._expression()
+        self._expect(TokenKind.OP, ")")
+        body = self._statement()
+        return ast.While(line, cond, body)
+
+    def _for(self) -> ast.Stmt:
+        line = self._current.line
+        self._expect(TokenKind.KEYWORD, "for")
+        self._expect(TokenKind.OP, "(")
+        init: ast.Stmt | None = None
+        if not self._check(TokenKind.OP, ";"):
+            init = self._declaration_or_simple()
+        else:
+            self._expect(TokenKind.OP, ";")
+        cond: ast.Expr | None = None
+        if not self._check(TokenKind.OP, ";"):
+            cond = self._expression()
+        self._expect(TokenKind.OP, ";")
+        step: ast.Stmt | None = None
+        if not self._check(TokenKind.OP, ")"):
+            step = self._simple_statement()
+        self._expect(TokenKind.OP, ")")
+        body = self._statement()
+        return ast.For(line, init, cond, step, body)
+
+    def _declaration_or_simple(self) -> ast.Stmt:
+        if self._at_type():
+            return self._declaration()  # consumes the ';'
+        stmt = self._simple_statement()
+        self._expect(TokenKind.OP, ";")
+        return stmt
+
+    def _simple_statement(self) -> ast.Stmt:
+        """Assignment, increment, or bare expression (no trailing ';')."""
+        line = self._current.line
+        expr = self._expression()
+        if self._match(TokenKind.OP, "="):
+            value = self._expression()
+            return ast.Assign(line, self._require_lvalue(expr), value)
+        for op_text, base_op in _COMPOUND_OPS.items():
+            if self._match(TokenKind.OP, op_text):
+                value = self._expression()
+                target = self._require_lvalue(expr)
+                return ast.Assign(line, target,
+                                  ast.Binary(line, base_op, expr, value))
+        if self._match(TokenKind.OP, "++"):
+            target = self._require_lvalue(expr)
+            one = ast.IntLiteral(line, 1)
+            return ast.Assign(line, target, ast.Binary(line, "+", expr, one))
+        if self._match(TokenKind.OP, "--"):
+            target = self._require_lvalue(expr)
+            one = ast.IntLiteral(line, 1)
+            return ast.Assign(line, target, ast.Binary(line, "-", expr, one))
+        return ast.ExprStmt(line, expr)
+
+    def _require_lvalue(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, (ast.VarRef, ast.Index)):
+            return expr
+        raise self._error("assignment target must be a variable or index")
+
+    # -- expressions -----------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_PRECEDENCE):
+            return self._unary()
+        lhs = self._binary(tier + 1)
+        ops = _PRECEDENCE[tier]
+        while self._current.kind is TokenKind.OP and self._current.text in ops:
+            op = self._advance().text
+            rhs = self._binary(tier + 1)
+            lhs = ast.Binary(lhs.line, op, lhs, rhs)
+        return lhs
+
+    def _unary(self) -> ast.Expr:
+        line = self._current.line
+        if self._match(TokenKind.OP, "-"):
+            return ast.Unary(line, "-", self._unary())
+        if self._match(TokenKind.OP, "!"):
+            return ast.Unary(line, "!", self._unary())
+        if self._match(TokenKind.OP, "+"):
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self._match(TokenKind.OP, "["):
+                index = self._expression()
+                self._expect(TokenKind.OP, "]")
+                expr = ast.Index(expr.line, expr, index)
+            elif self._check(TokenKind.OP, "(") and isinstance(expr, ast.VarRef):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.OP, ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._match(TokenKind.OP, ","):
+                            break
+                self._expect(TokenKind.OP, ")")
+                expr = ast.CallExpr(expr.line, expr.name, tuple(args))
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self._current
+        if tok.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.IntLiteral(tok.line, int(tok.text))
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.VarRef(tok.line, tok.text)
+        if self._match(TokenKind.OP, "("):
+            expr = self._expression()
+            self._expect(TokenKind.OP, ")")
+            return expr
+        raise self._error(f"unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

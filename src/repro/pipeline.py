@@ -1,0 +1,130 @@
+"""End-to-end compilation pipeline: mini-C source -> protected executables.
+
+One call builds any subset of the four variants evaluated in the paper:
+
+* ``raw`` — unprotected: source -> IR -> x86-64;
+* ``ir-eddi`` — IR-LEVEL-EDDI baseline: EDDI pass on the IR, then the
+  ordinary backend;
+* ``hybrid`` — HYBRID-ASSEMBLY-LEVEL-EDDI baseline: signature branch
+  protection at IR level, then scalar AS₁ duplication on the compiled
+  assembly;
+* ``ferrum`` — FERRUM: ordinary compilation, then the AS₂ transform with
+  SIMD batching and deferred flag detection.
+
+Each variant re-runs the (deterministic) frontend so the transforms can
+mutate their module freely. Transform wall-clock time is recorded per
+variant — the paper's Sec. IV-B3 metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.asm.program import AsmProgram, validate_program
+from repro.backend import compile_module
+from repro.core.config import FerrumConfig
+from repro.core.ferrum import protect_program
+from repro.core.hybrid import protect_program_hybrid
+from repro.eddi.ir_eddi import protect_module
+from repro.eddi.signatures import protect_branches_with_signatures
+from repro.errors import ReproError
+from repro.ir.module import IRModule
+from repro.ir.verifier import verify_module
+from repro.minic import compile_to_ir
+
+#: Variant names in canonical (paper) order.
+VARIANTS: tuple[str, ...] = ("raw", "ir-eddi", "hybrid", "ferrum")
+
+
+@dataclass
+class CompiledVariant:
+    """One protection variant of a program."""
+
+    name: str
+    asm: AsmProgram
+    ir: IRModule
+    stats: Any = None
+    transform_seconds: float = 0.0
+
+    @property
+    def static_size(self) -> int:
+        return self.asm.static_size()
+
+
+@dataclass
+class BuildResult:
+    """All requested variants of one source program."""
+
+    source: str
+    variants: dict[str, CompiledVariant] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> CompiledVariant:
+        try:
+            return self.variants[name]
+        except KeyError:
+            raise ReproError(f"variant {name!r} was not built") from None
+
+
+def _build_raw(source: str) -> CompiledVariant:
+    ir = compile_to_ir(source)
+    return CompiledVariant("raw", compile_module(ir), ir)
+
+
+def _build_ir_eddi(source: str) -> CompiledVariant:
+    ir = compile_to_ir(source)
+    start = time.perf_counter()
+    stats = protect_module(ir)
+    elapsed = time.perf_counter() - start
+    verify_module(ir)
+    return CompiledVariant("ir-eddi", compile_module(ir), ir, stats, elapsed)
+
+
+def _build_hybrid(source: str, config: FerrumConfig | None) -> CompiledVariant:
+    ir = compile_to_ir(source)
+    start = time.perf_counter()
+    sig_stats = protect_branches_with_signatures(ir)
+    asm = compile_module(ir)
+    protected, asm_stats = protect_program_hybrid(asm, config)
+    elapsed = time.perf_counter() - start
+    return CompiledVariant(
+        "hybrid", protected, ir,
+        {"signatures": sig_stats, "asm": asm_stats}, elapsed,
+    )
+
+
+def _build_ferrum(source: str, config: FerrumConfig | None) -> CompiledVariant:
+    ir = compile_to_ir(source)
+    asm = compile_module(ir)
+    start = time.perf_counter()
+    protected, stats = protect_program(asm, config)
+    elapsed = time.perf_counter() - start
+    return CompiledVariant("ferrum", protected, ir, stats, elapsed)
+
+
+def build_variants(
+    source: str,
+    names: tuple[str, ...] = VARIANTS,
+    config: FerrumConfig | None = None,
+) -> BuildResult:
+    """Compile ``source`` into every requested protection variant.
+
+    Every produced program is structurally validated (labels and call
+    targets resolve) before it is returned.
+    """
+    result = BuildResult(source)
+    for name in names:
+        if name == "raw":
+            variant = _build_raw(source)
+        elif name == "ir-eddi":
+            variant = _build_ir_eddi(source)
+        elif name == "hybrid":
+            variant = _build_hybrid(source, config)
+        elif name == "ferrum":
+            variant = _build_ferrum(source, config)
+        else:
+            raise ReproError(f"unknown variant {name!r}")
+        validate_program(variant.asm)
+        result.variants[name] = variant
+    return result

@@ -1,0 +1,21 @@
+"""Small shared utilities: bit manipulation, deterministic RNG, text tables."""
+
+from repro.utils.bitops import (
+    flip_bit,
+    mask_for_width,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import format_table
+
+__all__ = [
+    "DeterministicRng",
+    "flip_bit",
+    "format_table",
+    "mask_for_width",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+]

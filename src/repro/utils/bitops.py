@@ -1,0 +1,92 @@
+"""Bit-level helpers shared by the machine simulator and the fault injector.
+
+All register values are stored as unsigned Python integers masked to the
+register width; these helpers centralize the masking and signedness rules so
+instruction semantics stay short and uniform.
+"""
+
+from __future__ import annotations
+
+_MASK_CACHE = {w: (1 << w) - 1 for w in (1, 8, 16, 32, 64, 128, 256)}
+
+
+def mask_for_width(width: int) -> int:
+    """Return an all-ones mask for a bit ``width``.
+
+    >>> hex(mask_for_width(8))
+    '0xff'
+    """
+    try:
+        return _MASK_CACHE[width]
+    except KeyError:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}") from None
+        return (1 << width) - 1
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits, interpreting it as unsigned.
+
+    >>> to_unsigned(-1, 8)
+    255
+    """
+    return value & mask_for_width(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement int.
+
+    >>> to_signed(255, 8)
+    -1
+    >>> to_signed(127, 8)
+    127
+    """
+    value &= mask_for_width(width)
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value
+
+
+def sign_extend(value: int, from_width: int, to_width: int) -> int:
+    """Sign-extend the low ``from_width`` bits of ``value`` to ``to_width``.
+
+    >>> hex(sign_extend(0xFF, 8, 16))
+    '0xffff'
+    """
+    if to_width < from_width:
+        raise ValueError(
+            f"cannot sign-extend from {from_width} to narrower {to_width}"
+        )
+    return to_unsigned(to_signed(value, from_width), to_width)
+
+
+def zero_extend(value: int, from_width: int) -> int:
+    """Zero-extend: simply truncate to ``from_width`` bits (upper bits clear)."""
+    return to_unsigned(value, from_width)
+
+
+def flip_bit(value: int, bit: int, width: int) -> int:
+    """Return ``value`` with bit index ``bit`` flipped, masked to ``width``.
+
+    This is the primitive used by the fault injector to realize a single
+    bit-flip transient fault in a destination register.
+
+    >>> flip_bit(0, 3, 8)
+    8
+    >>> flip_bit(8, 3, 8)
+    0
+    """
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for width {width}")
+    return (value ^ (1 << bit)) & mask_for_width(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (used for parity-flag semantics)."""
+    return bin(value & ((1 << 256) - 1)).count("1")
+
+
+def parity_even(value: int) -> bool:
+    """x86 parity flag: set when the low byte has an even number of set bits."""
+    return popcount(value & 0xFF) % 2 == 0

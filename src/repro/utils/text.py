@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment reports.
+
+The evaluation harness prints paper-style tables (Table I, Table II, the
+Fig. 10/11 series) to stdout; this module holds the one formatting routine
+they share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 22]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(c) for c in row] for row in rows)
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a ratio as a percentage string: 0.2983 -> '29.8%'."""
+    return f"{value * 100:.{digits}f}%"

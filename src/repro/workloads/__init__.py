@@ -1,0 +1,22 @@
+"""Rodinia-like benchmark workloads (paper Table II).
+
+The paper evaluates eight Rodinia benchmarks. Rodinia itself is a C/OpenMP
+suite that cannot run on this self-contained substrate, so each benchmark
+is re-implemented in mini-C preserving its domain and dataflow character
+(Table II: machine learning, graph traversal, dynamic programming, linear
+algebra, data mining, noise estimation). Floating point is replaced by
+fixed-point integer arithmetic — EDDI's mechanics are type-agnostic, and
+the protection transforms never special-case value semantics.
+
+Every workload prints checksums through the deterministic runtime, which
+is what fault-injection campaigns diff for SDC classification.
+"""
+
+from repro.workloads.registry import (
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["WorkloadSpec", "all_workloads", "get_workload", "workload_names"]

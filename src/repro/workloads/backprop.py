@@ -1,0 +1,86 @@
+"""Backprop: feed-forward network training (Rodinia: Machine Learning).
+
+A small 8-4-1 multilayer perceptron trained with backpropagation in Q8.8
+fixed point. The sigmoid is replaced by the fast squash ``x / (1 + |x|)``
+(division-based, so the kernel exercises ``idiv`` protection paths).
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Machine Learning"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the number of training epochs."""
+    epochs = scale
+    return f"""
+// Q8.8 fixed-point helpers ------------------------------------------------
+int fx_mul(int a, int b) {{
+    return (a * b) >> 8;
+}}
+
+int fx_squash(int x) {{
+    // x / (1 + |x|), a division-based sigmoid stand-in.
+    int ax = x;
+    if (ax < 0) {{ ax = -ax; }}
+    return (x * 256) / (256 + ax);
+}}
+
+int main() {{
+    int n_in = 8;
+    int n_hid = 4;
+    srand(1234);
+
+    int* input = malloc(32);
+    int* w1 = malloc(128);        // 8 x 4 input->hidden
+    int* w2 = malloc(16);         // 4 x 1 hidden->output
+    int* hidden = malloc(16);
+    int* delta1 = malloc(16);
+
+    for (int i = 0; i < n_in * n_hid; i++) {{ w1[i] = rand_next() % 128 - 64; }}
+    for (int j = 0; j < n_hid; j++) {{ w2[j] = rand_next() % 128 - 64; }}
+
+    long checksum = 0;
+    for (int epoch = 0; epoch < {epochs}; epoch++) {{
+        for (int sample = 0; sample < 6; sample++) {{
+            for (int i = 0; i < n_in; i++) {{
+                input[i] = (rand_next() % 512) - 256;
+            }}
+            int target = (rand_next() % 512) - 256;
+
+            // Forward pass.
+            for (int j = 0; j < n_hid; j++) {{
+                int acc = 0;
+                for (int i = 0; i < n_in; i++) {{
+                    acc += fx_mul(input[i], w1[i * n_hid + j]);
+                }}
+                hidden[j] = fx_squash(acc);
+            }}
+            int out = 0;
+            for (int j = 0; j < n_hid; j++) {{
+                out += fx_mul(hidden[j], w2[j]);
+            }}
+            out = fx_squash(out);
+
+            // Backward pass (learning rate 1/16).
+            int err = target - out;
+            for (int j = 0; j < n_hid; j++) {{
+                delta1[j] = fx_mul(err, w2[j]);
+                w2[j] += fx_mul(err, hidden[j]) / 16;
+            }}
+            for (int j = 0; j < n_hid; j++) {{
+                for (int i = 0; i < n_in; i++) {{
+                    w1[i * n_hid + j] += fx_mul(delta1[j], input[i]) / 16;
+                }}
+            }}
+            checksum += err;
+        }}
+    }}
+
+    long wsum = 0;
+    for (int i = 0; i < n_in * n_hid; i++) {{ wsum += w1[i]; }}
+    for (int j = 0; j < n_hid; j++) {{ wsum += w2[j]; }}
+    print_long(checksum);
+    print_long(wsum);
+    return 0;
+}}
+"""

@@ -1,0 +1,70 @@
+"""BFS: breadth-first search (Rodinia: Graph Algorithm).
+
+CSR-style adjacency (offsets + edge array) over a deterministic random
+graph (ring plus chords), classic two-array frontier expansion. Outputs the
+visit count and the sum of node levels.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Graph Algorithm"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the node count."""
+    nodes = 48 * scale
+    return f"""
+int main() {{
+    int n = {nodes};
+    int deg = 3;                     // ring edge + 2 chords per node
+    int m = n * deg;
+    srand(99);
+
+    int* offsets = malloc((n + 1) * 4);
+    int* edges = malloc(m * 4);
+    for (int v = 0; v < n; v++) {{
+        offsets[v] = v * deg;
+        edges[v * deg] = (v + 1) % n;          // ring
+        edges[v * deg + 1] = rand_next() % n;  // chord
+        edges[v * deg + 2] = rand_next() % n;  // chord
+    }}
+    offsets[n] = m;
+
+    int* level = malloc(n * 4);
+    int* frontier = malloc(n * 4);
+    int* next_frontier = malloc(n * 4);
+    for (int v = 0; v < n; v++) {{ level[v] = -1; }}
+
+    level[0] = 0;
+    frontier[0] = 0;
+    int frontier_size = 1;
+    int visited = 1;
+    int depth = 0;
+
+    while (frontier_size > 0) {{
+        int next_size = 0;
+        depth++;
+        for (int f = 0; f < frontier_size; f++) {{
+            int v = frontier[f];
+            int start = offsets[v];
+            int stop = offsets[v + 1];
+            for (int e = start; e < stop; e++) {{
+                int w = edges[e];
+                if (level[w] < 0) {{
+                    level[w] = depth;
+                    next_frontier[next_size] = w;
+                    next_size++;
+                    visited++;
+                }}
+            }}
+        }}
+        for (int f = 0; f < next_size; f++) {{ frontier[f] = next_frontier[f]; }}
+        frontier_size = next_size;
+    }}
+
+    long level_sum = 0;
+    for (int v = 0; v < n; v++) {{ level_sum += level[v]; }}
+    print_int(visited);
+    print_long(level_sum);
+    return 0;
+}}
+"""

@@ -1,0 +1,84 @@
+"""Kmeans: k-means clustering (Rodinia: Data Mining).
+
+Lloyd iterations over random 2-D integer points with three centroids:
+assignment by squared distance, centroid update by integer mean (division
+protected by the idiv recipe). Outputs centroid coordinates and the final
+assignment checksum.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Data Mining"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the point count."""
+    points = 28 * scale
+    iterations = 3
+    return f"""
+int main() {{
+    int n = {points};
+    int k = 3;
+    int iters = {iterations};
+    srand(2024);
+
+    int* px = malloc(n * 4);
+    int* py = malloc(n * 4);
+    int* assign = malloc(n * 4);
+    int* cx = malloc(k * 4);
+    int* cy = malloc(k * 4);
+    int* sum_x = malloc(k * 4);
+    int* sum_y = malloc(k * 4);
+    int* count = malloc(k * 4);
+
+    for (int i = 0; i < n; i++) {{
+        int cluster = rand_next() % k;
+        px[i] = cluster * 300 + rand_next() % 100;
+        py[i] = cluster * 300 + rand_next() % 100;
+        assign[i] = 0;
+    }}
+    for (int c = 0; c < k; c++) {{
+        cx[c] = px[c];
+        cy[c] = py[c];
+    }}
+
+    for (int it = 0; it < iters; it++) {{
+        for (int c = 0; c < k; c++) {{
+            sum_x[c] = 0;
+            sum_y[c] = 0;
+            count[c] = 0;
+        }}
+        for (int i = 0; i < n; i++) {{
+            int best = 0;
+            int best_d = 2000000000;
+            for (int c = 0; c < k; c++) {{
+                int dx = px[i] - cx[c];
+                int dy = py[i] - cy[c];
+                int d = dx * dx + dy * dy;
+                if (d < best_d) {{
+                    best_d = d;
+                    best = c;
+                }}
+            }}
+            assign[i] = best;
+            sum_x[best] += px[i];
+            sum_y[best] += py[i];
+            count[best] += 1;
+        }}
+        for (int c = 0; c < k; c++) {{
+            if (count[c] > 0) {{
+                cx[c] = sum_x[c] / count[c];
+                cy[c] = sum_y[c] / count[c];
+            }}
+        }}
+    }}
+
+    long checksum = 0;
+    for (int i = 0; i < n; i++) {{ checksum += assign[i] * (i + 1); }}
+    for (int c = 0; c < k; c++) {{
+        print_int(cx[c]);
+        print_int(cy[c]);
+    }}
+    print_long(checksum);
+    return 0;
+}}
+"""

@@ -1,0 +1,65 @@
+"""kNN: k nearest neighbors (Rodinia: Machine Learning).
+
+Squared-Euclidean nearest-neighbor search of one query point over a random
+2-D record set, with repeated selection of the k closest (the Rodinia "nn"
+pattern of a distance pass plus a winner scan). Outputs the index sum and
+distance sum of the k winners.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Machine Learning"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the record count."""
+    records = 60 * scale
+    k = 5
+    return f"""
+int sq_dist(int x1, int y1, int x2, int y2) {{
+    int dx = x1 - x2;
+    int dy = y1 - y2;
+    return dx * dx + dy * dy;
+}}
+
+int main() {{
+    int n = {records};
+    int k = {k};
+    srand(555);
+
+    int* xs = malloc(n * 4);
+    int* ys = malloc(n * 4);
+    int* dist = malloc(n * 4);
+    int* taken = malloc(n * 4);
+    for (int i = 0; i < n; i++) {{
+        xs[i] = rand_next() % 1000;
+        ys[i] = rand_next() % 1000;
+        taken[i] = 0;
+    }}
+    int qx = rand_next() % 1000;
+    int qy = rand_next() % 1000;
+
+    for (int i = 0; i < n; i++) {{
+        dist[i] = sq_dist(xs[i], ys[i], qx, qy);
+    }}
+
+    long index_sum = 0;
+    long dist_sum = 0;
+    for (int round = 0; round < k; round++) {{
+        int best = -1;
+        int best_dist = 2000000000;
+        for (int i = 0; i < n; i++) {{
+            if (taken[i] == 0 && dist[i] < best_dist) {{
+                best = i;
+                best_dist = dist[i];
+            }}
+        }}
+        taken[best] = 1;
+        index_sum += best;
+        dist_sum += best_dist;
+    }}
+
+    print_long(index_sum);
+    print_long(dist_sum);
+    return 0;
+}}
+"""

@@ -1,0 +1,59 @@
+"""LUD: LU decomposition (Rodinia: Linear Algebra).
+
+Doolittle decomposition without pivoting on a diagonally dominant integer
+matrix scaled by Q8.8 fixed point, so the elimination uses real divisions.
+Outputs checksums of the L and U factors.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Linear Algebra"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` grows the matrix dimension."""
+    n = 8 + 2 * scale
+    return f"""
+int main() {{
+    int n = {n};
+    srand(7);
+
+    // Diagonally dominant matrix in Q8.8: off-diagonal in [-16, 16),
+    // diagonal = row sum of |off-diagonal| + positive slack.
+    int* a = malloc(n * n * 4);
+    for (int i = 0; i < n; i++) {{
+        int rowsum = 0;
+        for (int j = 0; j < n; j++) {{
+            if (i != j) {{
+                int v = (rand_next() % 32) - 16;
+                a[i * n + j] = v * 256;
+                if (v < 0) {{ rowsum += -v; }} else {{ rowsum += v; }}
+            }}
+        }}
+        a[i * n + i] = (rowsum + 8 + rand_next() % 8) * 256;
+    }}
+
+    // In-place Doolittle: L below the diagonal, U on and above.
+    for (int k = 0; k < n; k++) {{
+        int pivot = a[k * n + k];
+        for (int i = k + 1; i < n; i++) {{
+            int factor = (a[i * n + k] * 256) / pivot;   // Q8.8 divide
+            a[i * n + k] = factor;
+            for (int j = k + 1; j < n; j++) {{
+                a[i * n + j] = a[i * n + j] - ((factor * a[k * n + j]) >> 8);
+            }}
+        }}
+    }}
+
+    long lsum = 0;
+    long usum = 0;
+    for (int i = 0; i < n; i++) {{
+        for (int j = 0; j < n; j++) {{
+            if (j < i) {{ lsum += a[i * n + j]; }}
+            else {{ usum += a[i * n + j]; }}
+        }}
+    }}
+    print_long(lsum);
+    print_long(usum);
+    return 0;
+}}
+"""

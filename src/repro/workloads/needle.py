@@ -1,0 +1,55 @@
+"""Needle: Needleman-Wunsch alignment (Rodinia: Dynamic Programming).
+
+Full (n+1)x(n+1) score-matrix global alignment of two random integer
+sequences with a substitution reward and linear gap penalty. Outputs the
+alignment score and a matrix checksum.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Dynamic Programming"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` grows both sequence lengths."""
+    n = 10 + 3 * scale
+    return f"""
+int max3(int a, int b, int c) {{
+    int m = a;
+    if (b > m) {{ m = b; }}
+    if (c > m) {{ m = c; }}
+    return m;
+}}
+
+int main() {{
+    int n = {n};
+    int gap = -2;
+    srand(31);
+
+    int* seq1 = malloc(n * 4);
+    int* seq2 = malloc(n * 4);
+    for (int i = 0; i < n; i++) {{ seq1[i] = rand_next() % 4; }}
+    for (int i = 0; i < n; i++) {{ seq2[i] = rand_next() % 4; }}
+
+    int dim = n + 1;
+    int* score = malloc(dim * dim * 4);
+    for (int i = 0; i < dim; i++) {{ score[i * dim] = i * gap; }}
+    for (int j = 0; j < dim; j++) {{ score[j] = j * gap; }}
+
+    for (int i = 1; i < dim; i++) {{
+        for (int j = 1; j < dim; j++) {{
+            int match = -1;
+            if (seq1[i - 1] == seq2[j - 1]) {{ match = 2; }}
+            int diag = score[(i - 1) * dim + (j - 1)] + match;
+            int up = score[(i - 1) * dim + j] + gap;
+            int left = score[i * dim + (j - 1)] + gap;
+            score[i * dim + j] = max3(diag, up, left);
+        }}
+    }}
+
+    long checksum = 0;
+    for (int i = 0; i < dim * dim; i++) {{ checksum += score[i]; }}
+    print_int(score[dim * dim - 1]);
+    print_long(checksum);
+    return 0;
+}}
+"""

@@ -1,0 +1,80 @@
+"""Particlefilter: sequential Monte Carlo estimator (Rodinia: Noise estimator).
+
+Tracks a 1-D random walk with a particle filter in integer arithmetic:
+propagate particles with LCG noise, weight by inverse absolute observation
+error, estimate by weighted mean (long division), and resample with a
+cumulative-weight wheel. Outputs the tracking error checksum and the final
+estimate.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Noise estimator"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the particle count."""
+    particles = 16 * scale
+    steps = 4
+    return f"""
+int main() {{
+    int n = {particles};
+    int steps = {steps};
+    srand(777);
+
+    int* x = malloc(n * 4);        // particle states
+    int* w = malloc(n * 4);        // weights
+    long* cumulative = malloc(n * 8);
+    int* resampled = malloc(n * 4);
+
+    int true_state = 500;
+    for (int i = 0; i < n; i++) {{ x[i] = 500 + rand_next() % 21 - 10; }}
+
+    long error_sum = 0;
+    int estimate = 0;
+    for (int step = 0; step < steps; step++) {{
+        true_state += rand_next() % 11 - 5;
+        int observation = true_state + rand_next() % 7 - 3;
+
+        // Propagate and weight: w = 4096 / (1 + |x - z|).
+        for (int i = 0; i < n; i++) {{
+            x[i] += rand_next() % 11 - 5;
+            int err = x[i] - observation;
+            if (err < 0) {{ err = -err; }}
+            w[i] = 4096 / (1 + err);
+        }}
+
+        // Weighted-mean estimate.
+        long wsum = 0;
+        long xw = 0;
+        for (int i = 0; i < n; i++) {{
+            wsum += w[i];
+            xw += x[i] * w[i];
+        }}
+        estimate = xw / wsum;
+        error_sum += estimate - true_state;
+
+        // Systematic resampling via the cumulative weight wheel.
+        long acc = 0;
+        for (int i = 0; i < n; i++) {{
+            acc += w[i];
+            cumulative[i] = acc;
+        }}
+        for (int i = 0; i < n; i++) {{
+            long pick = (wsum * (i * 2 + 1)) / (n * 2);
+            int chosen = n - 1;
+            for (int j = 0; j < n; j++) {{
+                if (cumulative[j] > pick) {{
+                    chosen = j;
+                    j = n;          // break out of the scan
+                }}
+            }}
+            resampled[i] = x[chosen];
+        }}
+        for (int i = 0; i < n; i++) {{ x[i] = resampled[i]; }}
+    }}
+
+    print_int(estimate);
+    print_long(error_sum);
+    return 0;
+}}
+"""

@@ -1,0 +1,54 @@
+"""Pathfinder: grid shortest path (Rodinia: Dynamic Programming).
+
+Row-by-row DP over a random cost grid; each cell takes the cheapest of the
+three predecessors above it — the exact Rodinia pathfinder kernel. Outputs
+the minimum path cost and the checksum of the final DP row.
+"""
+
+SUITE = "Rodinia"
+DOMAIN = "Dynamic Programming"
+
+
+def source(scale: int = 1) -> str:
+    """Mini-C source; ``scale`` multiplies the number of rows."""
+    rows = 10 * scale
+    cols = 20
+    return f"""
+int min2(int a, int b) {{
+    if (a < b) {{ return a; }}
+    return b;
+}}
+
+int main() {{
+    int rows = {rows};
+    int cols = {cols};
+    srand(4242);
+
+    int* wall = malloc(rows * cols * 4);
+    for (int i = 0; i < rows * cols; i++) {{ wall[i] = rand_next() % 10; }}
+
+    int* dst = malloc(cols * 4);
+    int* src = malloc(cols * 4);
+    for (int j = 0; j < cols; j++) {{ dst[j] = wall[j]; }}
+
+    for (int r = 1; r < rows; r++) {{
+        for (int j = 0; j < cols; j++) {{ src[j] = dst[j]; }}
+        for (int j = 0; j < cols; j++) {{
+            int best = src[j];
+            if (j > 0) {{ best = min2(best, src[j - 1]); }}
+            if (j < cols - 1) {{ best = min2(best, src[j + 1]); }}
+            dst[j] = wall[r * cols + j] + best;
+        }}
+    }}
+
+    int best = dst[0];
+    long checksum = 0;
+    for (int j = 0; j < cols; j++) {{
+        best = min2(best, dst[j]);
+        checksum += dst[j];
+    }}
+    print_int(best);
+    print_long(checksum);
+    return 0;
+}}
+"""

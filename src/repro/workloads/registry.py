@@ -1,0 +1,69 @@
+"""Workload registry: the paper's Table II benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    backprop,
+    bfs,
+    kmeans,
+    knn,
+    lud,
+    needle,
+    particlefilter,
+    pathfinder,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark: metadata (Table II) plus a parameterized source."""
+
+    name: str
+    suite: str
+    domain: str
+    source_fn: Callable[[int], str]
+
+    def source(self, scale: int = 1) -> str:
+        """Mini-C source text at the given problem scale (>= 1)."""
+        if scale < 1:
+            raise WorkloadError(f"scale must be >= 1, got {scale}")
+        return self.source_fn(scale)
+
+
+_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("backprop", backprop.SUITE, backprop.DOMAIN, backprop.source),
+    WorkloadSpec("bfs", bfs.SUITE, bfs.DOMAIN, bfs.source),
+    WorkloadSpec("pathfinder", pathfinder.SUITE, pathfinder.DOMAIN,
+                 pathfinder.source),
+    WorkloadSpec("lud", lud.SUITE, lud.DOMAIN, lud.source),
+    WorkloadSpec("needle", needle.SUITE, needle.DOMAIN, needle.source),
+    WorkloadSpec("knn", knn.SUITE, knn.DOMAIN, knn.source),
+    WorkloadSpec("kmeans", kmeans.SUITE, kmeans.DOMAIN, kmeans.source),
+    WorkloadSpec("particlefilter", particlefilter.SUITE,
+                 particlefilter.DOMAIN, particlefilter.source),
+)
+
+_BY_NAME = {spec.name: spec for spec in _WORKLOADS}
+
+
+def all_workloads() -> tuple[WorkloadSpec, ...]:
+    """Every registered workload, in the paper's Table II order."""
+    return _WORKLOADS
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(spec.name for spec in _WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up one workload by name; raises WorkloadError when unknown."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(_BY_NAME)}"
+        ) from None

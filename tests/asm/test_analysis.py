@@ -1,0 +1,86 @@
+"""Unit tests for register-usage scanning and requisition candidates."""
+
+from repro.asm.analysis import (
+    requisition_candidates,
+    roots_touched_in_block,
+    scan_register_usage,
+)
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.registers import get_register
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _simple_func() -> AsmFunction:
+    block = AsmBlock("f", [
+        ins("movl", Imm(1), _reg("eax")),
+        ins("addl", _reg("ecx"), _reg("eax")),
+        ins("movq", _reg("rax"), Mem(disp=-8, base=get_register("rbp"))),
+        ins("retq"),
+    ])
+    return AsmFunction("f", [block])
+
+
+class TestScan:
+    def test_used_roots_detected(self):
+        usage = scan_register_usage(_simple_func())
+        assert {"rax", "rcx", "rbp"} <= usage.gprs
+        assert "r10" not in usage.gprs
+
+    def test_sub_register_maps_to_root(self):
+        usage = scan_register_usage(_simple_func())
+        assert "rax" in usage.gprs  # via eax
+
+    def test_spare_gprs_exclude_used_and_reserved(self):
+        usage = scan_register_usage(_simple_func())
+        spares = usage.spare_gprs
+        assert "rax" not in spares
+        assert "rsp" not in spares and "rbp" not in spares
+        assert "r10" in spares
+
+    def test_spare_preference_order(self):
+        usage = scan_register_usage(_simple_func())
+        assert usage.spare_gprs[0] == "r10"
+
+    def test_vectors_all_spare_in_scalar_code(self):
+        usage = scan_register_usage(_simple_func())
+        assert len(usage.spare_vectors) == 16
+
+    def test_vector_usage_detected(self):
+        block = AsmBlock("f", [
+            ins("movq", _reg("rax"), _reg("xmm5")),
+            ins("retq"),
+        ])
+        usage = scan_register_usage(AsmFunction("f", [block]))
+        assert "ymm5" in usage.vectors
+        assert "ymm5" not in usage.spare_vectors
+
+    def test_calls_do_not_mark_arg_registers_used(self):
+        block = AsmBlock("f", [ins("call", LabelRef("g")), ins("retq")])
+        usage = scan_register_usage(AsmFunction("f", [block]))
+        assert "rdi" not in usage.gprs
+
+
+class TestRequisition:
+    def test_block_touched_roots(self):
+        block = AsmBlock("b", [ins("movl", Imm(1), _reg("r10d"))])
+        assert roots_touched_in_block(block) == {"r10"}
+
+    def test_candidates_exclude_touched(self):
+        block = AsmBlock("b", [ins("movl", Imm(1), _reg("r10d"))])
+        candidates = requisition_candidates(block)
+        assert "r10" not in candidates
+        assert "r11" in candidates
+
+    def test_candidates_exclude_reserved(self):
+        block = AsmBlock("b", [ins("nop")])
+        candidates = requisition_candidates(block)
+        assert "rsp" not in candidates and "rbp" not in candidates
+
+    def test_call_blocks_everything(self):
+        block = AsmBlock("b", [ins("call", LabelRef("g"))])
+        assert requisition_candidates(block) == ()

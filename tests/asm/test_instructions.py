@@ -1,0 +1,187 @@
+"""Unit tests for the instruction model and its metadata table."""
+
+import pytest
+
+from repro.asm.instructions import (
+    CONDITION_CODES,
+    INVERTED_CC,
+    Instruction,
+    InstrKind,
+    get_spec,
+    ins,
+    known_mnemonics,
+)
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.registers import get_register
+from repro.errors import AsmError
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+class TestSpecTable:
+    def test_widths_from_suffix(self):
+        assert get_spec("movq").width == 64
+        assert get_spec("movl").width == 32
+        assert get_spec("movb").width == 8
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            get_spec("frobnicate")
+
+    def test_cmp_has_no_dest(self):
+        assert not get_spec("cmpl").has_dest
+        assert get_spec("cmpl").writes_flags
+
+    def test_jcc_reads_flags(self):
+        for cc in CONDITION_CODES:
+            spec = get_spec(f"j{cc}")
+            assert spec.reads_flags and spec.cc == cc
+
+    def test_setcc_writes_byte(self):
+        assert get_spec("sete").width == 8
+        assert get_spec("sete").has_dest
+
+    def test_movext_source_widths(self):
+        assert get_spec("movslq").src_width == 32
+        assert get_spec("movzbl").src_width == 8
+
+    def test_inverted_cc_is_involution(self):
+        for cc, inv in INVERTED_CC.items():
+            assert INVERTED_CC[inv] == cc
+
+    def test_known_mnemonics_nonempty(self):
+        assert "vinserti128" in known_mnemonics()
+
+
+class TestConstruction:
+    def test_operand_count_enforced(self):
+        with pytest.raises(AsmError):
+            Instruction("movq", (_reg("rax"),))
+
+    def test_uids_unique(self):
+        a = ins("nop")
+        b = ins("nop")
+        assert a.uid != b.uid
+
+    def test_copy_gets_new_uid(self):
+        a = ins("movq", _reg("rax"), _reg("rbx"))
+        b = a.copy()
+        assert a.uid != b.uid
+        assert b.operands == a.operands
+
+    def test_copy_overrides(self):
+        a = ins("movq", _reg("rax"), _reg("rbx"))
+        b = a.copy(origin="dup")
+        assert b.origin == "dup"
+        assert a.origin == "orig"
+
+
+class TestAccessors:
+    def test_dest_is_last_operand(self):
+        instr = ins("addl", Imm(1), _reg("eax"))
+        assert instr.dest == _reg("eax")
+        assert instr.sources == (Imm(1),)
+
+    def test_cmp_has_no_dest_operand(self):
+        instr = ins("cmpl", Imm(0), _reg("eax"))
+        assert instr.dest is None
+
+    def test_target_label(self):
+        assert ins("jmp", LabelRef("foo")).target_label == "foo"
+        assert ins("call", LabelRef("f")).target_label == "f"
+        assert ins("retq").target_label is None
+
+
+class TestDestRegisters:
+    def test_mov_dest(self):
+        instr = ins("movq", _reg("rax"), _reg("rbx"))
+        assert [r.name for r in instr.dest_registers()] == ["rbx"]
+
+    def test_store_has_no_dest_register(self):
+        instr = ins("movl", _reg("eax"), Mem(disp=-8, base=get_register("rbp")))
+        assert instr.dest_registers() == ()
+
+    def test_cmp_dest_is_flags(self):
+        instr = ins("cmpl", Imm(0), _reg("eax"))
+        assert [r.name for r in instr.dest_registers()] == ["rflags"]
+
+    def test_idiv_implicit_dests(self):
+        instr = ins("idivl", _reg("ecx"))
+        assert {r.name for r in instr.dest_registers()} == {"eax", "edx"}
+        instr64 = ins("idivq", _reg("rcx"))
+        assert {r.name for r in instr64.dest_registers()} == {"rax", "rdx"}
+
+    def test_convert_dests(self):
+        assert [r.name for r in ins("cltq").dest_registers()] == ["rax"]
+        assert [r.name for r in ins("cltd").dest_registers()] == ["edx"]
+        assert [r.name for r in ins("cqto").dest_registers()] == ["rdx"]
+
+    def test_push_not_a_fault_site(self):
+        assert not ins("pushq", _reg("rax")).is_fault_site()
+
+    def test_pop_is_a_fault_site(self):
+        assert ins("popq", _reg("rax")).is_fault_site()
+
+    def test_jmp_not_a_fault_site(self):
+        assert not ins("jmp", LabelRef("x")).is_fault_site()
+
+    def test_vptest_dest_is_flags(self):
+        instr = ins("vptest", _reg("ymm0"), _reg("ymm0"))
+        assert [r.name for r in instr.dest_registers()] == ["rflags"]
+
+
+class TestReadRegisters:
+    def test_mov_reads_source_only(self):
+        instr = ins("movq", _reg("rax"), _reg("rbx"))
+        assert {r.root for r in instr.read_registers()} == {"rax"}
+
+    def test_rmw_alu_reads_dest(self):
+        instr = ins("addl", _reg("ecx"), _reg("eax"))
+        assert {r.root for r in instr.read_registers()} == {"rcx", "rax"}
+
+    def test_mem_operand_reads_address_registers(self):
+        mem = Mem(base=get_register("rax"), index=get_register("rcx"), scale=4)
+        instr = ins("movl", mem, _reg("edx"))
+        assert {r.root for r in instr.read_registers()} == {"rax", "rcx"}
+
+    def test_pinsrq_reads_its_destination(self):
+        instr = ins("pinsrq", Imm(1), _reg("rax"), _reg("xmm0"))
+        roots = {r.root for r in instr.read_registers()}
+        assert "ymm0" in roots and "rax" in roots
+
+    def test_idiv_reads_implicit_pair(self):
+        roots = {r.root for r in ins("idivl", _reg("ecx")).read_registers()}
+        assert {"rax", "rdx", "rcx"} <= roots
+
+
+class TestMemoryEffects:
+    def test_load_reads_memory(self):
+        instr = ins("movq", Mem(disp=-8, base=get_register("rbp")), _reg("rax"))
+        assert instr.reads_memory() and not instr.writes_memory()
+
+    def test_store_writes_memory(self):
+        instr = ins("movq", _reg("rax"), Mem(disp=-8, base=get_register("rbp")))
+        assert instr.writes_memory() and not instr.reads_memory()
+
+    def test_push_pop(self):
+        assert ins("pushq", _reg("rax")).writes_memory()
+        assert ins("popq", _reg("rax")).reads_memory()
+
+    def test_lea_touches_no_memory(self):
+        instr = ins("leaq", Mem(disp=-8, base=get_register("rbp")), _reg("rax"))
+        assert not instr.reads_memory() and not instr.writes_memory()
+
+
+class TestKinds:
+    def test_terminators(self):
+        assert ins("jmp", LabelRef("a")).kind.is_terminator
+        assert ins("je", LabelRef("a")).kind.is_terminator
+        assert ins("retq").kind.is_terminator
+        assert not ins("call", LabelRef("f")).kind.is_terminator
+
+    def test_vector_kinds(self):
+        assert ins("vpxor", _reg("ymm0"), _reg("ymm1"), _reg("ymm2")).kind.is_vector
+        assert ins("vinserti128", Imm(1), _reg("xmm0"), _reg("ymm1"),
+                   _reg("ymm1")).kind.is_vector

@@ -1,0 +1,103 @@
+"""Unit tests for liveness analysis."""
+
+from repro.asm.instructions import ins
+from repro.asm.liveness import (
+    CALLER_SAVED,
+    compute_liveness,
+    instruction_defs,
+    instruction_uses,
+    live_before_each,
+)
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.registers import get_register
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+class TestUseDef:
+    def test_mov_use_def(self):
+        instr = ins("movq", _reg("rax"), _reg("rbx"))
+        assert instruction_uses(instr) == {"rax"}
+        assert instruction_defs(instr) == {"rbx"}
+
+    def test_rmw_uses_dest(self):
+        instr = ins("addq", _reg("rcx"), _reg("rax"))
+        assert instruction_uses(instr) == {"rcx", "rax"}
+
+    def test_call_clobbers_caller_saved(self):
+        instr = ins("call", LabelRef("f"))
+        assert CALLER_SAVED <= instruction_defs(instr)
+        assert "rbx" not in instruction_defs(instr)
+
+    def test_call_uses_arg_registers(self):
+        instr = ins("call", LabelRef("f"))
+        assert {"rdi", "rsi", "rdx", "rcx", "r8", "r9"} <= instruction_uses(instr)
+
+    def test_ret_uses_rax(self):
+        assert "rax" in instruction_uses(ins("retq"))
+
+    def test_push_pop_touch_rsp(self):
+        assert "rsp" in instruction_defs(ins("pushq", _reg("rax")))
+        assert "rsp" in instruction_uses(ins("popq", _reg("rax")))
+
+    def test_mem_operand_uses_address_roots(self):
+        mem = Mem(base=get_register("r8"), index=get_register("r9"))
+        instr = ins("movq", mem, _reg("rax"))
+        assert {"r8", "r9"} <= instruction_uses(instr)
+
+
+class TestLivenessDataflow:
+    def _straightline(self):
+        # rax defined, copied to rbx, rbx returned via rax.
+        block = AsmBlock("f", [
+            ins("movq", Imm(1), _reg("rax")),
+            ins("movq", _reg("rax"), _reg("rbx")),
+            ins("movq", _reg("rbx"), _reg("rax")),
+            ins("retq"),
+        ])
+        return AsmFunction("f", [block])
+
+    def test_straightline_entry_live_in_empty_of_gprs(self):
+        func = self._straightline()
+        result = compute_liveness(func)
+        # rsp is live at entry (ret uses it); no data register is.
+        assert result.live_at_entry("f") <= {"rsp"}
+
+    def test_loop_keeps_counter_live(self):
+        entry = AsmBlock("f", [
+            ins("movq", Imm(0), _reg("rbx")),
+            ins("jmp", LabelRef(".Lloop")),
+        ])
+        loop = AsmBlock(".Lloop", [
+            ins("addq", Imm(1), _reg("rbx")),
+            ins("cmpq", Imm(10), _reg("rbx")),
+            ins("jne", LabelRef(".Lloop")),
+        ])
+        done = AsmBlock(".Ldone", [ins("retq")])
+        func = AsmFunction("f", [entry, loop, done])
+        result = compute_liveness(func)
+        assert "rbx" in result.live_at_entry(".Lloop")
+        assert "rbx" in result.live_at_exit(".Lloop")
+
+    def test_dead_def_not_live(self):
+        func = self._straightline()
+        result = compute_liveness(func)
+        assert "rcx" not in result.live_at_entry("f")
+
+    def test_live_before_each_positions(self):
+        block = AsmBlock("b", [
+            ins("movq", Imm(1), _reg("rax")),
+            ins("movq", _reg("rax"), _reg("rbx")),
+        ])
+        before = live_before_each(block, frozenset({"rbx"}))
+        assert "rax" not in before[0]       # defined by instruction 0
+        assert "rax" in before[1]           # used by instruction 1
+        assert "rbx" not in before[1]       # defined by instruction 1
+
+    def test_live_out_flows_through(self):
+        block = AsmBlock("b", [ins("nop")])
+        before = live_before_each(block, frozenset({"r12"}))
+        assert "r12" in before[0]

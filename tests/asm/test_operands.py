@@ -1,0 +1,54 @@
+"""Unit tests for assembly operands."""
+
+import pytest
+
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.registers import get_register
+
+
+class TestImm:
+    def test_str(self):
+        assert str(Imm(42)) == "$42"
+        assert str(Imm(-8)) == "$-8"
+
+
+class TestReg:
+    def test_str_and_accessors(self):
+        reg = Reg(get_register("eax"))
+        assert str(reg) == "%eax"
+        assert reg.name == "eax"
+        assert reg.root == "rax"
+        assert reg.width == 32
+
+
+class TestMem:
+    def test_disp_base(self):
+        mem = Mem(disp=-8, base=get_register("rbp"))
+        assert str(mem) == "-8(%rbp)"
+
+    def test_base_only(self):
+        assert str(Mem(base=get_register("rax"))) == "(%rax)"
+
+    def test_base_index_scale(self):
+        mem = Mem(base=get_register("rax"), index=get_register("rcx"), scale=4)
+        assert str(mem) == "(%rax,%rcx,4)"
+
+    def test_absolute(self):
+        assert str(Mem(disp=4096)) == "4096"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base=get_register("rax"), scale=3)
+
+    def test_registers(self):
+        mem = Mem(base=get_register("rax"), index=get_register("rcx"))
+        roots = {r.root for r in mem.registers()}
+        assert roots == {"rax", "rcx"}
+
+    def test_registers_empty(self):
+        assert Mem(disp=8).registers() == ()
+
+
+class TestLabelRef:
+    def test_str(self):
+        assert str(LabelRef(".LBB0_3")) == ".LBB0_3"

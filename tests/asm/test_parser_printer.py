@@ -1,0 +1,153 @@
+"""Parser/printer tests, including the hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.instructions import Instruction, ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.parser import parse_instruction, parse_operand, parse_program
+from repro.asm.printer import format_instruction, format_program
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+from repro.asm.registers import GPR64, get_register
+from repro.errors import AsmParseError
+
+
+class TestParseOperand:
+    def test_immediate(self):
+        assert parse_operand("$42") == Imm(42)
+        assert parse_operand("$-8") == Imm(-8)
+
+    def test_register(self):
+        assert parse_operand("%eax") == Reg(get_register("eax"))
+
+    def test_memory_forms(self):
+        assert parse_operand("-8(%rbp)") == Mem(disp=-8,
+                                                base=get_register("rbp"))
+        assert parse_operand("(%rax)") == Mem(base=get_register("rax"))
+        assert parse_operand("(%rax,%rcx,4)") == Mem(
+            base=get_register("rax"), index=get_register("rcx"), scale=4)
+
+    def test_label(self):
+        assert parse_operand(".LBB0_3") == LabelRef(".LBB0_3")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AsmParseError):
+            parse_operand("$abc")
+
+    def test_register_without_sigil_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_operand("rax")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_operand("")
+
+
+class TestParseInstruction:
+    def test_two_operands(self):
+        instr = parse_instruction("movq %rax, %rbx")
+        assert instr.mnemonic == "movq"
+        assert instr.operands == (Reg(get_register("rax")),
+                                  Reg(get_register("rbx")))
+
+    def test_memory_comma_protection(self):
+        instr = parse_instruction("leaq (%rax,%rcx,8), %rdx")
+        assert len(instr.operands) == 2
+
+    def test_comment_preserved(self):
+        instr = parse_instruction("movq %rax, %rbx  # hello world")
+        assert instr.comment == "hello world"
+
+    def test_three_operand_vector(self):
+        instr = parse_instruction("vinserti128 $1, %xmm2, %ymm0, %ymm0")
+        assert instr.mnemonic == "vinserti128"
+        assert len(instr.operands) == 4
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AsmParseError):
+            parse_instruction("movq %rax")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmParseError):
+            parse_instruction("bogus %rax, %rbx")
+
+
+class TestParseProgram:
+    def test_function_and_blocks(self):
+        prog = parse_program(
+            "\t.globl main\nmain:\n\tmovl $1, %eax\n.L1:\n\tretq\n"
+        )
+        func = prog.function("main")
+        assert [b.label for b in func.blocks] == ["main", ".L1"]
+
+    def test_label_outside_function_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_program("orphan:\n\tretq\n")
+
+    def test_globl_label_mismatch_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_program("\t.globl foo\nbar:\n\tretq\n")
+
+    def test_trailing_globl_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_program("\t.globl foo\n")
+
+    def test_blank_lines_and_comments_skipped(self):
+        prog = parse_program(
+            "# header\n\n\t.globl f\nf:\n\t# comment line\n\tretq\n"
+        )
+        assert prog.function("f").static_size() == 1
+
+
+# -- hypothesis round-trip -----------------------------------------------
+
+_REG64 = st.sampled_from(GPR64).map(lambda r: Reg(get_register(r)))
+_IMM = st.integers(-(2 ** 31), 2 ** 31 - 1).map(Imm)
+_MEM = st.builds(
+    Mem,
+    disp=st.integers(-512, 512),
+    base=st.sampled_from(GPR64).map(get_register),
+    index=st.one_of(st.none(), st.sampled_from(GPR64).map(get_register)),
+    scale=st.sampled_from([1, 2, 4, 8]),
+)
+
+
+def _instruction_strategy():
+    two_op = st.one_of(
+        st.tuples(st.just("movq"), st.tuples(_REG64, _REG64)),
+        st.tuples(st.just("movq"), st.tuples(_MEM, _REG64)),
+        st.tuples(st.just("movq"), st.tuples(_REG64, _MEM)),
+        st.tuples(st.just("addq"), st.tuples(_IMM, _REG64)),
+        st.tuples(st.just("cmpq"), st.tuples(_REG64, _REG64)),
+        st.tuples(st.just("leaq"), st.tuples(_MEM, _REG64)),
+    )
+    one_op = st.one_of(
+        st.tuples(st.just("pushq"), st.tuples(_REG64)),
+        st.tuples(st.just("popq"), st.tuples(_REG64)),
+        st.tuples(st.just("negq"), st.tuples(_REG64)),
+    )
+    return st.one_of(two_op, one_op).map(
+        lambda pair: Instruction(pair[0], tuple(pair[1]))
+    )
+
+
+class TestRoundTrip:
+    @given(_instruction_strategy())
+    def test_instruction_roundtrip(self, instr):
+        text = format_instruction(instr)
+        parsed = parse_instruction(text)
+        assert parsed.mnemonic == instr.mnemonic
+        assert parsed.operands == instr.operands
+
+    @given(st.lists(_instruction_strategy(), min_size=1, max_size=12))
+    def test_program_roundtrip(self, instrs):
+        block = AsmBlock("main", instrs + [ins("retq")])
+        program = AsmProgram([AsmFunction("main", [block])])
+        text = format_program(program)
+        reparsed = parse_program(text)
+        assert format_program(reparsed) == text
+
+    def test_roundtrip_of_compiled_program(self, small_build):
+        text = format_program(small_build["ferrum"].asm)
+        assert format_program(parse_program(text)) == text

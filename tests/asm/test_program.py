@@ -1,0 +1,129 @@
+"""Unit tests for blocks, functions, programs and CFG derivation."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Reg
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram, validate_program
+from repro.asm.registers import get_register
+from repro.errors import AsmError
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _func_with_diamond() -> AsmFunction:
+    """entry -> (then | else) -> join -> ret."""
+    entry = AsmBlock("f", [
+        ins("cmpl", Imm(0), _reg("eax")),
+        ins("je", LabelRef(".Lelse")),
+    ])
+    then = AsmBlock(".Lthen", [ins("jmp", LabelRef(".Ljoin"))])
+    els = AsmBlock(".Lelse", [ins("nop")])
+    join = AsmBlock(".Ljoin", [ins("retq")])
+    return AsmFunction("f", [entry, then, els, join])
+
+
+class TestBlock:
+    def test_terminator_detection(self):
+        block = AsmBlock("b", [ins("nop"), ins("retq")])
+        assert block.terminator is not None
+        assert block.terminator.mnemonic == "retq"
+
+    def test_no_terminator(self):
+        assert AsmBlock("b", [ins("nop")]).terminator is None
+
+    def test_call_is_not_terminator(self):
+        block = AsmBlock("b", [ins("call", LabelRef("f"))])
+        assert block.terminator is None
+
+    def test_body_and_terminator_split(self):
+        block = AsmBlock("b", [ins("nop"), ins("retq")])
+        body, term = block.body_and_terminator()
+        assert len(body) == 1 and term.mnemonic == "retq"
+
+
+class TestCfg:
+    def test_jcc_successors(self):
+        func = _func_with_diamond()
+        assert func.successors(func.block("f")) == [".Lelse", ".Lthen"]
+
+    def test_jmp_successor(self):
+        func = _func_with_diamond()
+        assert func.successors(func.block(".Lthen")) == [".Ljoin"]
+
+    def test_fallthrough_successor(self):
+        func = _func_with_diamond()
+        assert func.successors(func.block(".Lelse")) == [".Ljoin"]
+
+    def test_ret_has_no_successors(self):
+        func = _func_with_diamond()
+        assert func.successors(func.block(".Ljoin")) == []
+
+    def test_predecessors(self):
+        func = _func_with_diamond()
+        preds = func.predecessors()
+        assert sorted(preds[".Ljoin"]) == [".Lelse", ".Lthen"]
+        assert preds["f"] == []
+
+    def test_branch_targets(self):
+        func = _func_with_diamond()
+        assert func.branch_targets() == {".Lelse", ".Ljoin"}
+
+
+class TestFunction:
+    def test_duplicate_block_rejected(self):
+        func = AsmFunction("f")
+        with pytest.raises(AsmError):
+            func.add_block("f")
+
+    def test_missing_block_lookup(self):
+        with pytest.raises(AsmError):
+            AsmFunction("f").block("nope")
+
+    def test_static_size(self):
+        assert _func_with_diamond().static_size() == 5
+
+
+class TestProgram:
+    def test_duplicate_function_rejected(self):
+        program = AsmProgram([AsmFunction("f")])
+        with pytest.raises(AsmError):
+            program.add_function(AsmFunction("f"))
+
+    def test_copy_is_deep(self):
+        program = AsmProgram([_func_with_diamond()])
+        clone = program.copy()
+        clone.function("f").entry.instructions.clear()
+        assert program.function("f").entry.instructions
+
+    def test_copy_preserves_metadata(self):
+        program = AsmProgram([_func_with_diamond()], metadata={"k": "v"})
+        assert program.copy().metadata == {"k": "v"}
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        func = AsmFunction("main", [AsmBlock("main", [ins("retq")])])
+        validate_program(AsmProgram([func]))
+
+    def test_unknown_jump_target(self):
+        func = AsmFunction("main", [
+            AsmBlock("main", [ins("jmp", LabelRef("nowhere"))]),
+        ])
+        with pytest.raises(AsmError):
+            validate_program(AsmProgram([func]))
+
+    def test_unknown_call_target(self):
+        func = AsmFunction("main", [
+            AsmBlock("main", [ins("call", LabelRef("nope")), ins("retq")]),
+        ])
+        with pytest.raises(AsmError):
+            validate_program(AsmProgram([func]))
+
+    def test_builtin_call_allowed(self):
+        func = AsmFunction("main", [
+            AsmBlock("main", [ins("call", LabelRef("print_int")), ins("retq")]),
+        ])
+        validate_program(AsmProgram([func]))

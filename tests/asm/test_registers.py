@@ -1,0 +1,105 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.asm.registers import (
+    ARG_GPRS,
+    CALLEE_SAVED,
+    FLAGS,
+    GPR64,
+    RESERVED_GPRS,
+    RegisterKind,
+    XMM,
+    YMM,
+    all_registers,
+    get_register,
+    gpr_with_width,
+    is_register_name,
+    xmm_of,
+    ymm_of,
+)
+from repro.errors import UnknownRegisterError
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert get_register("rax").width == 64
+        assert get_register("eax").width == 32
+        assert get_register("ax").width == 16
+        assert get_register("al").width == 8
+
+    def test_percent_sigil_accepted(self):
+        assert get_register("%rax") is get_register("rax")
+
+    def test_case_insensitive(self):
+        assert get_register("RAX") is get_register("rax")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownRegisterError):
+            get_register("rfoo")
+
+    def test_high_byte_registers_unsupported(self):
+        with pytest.raises(UnknownRegisterError):
+            get_register("ah")
+
+    def test_is_register_name(self):
+        assert is_register_name("%r10")
+        assert not is_register_name("banana")
+
+
+class TestAliasing:
+    def test_sub_registers_share_root(self):
+        for name in ("eax", "ax", "al"):
+            assert get_register(name).root == "rax"
+
+    def test_extended_registers(self):
+        assert get_register("r10d").root == "r10"
+        assert get_register("r10b").width == 8
+
+    def test_xmm_roots_at_ymm(self):
+        assert get_register("xmm3").root == "ymm3"
+        assert get_register("ymm3").root == "ymm3"
+
+    def test_every_gpr_has_four_views(self):
+        for root in GPR64:
+            widths = {
+                reg.width for reg in all_registers()
+                if reg.root == root and reg.kind is RegisterKind.GPR
+            }
+            assert widths == {8, 16, 32, 64}
+
+
+class TestHelpers:
+    def test_gpr_with_width(self):
+        assert gpr_with_width("rax", 32).name == "eax"
+        assert gpr_with_width("r11", 8).name == "r11b"
+        assert gpr_with_width("rsi", 8).name == "sil"
+
+    def test_gpr_with_width_rejects_vector_root(self):
+        with pytest.raises(UnknownRegisterError):
+            gpr_with_width("ymm0", 32)
+
+    def test_xmm_ymm_of(self):
+        assert xmm_of(5).name == "xmm5"
+        assert ymm_of(5).name == "ymm5"
+        assert xmm_of(5).root == ymm_of(5).root
+
+
+class TestConventionSets:
+    def test_reserved(self):
+        assert RESERVED_GPRS == {"rsp", "rbp"}
+
+    def test_arg_order(self):
+        assert ARG_GPRS == ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+    def test_callee_saved_members(self):
+        assert "rbx" in CALLEE_SAVED
+        assert "rax" not in CALLEE_SAVED
+
+    def test_register_counts(self):
+        assert len(GPR64) == 16
+        assert len(XMM) == 16
+        assert len(YMM) == 16
+
+    def test_flags_kind(self):
+        assert FLAGS.kind is RegisterKind.FLAGS

@@ -1,0 +1,77 @@
+"""Frame layout tests."""
+
+import pytest
+
+from repro.backend.frame import FrameLayout
+from repro.errors import BackendError
+from repro.ir.builder import IRBuilder
+from repro.ir.module import IRFunction
+from repro.ir.types import I32, I64
+from repro.ir.values import Constant
+
+
+def _layout(body):
+    """Build f(a: i32) with ``body(builder, func)``; return (layout, result)."""
+    func = IRFunction("f", [("a", I32)], I32)
+    builder = IRBuilder(func)
+    builder.position_at(func.add_block("entry"))
+    values = body(builder, func)
+    builder.ret(Constant(0, I32))
+    return FrameLayout(func), values
+
+
+class TestSlots:
+    def test_argument_slot_offset(self):
+        func = IRFunction("g", [("x", I64)], I64)
+        builder = IRBuilder(func)
+        builder.position_at(func.add_block("entry"))
+        builder.ret(Constant(0, I64))
+        assert FrameLayout(func).slot(func.args[0]) == -8
+
+    def test_value_slots_distinct(self):
+        def body(b, f):
+            x = b.binop("add", f.args[0], Constant(1, I32))
+            y = b.binop("add", x, Constant(2, I32))
+            return (x, y)
+
+        layout, (x, y) = _layout(body)
+        offsets = {layout.slot(x), layout.slot(y)}
+        assert len(offsets) == 2
+        assert all(off < 0 for off in offsets)
+
+    def test_alloca_storage_sized_by_count(self):
+        def body(b, f):
+            arr = b.alloca(I32, count=10)
+            one = b.alloca(I32)
+            return (arr, one)
+
+        layout, (arr, one) = _layout(body)
+        arr_start = layout.storage(arr)
+        one_start = layout.storage(one)
+        # Regions [start, start+size) must not overlap.
+        arr_range = range(arr_start, arr_start + 40)
+        one_range = range(one_start, one_start + 4)
+        assert not set(arr_range) & set(one_range)
+
+    def test_frame_size_is_16_aligned(self):
+        layout, _ = _layout(lambda b, f: b.alloca(I32))
+        assert layout.size % 16 == 0 and layout.size > 0
+
+    def test_missing_slot_raises(self):
+        layout, _ = _layout(lambda b, f: None)
+        with pytest.raises(BackendError):
+            layout.slot(Constant(1, I32))
+
+    def test_alloca_has_storage_but_no_value_slot(self):
+        layout, alloca = _layout(lambda b, f: b.alloca(I32))
+        assert layout.storage(alloca) < 0
+        with pytest.raises(BackendError):
+            layout.slot(alloca)
+
+    def test_has_slot(self):
+        def body(b, f):
+            return b.binop("add", f.args[0], Constant(1, I32))
+
+        layout, value = _layout(body)
+        assert layout.has_slot(value)
+        assert not layout.has_slot(Constant(3, I32))

@@ -1,0 +1,55 @@
+"""Shared fixtures: small programs compiled once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import BuildResult, build_variants
+
+#: A small but feature-rich program: loops, branches, calls, arrays,
+#: division, long arithmetic, short-circuit logic.
+SMALL_SOURCE = """
+int helper(int a, int b) {
+    if (a > b && a % 3 != 0) { return a - b; }
+    return b - a;
+}
+
+int main() {
+    int* data = malloc(32);
+    srand(5);
+    for (int i = 0; i < 8; i++) { data[i] = rand_next() % 50 - 25; }
+    long total = 0;
+    int i = 0;
+    while (i < 8) {
+        total += helper(data[i], i * 2);
+        i++;
+    }
+    if (total < 0) { total = -total; }
+    print_long(total);
+    print_int(helper(9, 4));
+    return 0;
+}
+"""
+
+#: Minimal straight-line program for cheap per-test builds.
+TINY_SOURCE = """
+int main() {
+    int a = 6;
+    int b = 7;
+    int c = a * b + 3;
+    print_int(c);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def small_build() -> BuildResult:
+    """All four variants of SMALL_SOURCE (built once)."""
+    return build_variants(SMALL_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def tiny_build() -> BuildResult:
+    """All four variants of TINY_SOURCE (built once)."""
+    return build_variants(TINY_SOURCE)

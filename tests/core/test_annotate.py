@@ -1,0 +1,118 @@
+"""Annotation (SIMD-ENABLED vs GENERAL classification) tests."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.registers import get_register
+from repro.core.annotate import Protection, classify_block, is_rmw
+from repro.errors import TransformError
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _mem(disp=-8, base="rbp"):
+    return Mem(disp=disp, base=get_register(base))
+
+
+def classify_one(instr, *followers):
+    return classify_block([instr, *followers])[0].protection
+
+
+class TestIsRmw:
+    def test_alu_is_rmw(self):
+        assert is_rmw(ins("addl", Imm(1), _reg("eax")))
+
+    def test_plain_load_not_rmw(self):
+        assert not is_rmw(ins("movq", _mem(), _reg("rax")))
+
+    def test_load_through_own_dest_is_rmw(self):
+        instr = ins("movq", Mem(base=get_register("rax")), _reg("rax"))
+        assert is_rmw(instr)
+
+    def test_store_not_rmw(self):
+        assert not is_rmw(ins("movq", _reg("rax"), _mem()))
+
+    def test_movzbl_same_root_is_rmw(self):
+        assert is_rmw(ins("movzbl", _reg("al"), _reg("eax")))
+
+    def test_reg_to_reg_mov_not_rmw(self):
+        assert not is_rmw(ins("movq", _reg("rsp"), _reg("rbp")))
+
+
+class TestClassification:
+    def test_load_is_simd_enabled(self):
+        assert classify_one(ins("movq", _mem(), _reg("rax")),
+                            ins("retq")) is Protection.SIMD
+
+    def test_lea_is_simd_enabled(self):
+        assert classify_one(ins("leaq", _mem(), _reg("rax")),
+                            ins("retq")) is Protection.SIMD
+
+    def test_rmw_mov_is_general(self):
+        instr = ins("movzbl", _reg("al"), _reg("eax"))
+        assert classify_one(instr, ins("retq")) is Protection.GENERAL
+
+    def test_alu_is_general(self):
+        assert classify_one(ins("addl", Imm(1), _reg("eax")),
+                            ins("retq")) is Protection.GENERAL
+
+    def test_shift_is_general(self):
+        assert classify_one(ins("shll", Imm(2), _reg("eax")),
+                            ins("retq")) is Protection.GENERAL
+
+    def test_store_is_none(self):
+        assert classify_one(ins("movq", _reg("rax"), _mem()),
+                            ins("retq")) is Protection.NONE
+
+    def test_push_call_ret_are_none(self):
+        anns = classify_block([
+            ins("pushq", _reg("rax")),
+            ins("call", LabelRef("f")),
+            ins("retq"),
+        ])
+        assert all(a.protection is Protection.NONE for a in anns)
+
+    def test_idiv_convert_pop(self):
+        anns = classify_block([
+            ins("cltd"),
+            ins("idivl", _reg("ecx")),
+            ins("popq", _reg("rbp")),
+            ins("retq"),
+        ])
+        assert anns[0].protection is Protection.CONVERT
+        assert anns[1].protection is Protection.IDIV
+        assert anns[2].protection is Protection.POP
+
+
+class TestComparePairing:
+    def test_cmp_then_jcc(self):
+        jcc = ins("jl", LabelRef(".L1"))
+        anns = classify_block([ins("cmpl", Imm(0), _reg("eax")), jcc])
+        assert anns[0].protection is Protection.COMPARE
+        assert anns[0].consumer is jcc
+
+    def test_cmp_then_setcc(self):
+        setcc = ins("setl", _reg("al"))
+        anns = classify_block(
+            [ins("cmpl", Imm(0), _reg("eax")), setcc, ins("retq")]
+        )
+        assert anns[0].protection is Protection.COMPARE_SETCC
+        assert anns[1].protection is Protection.NONE  # folded into the pair
+
+    def test_test_instruction_paired_too(self):
+        anns = classify_block([
+            ins("testl", _reg("eax"), _reg("eax")),
+            ins("je", LabelRef(".L1")),
+        ])
+        assert anns[0].protection is Protection.COMPARE
+
+    def test_unconsumed_cmp_rejected(self):
+        with pytest.raises(TransformError):
+            classify_block([ins("cmpl", Imm(0), _reg("eax")), ins("retq")])
+
+    def test_cmp_at_block_end_rejected(self):
+        with pytest.raises(TransformError):
+            classify_block([ins("cmpl", Imm(0), _reg("eax"))])

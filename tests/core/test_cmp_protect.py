@@ -1,0 +1,115 @@
+"""Deferred-detection tests (Fig. 5)."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Reg
+from repro.asm.registers import get_register
+from repro.core.cmp_protect import CompareProtector
+from repro.core.spare_regs import RegisterPlan
+from repro.errors import TransformError
+
+DETECT = ".Ldetect"
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _plan(in_registers=True) -> RegisterPlan:
+    if in_registers:
+        return RegisterPlan(general="r10", simd_scratch="r13", cmp_a="r11",
+                            cmp_b="r12", xmm=(0, 1, 2, 3))
+    return RegisterPlan(general="r10", simd_scratch="r13", cmp_a=None,
+                        cmp_b=None, xmm=(0, 1, 2, 3),
+                        cmp_slot_a=-104, cmp_slot_b=-112)
+
+
+class TestBranchCompare:
+    def test_fig5_sequence(self):
+        protector = CompareProtector(_plan(), DETECT)
+        cmp_instr = ins("cmpl", Imm(0), _reg("eax"))
+        jcc = ins("jl", LabelRef(".LBB7_4"))
+        out = protector.protect_branch_compare(cmp_instr, jcc,
+                                               (".LBB7_4", ".Lnext"))
+        assert [i.mnemonic for i in out] == ["cmpl", "setl", "cmpl", "setl"]
+        assert out[1].operands == (Reg(get_register("r11b")),)
+        assert out[3].operands == (Reg(get_register("r12b")),)
+
+    def test_capture_matches_consumer_condition(self):
+        protector = CompareProtector(_plan(), DETECT)
+        out = protector.protect_branch_compare(
+            ins("cmpl", Imm(0), _reg("eax")), ins("jge", LabelRef(".L")),
+            (".L",),
+        )
+        assert out[1].mnemonic == "setge"
+
+    def test_successors_recorded_for_entry_checks(self):
+        protector = CompareProtector(_plan(), DETECT)
+        protector.protect_branch_compare(
+            ins("cmpl", Imm(0), _reg("eax")), ins("je", LabelRef(".Lt")),
+            (".Lt", ".Lf"),
+        )
+        assert protector.pending_entry_checks == {".Lt", ".Lf"}
+
+    def test_unconditional_consumer_rejected(self):
+        protector = CompareProtector(_plan(), DETECT)
+        with pytest.raises(TransformError):
+            protector.protect_branch_compare(
+                ins("cmpl", Imm(0), _reg("eax")), ins("jmp", LabelRef(".L")),
+                (".L",),
+            )
+
+    def test_scarce_mode_spills_to_frame_slots(self):
+        protector = CompareProtector(_plan(in_registers=False), DETECT)
+        out = protector.protect_branch_compare(
+            ins("cmpl", Imm(0), _reg("eax")), ins("jl", LabelRef(".L")),
+            (".L",), requisition="r9",
+        )
+        mnemonics = [i.mnemonic for i in out]
+        assert mnemonics == ["cmpl", "pushq", "setl", "movb", "cmpl",
+                             "setl", "movb", "popq"]
+        spills = [i for i in out if i.mnemonic == "movb"]
+        assert spills[0].operands[1].disp == -104
+        assert spills[1].operands[1].disp == -112
+
+    def test_scarce_mode_requires_requisition(self):
+        protector = CompareProtector(_plan(in_registers=False), DETECT)
+        with pytest.raises(TransformError):
+            protector.protect_branch_compare(
+                ins("cmpl", Imm(0), _reg("eax")), ins("jl", LabelRef(".L")),
+                (".L",),
+            )
+
+
+class TestSetccPair:
+    def test_pair_duplicated_and_checked(self):
+        protector = CompareProtector(_plan(), DETECT)
+        cmp_instr = ins("cmpl", Imm(5), _reg("eax"))
+        setcc = ins("setl", _reg("al"))
+        out = protector.protect_setcc_pair(cmp_instr, setcc, "r10")
+        assert [i.mnemonic for i in out] == [
+            "cmpl", "setl", "cmpl", "setl", "cmpb", "jne",
+        ]
+        assert out[3].operands == (Reg(get_register("r10b")),)
+        assert out[-1].target_label == DETECT
+
+
+class TestEntryCheck:
+    def test_register_mode(self):
+        protector = CompareProtector(_plan(), DETECT)
+        out = protector.entry_check()
+        assert [i.mnemonic for i in out] == ["cmpb", "jne"]
+        assert out[0].operands == (Reg(get_register("r11b")),
+                                   Reg(get_register("r12b")))
+
+    def test_scarce_mode(self):
+        protector = CompareProtector(_plan(in_registers=False), DETECT)
+        out = protector.entry_check(requisition="r9")
+        assert [i.mnemonic for i in out] == ["pushq", "movb", "cmpb", "jne",
+                                             "popq"]
+
+    def test_scarce_mode_requires_requisition(self):
+        protector = CompareProtector(_plan(in_registers=False), DETECT)
+        with pytest.raises(TransformError):
+            protector.entry_check()

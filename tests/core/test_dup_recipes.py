@@ -1,0 +1,130 @@
+"""Scalar duplication recipe tests (Fig. 4 + special shapes)."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.registers import get_register
+from repro.core.general_dup import (
+    convert_recipe,
+    general_recipe,
+    idiv_recipe,
+    pop_recipe,
+    reexecute_into,
+)
+from repro.errors import TransformError
+
+DETECT = ".Ldetect"
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _mem(disp=-8):
+    return Mem(disp=disp, base=get_register("rbp"))
+
+
+class TestReexecute:
+    def test_dest_redirected(self):
+        dup = reexecute_into(ins("movq", _mem(), _reg("rax")), "r10")
+        assert dup.dest == _reg("r10")
+        assert dup.operands[0] == _mem()
+        assert dup.origin == "dup"
+
+    def test_width_preserved(self):
+        dup = reexecute_into(ins("movl", Imm(3), _reg("eax")), "r10")
+        assert dup.dest == Reg(get_register("r10d"))
+
+    def test_rmw_sources_remapped(self):
+        dup = reexecute_into(ins("addl", _reg("eax"), _reg("eax")), "r10")
+        assert dup.operands[0] == Reg(get_register("r10d"))
+        assert dup.operands[1] == Reg(get_register("r10d"))
+
+    def test_memory_base_remapped(self):
+        instr = ins("movq", Mem(base=get_register("rax")), _reg("rax"))
+        dup = reexecute_into(instr, "r10")
+        assert dup.operands[0].base.root == "r10"
+
+    def test_store_rejected(self):
+        with pytest.raises(TransformError):
+            reexecute_into(ins("movq", _reg("rax"), _mem()), "r10")
+
+    def test_shift_by_own_count_register_rejected(self):
+        instr = ins("shll", Reg(get_register("cl")), _reg("ecx"))
+        with pytest.raises(TransformError):
+            reexecute_into(instr, "r10")
+
+
+class TestGeneralRecipe:
+    def test_non_rmw_has_no_precopy(self):
+        pre, post = general_recipe(ins("movq", _mem(), _reg("rax")), "r10",
+                                   DETECT)
+        assert pre == []
+        assert [i.mnemonic for i in post] == ["movq", "cmpq", "jne"]
+        assert post[-1].target_label == DETECT
+
+    def test_rmw_gets_precopy(self):
+        pre, post = general_recipe(ins("addq", Imm(4), _reg("rax")), "r10",
+                                   DETECT)
+        assert len(pre) == 1 and pre[0].mnemonic == "movq"
+        assert pre[0].operands == (_reg("rax"), _reg("r10"))
+
+    def test_check_width_follows_dest(self):
+        _, post = general_recipe(ins("movl", Imm(1), _reg("eax")), "r10",
+                                 DETECT)
+        assert post[1].mnemonic == "cmpl"
+
+    def test_check_is_non_destructive(self):
+        _, post = general_recipe(ins("movq", _mem(), _reg("rax")), "r10",
+                                 DETECT)
+        cmp_instr = post[1]
+        assert cmp_instr.dest_registers()[0].name == "rflags"
+
+
+class TestConvertRecipe:
+    def test_cltd_uses_arithmetic_shift(self):
+        seq = convert_recipe(ins("cltd"), "r10", DETECT)
+        assert [i.mnemonic for i in seq] == ["movl", "sarl", "cmpl", "jne"]
+        assert seq[1].operands[0] == Imm(31)
+
+    def test_cqto(self):
+        seq = convert_recipe(ins("cqto"), "r10", DETECT)
+        assert [i.mnemonic for i in seq] == ["movq", "sarq", "cmpq", "jne"]
+        assert seq[1].operands[0] == Imm(63)
+
+    def test_cltq_uses_movslq(self):
+        seq = convert_recipe(ins("cltq"), "r10", DETECT)
+        assert seq[0].mnemonic == "movslq"
+
+
+class TestPopRecipe:
+    def test_memory_compare_no_scratch(self):
+        seq = pop_recipe(ins("popq", _reg("rbp")), DETECT)
+        assert [i.mnemonic for i in seq] == ["cmpq", "jne"]
+        mem = seq[0].operands[0]
+        assert mem.disp == -8 and mem.base.root == "rsp"
+
+
+class TestIdivRecipe:
+    SPARES = ("r10", "r11", "r12", "r13")
+
+    def test_structure(self):
+        pre, post = idiv_recipe(ins("idivl", _reg("ecx")), self.SPARES, DETECT)
+        assert [i.mnemonic for i in pre] == ["movq", "movq"]
+        assert [i.mnemonic for i in post] == [
+            "movq", "movq", "movq", "movq", "idivl",
+            "cmpl", "jne", "cmpl", "jne",
+        ]
+
+    def test_64bit_compares(self):
+        _, post = idiv_recipe(ins("idivq", _reg("rcx")), self.SPARES, DETECT)
+        assert post[5].mnemonic == "cmpq"
+
+    def test_source_in_rax_rejected(self):
+        with pytest.raises(TransformError):
+            idiv_recipe(ins("idivl", _reg("eax")), self.SPARES, DETECT)
+
+    def test_memory_source_allowed(self):
+        pre, post = idiv_recipe(ins("idivl", _mem()), self.SPARES, DETECT)
+        assert post[4].operands[0] == _mem()

@@ -1,0 +1,157 @@
+"""FERRUM transform tests: structure, semantics preservation, scarcity."""
+
+import pytest
+
+from repro.asm.instructions import InstrKind
+from repro.asm.registers import GPR64
+from repro.backend import compile_module
+from repro.core.config import FerrumConfig
+from repro.core.ferrum import CAPABILITIES, FerrumTransform, protect_program
+from repro.machine.cpu import Machine
+from repro.minic import compile_to_ir
+
+SOURCE = """
+int scale(int x, int d) { return x * 5 / d; }
+
+int main() {
+    int* buf = malloc(24);
+    for (int i = 0; i < 6; i++) { buf[i] = i * i - 3; }
+    long total = 0;
+    for (int i = 0; i < 6; i++) {
+        if (buf[i] > 0) { total += scale(buf[i], 2); }
+    }
+    print_long(total);
+    return 0;
+}
+"""
+
+
+def _compile(source=SOURCE):
+    return compile_module(compile_to_ir(source))
+
+
+def _scarce_config(*free):
+    used = frozenset(
+        root for root in GPR64 if root not in free and root not in ("rsp", "rbp")
+    )
+    return FerrumConfig(pretend_used_gprs=used)
+
+
+class TestStructure:
+    def test_program_copy_not_mutated(self):
+        raw = _compile()
+        before = raw.static_size()
+        protect_program(raw)
+        assert raw.static_size() == before
+
+    def test_metadata_tagged(self):
+        protected, _ = protect_program(_compile())
+        assert protected.metadata["protection"] == "ferrum"
+
+    def test_detect_block_per_function(self):
+        protected, _ = protect_program(_compile())
+        for func in protected.functions:
+            assert func.has_block(f".L{func.name}__ferrum_detect")
+
+    def test_stats_accounting(self):
+        raw = _compile()
+        protected, stats = protect_program(raw)
+        assert stats.functions == len(raw.functions)
+        assert stats.simd_protected > 0
+        assert stats.general_protected > 0
+        assert stats.compare_branches > 0
+        assert stats.idiv_protected > 0
+        assert stats.convert_protected > 0
+        assert stats.pop_protected > 0
+        assert stats.output_instructions > stats.input_instructions
+        assert stats.protected_instructions > 0
+
+    def test_uses_simd_instructions(self):
+        protected, _ = protect_program(_compile())
+        mnemonics = {i.mnemonic for i in protected.instructions()}
+        assert {"vinserti128", "vpxor", "vptest", "pinsrq"} <= mnemonics
+
+    def test_every_protectable_instruction_covered(self):
+        """Every register-writing original instruction must be followed by
+        protection code before the block's next original instruction."""
+        protected, stats = protect_program(_compile())
+        covered = (stats.simd_protected + stats.general_protected
+                   + stats.compare_branches + stats.compare_setcc
+                   + stats.idiv_protected + stats.convert_protected
+                   + stats.pop_protected)
+        originals = [
+            i for i in _compile().instructions()
+            if i.is_fault_site() and i.kind not in (InstrKind.SETCC,)
+        ]
+        assert covered == len(originals)
+
+    def test_capabilities_table(self):
+        assert set(CAPABILITIES.values()) == {"AS2"}
+
+
+class TestSemanticsPreserved:
+    def test_output_identical(self):
+        raw = _compile()
+        protected, _ = protect_program(raw)
+        assert Machine(protected).run().output == Machine(raw).run().output
+
+    def test_output_identical_without_simd(self):
+        raw = _compile()
+        protected, _ = protect_program(raw, FerrumConfig(use_simd=False))
+        assert Machine(protected).run().output == Machine(raw).run().output
+
+    def test_output_identical_small_batch(self):
+        raw = _compile()
+        protected, _ = protect_program(raw, FerrumConfig(simd_batch=2))
+        assert Machine(protected).run().output == Machine(raw).run().output
+
+    @pytest.mark.parametrize("free", [("r10", "r11", "r12", "r13"),
+                                      ("r10", "r11"), ("r10",)])
+    def test_output_identical_under_scarcity(self, free):
+        raw = _compile()
+        protected, stats = protect_program(raw, _scarce_config(*free))
+        assert Machine(protected).run().output == Machine(raw).run().output
+
+    def test_scarcity_uses_requisition(self):
+        raw = _compile()
+        _, stats = protect_program(raw, _scarce_config("r10"))
+        assert stats.requisitioned_uses > 0
+
+    def test_scarce_mode_emits_push_pop_brackets(self):
+        protected, _ = protect_program(_compile(), _scarce_config("r10"))
+        text_mnemonics = [i.mnemonic for i in protected.instructions()
+                          if i.origin == "pre"]
+        assert "pushq" in text_mnemonics and "popq" in text_mnemonics
+
+    def test_workload_heavy_division(self):
+        source = """
+        int main() {
+            long acc = 0;
+            for (int i = 1; i < 30; i++) { acc += 1000 / i + 1000 % i; }
+            print_long(acc);
+            return 0;
+        }
+        """
+        raw = _compile(source)
+        protected, _ = protect_program(raw)
+        assert Machine(protected).run().output == Machine(raw).run().output
+
+
+class TestIdempotenceGuard:
+    def test_transform_on_instrumented_input_skips_it(self):
+        """Protection code from an IR pass must not be re-duplicated."""
+        from repro.eddi.signatures import protect_branches_with_signatures
+
+        module = compile_to_ir(SOURCE)
+        protect_branches_with_signatures(module)
+        program = compile_module(module)
+        tagged = sum(1 for i in program.instructions()
+                     if i.origin != "orig")
+        assert tagged > 0
+        protected, stats = FerrumTransform(
+            FerrumConfig(use_simd=False, protect_compares=False)
+        ).protect(program)
+        # Instrumentation instructions appear unchanged in the output.
+        out_tagged = sum(1 for i in protected.instructions()
+                         if i.origin in ("check", "instrumentation"))
+        assert out_tagged >= tagged

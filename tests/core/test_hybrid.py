@@ -1,0 +1,60 @@
+"""HYBRID-ASSEMBLY-LEVEL-EDDI (AS1) tests."""
+
+from repro.backend import compile_module
+from repro.core.hybrid import CAPABILITIES, protect_program_hybrid
+from repro.eddi.signatures import protect_branches_with_signatures
+from repro.machine.cpu import Machine
+from repro.minic import compile_to_ir
+
+SOURCE = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 8; i++) {
+        if (i % 2 == 0) { total += i * 3; }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def _hybrid_program():
+    module = compile_to_ir(SOURCE)
+    protect_branches_with_signatures(module)
+    asm = compile_module(module)
+    return asm, protect_program_hybrid(asm)
+
+
+class TestHybrid:
+    def test_capabilities_match_table1(self):
+        assert CAPABILITIES["branch"] == "IR"
+        assert CAPABILITIES["comparison"] == "IR"
+        assert CAPABILITIES["basic"] == "AS1"
+        assert CAPABILITIES["store"] == "AS1"
+
+    def test_no_simd_in_output(self):
+        _, (protected, _) = _hybrid_program()
+        mnemonics = {i.mnemonic for i in protected.instructions()}
+        assert not mnemonics & {"vinserti128", "vpxor", "vptest", "pinsrq"}
+
+    def test_compares_left_untouched(self):
+        _, (protected, stats) = _hybrid_program()
+        assert stats.asm.compare_branches == 0
+        assert stats.asm.compare_setcc == 0
+
+    def test_scalar_duplication_applied(self):
+        _, (protected, stats) = _hybrid_program()
+        assert stats.asm.general_protected > 0
+        assert stats.asm.simd_protected == 0
+
+    def test_metadata(self):
+        _, (protected, _) = _hybrid_program()
+        assert protected.metadata["protection"] == "hybrid-assembly-eddi"
+
+    def test_output_preserved(self):
+        asm, (protected, _) = _hybrid_program()
+        assert Machine(protected).run().output == Machine(asm).run().output
+
+    def test_bigger_than_input(self):
+        asm, (protected, _) = _hybrid_program()
+        assert protected.static_size() > asm.static_size()

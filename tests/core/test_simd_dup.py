@@ -1,0 +1,124 @@
+"""SIMD batcher tests (Fig. 6)."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, Mem, Reg
+from repro.asm.registers import get_register
+from repro.core.config import FerrumConfig
+from repro.core.simd_dup import SimdBatcher
+from repro.core.spare_regs import RegisterPlan
+from repro.errors import TransformError
+
+DETECT = ".Ldetect"
+
+
+def _plan(**overrides) -> RegisterPlan:
+    defaults = dict(general="r10", simd_scratch="r13", cmp_a="r11",
+                    cmp_b="r12", xmm=(0, 1, 2, 3), extra=("r14", "r15"))
+    defaults.update(overrides)
+    return RegisterPlan(**defaults)
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _load64(disp=-8):
+    return ins("movq", Mem(disp=disp, base=get_register("rbp")), _reg("rax"))
+
+
+def _load32(disp=-8):
+    return ins("movl", Mem(disp=disp, base=get_register("rbp")), _reg("eax"))
+
+
+class TestCapture:
+    def test_direct_load_goes_straight_to_lane(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        out = batcher.capture(_load64())
+        mnemonics = [i.mnemonic for i in out]
+        assert mnemonics == ["movq", "movq"]  # orig capture + lane re-exec
+        # Second movq reads memory into xmm0 (the dup register).
+        assert out[1].operands[1] == _reg("xmm0")
+
+    def test_indirect_capture_uses_scratch(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        out = batcher.capture(_load32())
+        mnemonics = [i.mnemonic for i in out]
+        assert mnemonics == ["movq", "movl", "movq"]
+        assert out[1].dest == Reg(get_register("r13d"))
+
+    def test_lane1_uses_pinsrq(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        batcher.capture(_load64())
+        out = batcher.capture(_load64(-16))
+        assert out[0].mnemonic == "pinsrq"
+        assert out[0].operands[0] == Imm(1)
+
+    def test_second_pair_uses_high_xmm(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        batcher.capture(_load64())
+        batcher.capture(_load64())
+        out = batcher.capture(_load64())
+        assert out[0].operands[-1] == _reg("xmm3")  # orig pair, high
+
+    def test_batch_of_four_auto_flushes(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        for _ in range(3):
+            batcher.capture(_load64())
+        out = batcher.capture(_load64())
+        mnemonics = [i.mnemonic for i in out]
+        assert mnemonics[-5:] == ["vinserti128", "vinserti128", "vpxor",
+                                  "vptest", "jne"]
+        assert batcher.count == 0
+        assert batcher.flushes == 1
+
+    def test_capture_without_xmm_plan_rejected(self):
+        batcher = SimdBatcher(_plan(xmm=None), DETECT)
+        with pytest.raises(TransformError):
+            batcher.capture(_load64())
+
+    def test_capture_without_scratch_rejected(self):
+        batcher = SimdBatcher(_plan(simd_scratch=None), DETECT)
+        with pytest.raises(TransformError):
+            batcher.capture(_load32())
+
+    def test_requisitioned_scratch_accepted(self):
+        batcher = SimdBatcher(_plan(simd_scratch=None), DETECT)
+        batcher.scratch_requisitioned = "r9"
+        out = batcher.capture(_load32())
+        assert out[1].dest == Reg(get_register("r9d"))
+
+
+class TestFlush:
+    def test_empty_flush_is_noop(self):
+        assert SimdBatcher(_plan(), DETECT).flush() == []
+
+    def test_partial_flush_equalizes_upper_lane(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        batcher.capture(_load64())
+        out = batcher.flush()
+        inserts = [i for i in out if i.mnemonic == "vinserti128"]
+        assert len(inserts) == 2
+        # Both upper lanes filled from the same xmm (dup low).
+        assert inserts[0].operands[1] == inserts[1].operands[1]
+
+    def test_three_lane_flush_uses_high_pair(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        for _ in range(3):
+            batcher.capture(_load64())
+        out = batcher.flush()
+        inserts = [i for i in out if i.mnemonic == "vinserti128"]
+        sources = {str(i.operands[1]) for i in inserts}
+        assert sources == {"%xmm2", "%xmm3"}
+
+    def test_flush_targets_detect_label(self):
+        batcher = SimdBatcher(_plan(), DETECT)
+        batcher.capture(_load64())
+        assert batcher.flush()[-1].target_label == DETECT
+
+    def test_smaller_batch_size(self):
+        batcher = SimdBatcher(_plan(), DETECT, batch_size=2)
+        batcher.capture(_load64())
+        out = batcher.capture(_load64())
+        assert out[-1].mnemonic == "jne"  # flushed at 2

@@ -1,0 +1,119 @@
+"""Register-plan tests, including scarcity fallbacks."""
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, Reg
+from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.registers import GPR64, get_register
+from repro.core.config import FerrumConfig
+from repro.core.spare_regs import build_register_plan
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _backend_like_function() -> AsmFunction:
+    """Uses the same registers the -O0 backend uses."""
+    block = AsmBlock("f", [
+        ins("pushq", _reg("rbp")),
+        ins("movq", _reg("rsp"), _reg("rbp")),
+        ins("subq", Imm(32), _reg("rsp")),
+        ins("movl", Imm(1), _reg("eax")),
+        ins("addl", _reg("ecx"), _reg("eax")),
+        ins("movq", _reg("rbp"), _reg("rsp")),
+        ins("popq", _reg("rbp")),
+        ins("retq"),
+    ])
+    return AsmFunction("f", [block])
+
+
+class TestAbundantRegisters:
+    def test_full_plan(self):
+        plan = build_register_plan(_backend_like_function(), FerrumConfig())
+        assert plan.cmp_in_registers
+        assert plan.general is not None
+        assert plan.simd_scratch is not None
+        assert plan.simd_available
+        assert len(plan.scratch_pool()) >= 4
+
+    def test_cmp_pair_not_in_scratch_pool(self):
+        plan = build_register_plan(_backend_like_function(), FerrumConfig())
+        pool = plan.scratch_pool()
+        assert plan.cmp_a not in pool
+        assert plan.cmp_b not in pool
+
+    def test_plan_roots_disjoint(self):
+        plan = build_register_plan(_backend_like_function(), FerrumConfig())
+        roots = plan.spare_roots()
+        assert len(roots) == len(set(roots))
+
+    def test_xmm_assignment(self):
+        plan = build_register_plan(_backend_like_function(), FerrumConfig())
+        assert plan.xmm == (0, 1, 2, 3)
+
+
+class TestScarcity:
+    def _pretend_all_but(self, *free):
+        used = frozenset(
+            root for root in GPR64
+            if root not in free and root not in ("rsp", "rbp")
+        )
+        return FerrumConfig(pretend_used_gprs=used)
+
+    def test_one_spare_goes_to_general(self):
+        config = self._pretend_all_but("r10")
+        func = _backend_like_function()
+        plan = build_register_plan(func, config)
+        assert plan.general == "r10"
+        assert not plan.cmp_in_registers
+        assert plan.simd_scratch is None
+
+    def test_cmp_falls_back_to_frame_slots(self):
+        config = self._pretend_all_but("r10")
+        func = _backend_like_function()
+        plan = build_register_plan(func, config)
+        assert plan.cmp_slot_a < 0 and plan.cmp_slot_b < 0
+        assert plan.cmp_slot_a != plan.cmp_slot_b
+
+    def test_frame_extended_for_cmp_slots(self):
+        config = self._pretend_all_but("r10")
+        func = _backend_like_function()
+        before = func.entry.instructions[2].operands[0].value
+        build_register_plan(func, config)
+        after = func.entry.instructions[2].operands[0].value
+        assert after == before + 16
+
+    def test_frame_inserted_when_absent(self):
+        config = self._pretend_all_but("r10")
+        block = AsmBlock("g", [
+            ins("pushq", _reg("rbp")),
+            ins("movq", _reg("rsp"), _reg("rbp")),
+            ins("movq", _reg("rbp"), _reg("rsp")),
+            ins("popq", _reg("rbp")),
+            ins("retq"),
+        ])
+        func = AsmFunction("g", [block])
+        plan = build_register_plan(func, config)
+        mnemonics = [i.mnemonic for i in func.entry.instructions[:3]]
+        assert "subq" in mnemonics
+        assert plan.cmp_slot_a < 0
+
+    def test_simd_disabled_when_xmm_scarce(self):
+        config = FerrumConfig(
+            pretend_used_xmm=frozenset(f"ymm{i}" for i in range(13))
+        )
+        plan = build_register_plan(_backend_like_function(), config)
+        assert not plan.simd_available
+
+    def test_simd_disabled_by_config(self):
+        plan = build_register_plan(
+            _backend_like_function(), FerrumConfig(use_simd=False)
+        )
+        assert not plan.simd_available
+
+    def test_two_spares_prioritize_general_then_simd(self):
+        config = self._pretend_all_but("r10", "r11")
+        plan = build_register_plan(_backend_like_function(), config)
+        assert plan.general == "r10"
+        assert plan.simd_scratch == "r11"
+        assert not plan.cmp_in_registers

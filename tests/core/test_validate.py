@@ -1,0 +1,147 @@
+"""Protection-invariant validator tests."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Reg
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
+from repro.asm.registers import GPR64, get_register
+from repro.core.config import FerrumConfig
+from repro.core.validate import (
+    check_batch_discipline,
+    check_bracket_balance,
+    check_checker_targets,
+    check_flags_discipline,
+    check_protection_invariants,
+)
+from repro.errors import TransformError
+from repro.pipeline import build_variants
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _program(instrs) -> AsmProgram:
+    return AsmProgram([AsmFunction("f", [AsmBlock("f", list(instrs))])])
+
+
+class TestFlagsDiscipline:
+    def test_cmp_jcc_ok(self):
+        check_flags_discipline(_program([
+            ins("cmpl", Imm(0), _reg("eax")),
+            ins("je", LabelRef("f")),
+            ins("retq"),
+        ]))
+
+    def test_orphan_consumer_rejected(self):
+        with pytest.raises(TransformError):
+            check_flags_discipline(_program([
+                ins("je", LabelRef("f")),
+                ins("retq"),
+            ]))
+
+    def test_call_invalidates_flags(self):
+        with pytest.raises(TransformError):
+            check_flags_discipline(_program([
+                ins("cmpl", Imm(0), _reg("eax")),
+                ins("call", LabelRef("print_int")),
+                ins("je", LabelRef("f")),
+                ins("retq"),
+            ]))
+
+
+class TestCheckerTargets:
+    def test_checker_must_hit_detect_block(self):
+        program = _program([
+            ins("cmpl", Imm(0), _reg("eax")),
+            ins("jne", LabelRef("nowhere"), origin="check"),
+            ins("retq"),
+        ])
+        program.functions[0].add_block("nowhere").append(ins("retq"))
+        with pytest.raises(TransformError):
+            check_checker_targets(program)
+
+    def test_detect_block_accepted(self):
+        program = _program([
+            ins("cmpl", Imm(0), _reg("eax")),
+            ins("jne", LabelRef("detect"), origin="check"),
+            ins("retq"),
+        ])
+        detect = program.functions[0].add_block("detect")
+        detect.append(ins("call", LabelRef("__eddi_detect")))
+        detect.append(ins("retq"))
+        check_checker_targets(program)
+
+
+class TestBatchDiscipline:
+    def test_vptest_needs_vpxor(self):
+        with pytest.raises(TransformError):
+            check_batch_discipline(_program([
+                ins("vptest", _reg("ymm0"), _reg("ymm0")),
+                ins("retq"),
+            ]))
+
+    def test_paired_ok(self):
+        check_batch_discipline(_program([
+            ins("vpxor", _reg("ymm1"), _reg("ymm0"), _reg("ymm0")),
+            ins("vptest", _reg("ymm0"), _reg("ymm0")),
+            ins("jne", LabelRef("f")),
+            ins("retq"),
+        ]))
+
+
+class TestBracketBalance:
+    def test_unbalanced_push_rejected(self):
+        with pytest.raises(TransformError):
+            check_bracket_balance(_program([
+                ins("pushq", _reg("r10"), origin="pre"),
+                ins("retq"),
+            ]))
+
+    def test_pop_before_push_rejected(self):
+        with pytest.raises(TransformError):
+            check_bracket_balance(_program([
+                ins("popq", _reg("r10"), origin="pre"),
+                ins("retq"),
+            ]))
+
+    def test_ordinary_push_pop_ignored(self):
+        check_bracket_balance(_program([
+            ins("pushq", _reg("rbp")),
+            ins("retq"),
+        ]))
+
+
+SOURCE = """
+int main() {
+    int total = 0;
+    for (int i = 1; i < 12; i++) {
+        if (i % 3 == 0) { total += 100 / i; }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+class TestOnRealTransforms:
+    def test_ferrum_output_satisfies_all_invariants(self):
+        build = build_variants(SOURCE, names=("ferrum",))
+        check_protection_invariants(build["ferrum"].asm)
+
+    def test_scarce_ferrum_output_satisfies_all_invariants(self):
+        config = FerrumConfig(pretend_used_gprs=frozenset(
+            r for r in GPR64 if r not in ("r10", "rsp", "rbp")
+        ))
+        build = build_variants(SOURCE, names=("ferrum",), config=config)
+        check_protection_invariants(build["ferrum"].asm)
+
+    def test_hybrid_output_satisfies_all_invariants(self):
+        build = build_variants(SOURCE, names=("hybrid",))
+        check_protection_invariants(build["hybrid"].asm)
+
+    def test_ir_eddi_output_satisfies_structural_invariants(self):
+        build = build_variants(SOURCE, names=("ir-eddi",))
+        check_flags_discipline(build["ir-eddi"].asm)
+        check_batch_discipline(build["ir-eddi"].asm)

@@ -1,0 +1,125 @@
+"""IR-LEVEL-EDDI pass tests."""
+
+import pytest
+
+from repro.eddi.ir_eddi import protect_module
+from repro.errors import DetectionExit
+from repro.ir.instructions import BinOp, Br, Call, Check, ICmp, Load, Ret, Store
+from repro.ir.interp import IRInterpreter
+from repro.ir.verifier import verify_module
+from repro.minic import compile_to_ir
+
+SOURCE = """
+int main() {
+    int* p = malloc(8);
+    p[0] = 3;
+    int x = p[0] + 4;
+    if (x > 5) { print_int(x); }
+    return x;
+}
+"""
+
+
+class TestTransformShape:
+    def test_stats_counts(self):
+        module = compile_to_ir(SOURCE)
+        before = module.static_size()
+        stats = protect_module(module)
+        assert stats.duplicated > 0
+        assert stats.checks > 0
+        assert module.static_size() == before + stats.duplicated + stats.checks
+
+    def test_duplicates_follow_originals(self):
+        module = compile_to_ir("int main() { return 2 + 3; }")
+        protect_module(module)
+        instrs = list(module.function("main").instructions())
+        for i, instr in enumerate(instrs):
+            if isinstance(instr, BinOp) and not instr.name.endswith(".dup"):
+                assert isinstance(instrs[i + 1], BinOp)
+                assert instrs[i + 1].name.endswith(".dup")
+
+    def test_checks_precede_sync_points(self):
+        module = compile_to_ir(SOURCE)
+        protect_module(module)
+        for func in module.functions:
+            for block in func.blocks:
+                instrs = block.instructions
+                for i, instr in enumerate(instrs):
+                    if isinstance(instr, Check):
+                        rest = instrs[i + 1:]
+                        sync = next(
+                            (x for x in rest
+                             if isinstance(x, (Store, Br, Call, Ret))), None)
+                        assert sync is not None
+
+    def test_duplicate_chain_uses_shadow_operands(self):
+        module = compile_to_ir("int main() { int x = 1 + 2; return x * x; }")
+        protect_module(module)
+        mains = list(module.function("main").instructions())
+        dups = [i for i in mains if i.name.endswith(".dup")]
+        # At least one dup must consume another dup (chained shadows).
+        assert any(
+            any(getattr(op, "name", "").endswith(".dup")
+                for op in dup.operands())
+            for dup in dups
+        )
+
+    def test_transformed_module_verifies(self):
+        module = compile_to_ir(SOURCE)
+        protect_module(module)
+        verify_module(module)
+
+    def test_output_preserved(self):
+        plain = compile_to_ir(SOURCE)
+        protected = compile_to_ir(SOURCE)
+        protect_module(protected)
+        assert IRInterpreter(plain).run().output == \
+            IRInterpreter(protected).run().output
+
+    def test_allocas_not_duplicated(self):
+        module = compile_to_ir(SOURCE)
+        stats = protect_module(module)
+        allocas = [i for i in module.function("main").instructions()
+                   if i.opcode == "alloca"]
+        assert not any(a.name.endswith(".dup") for a in allocas)
+
+
+class TestDetectionSemantics:
+    def test_fault_in_protected_value_detected(self):
+        module = compile_to_ir("int main() { print_int(10 + 20); return 0; }")
+        protect_module(module)
+
+        def hook(ip, instr, site):
+            if isinstance(instr, BinOp) and not instr.name.endswith(".dup"):
+                ip.flip_value(instr, 4)
+
+        with pytest.raises(DetectionExit):
+            IRInterpreter(module).run(fault_hook=hook)
+
+    def test_fault_in_duplicate_also_detected(self):
+        module = compile_to_ir("int main() { print_int(10 + 20); return 0; }")
+        protect_module(module)
+
+        def hook(ip, instr, site):
+            if isinstance(instr, BinOp) and instr.name.endswith(".dup"):
+                ip.flip_value(instr, 4)
+
+        with pytest.raises(DetectionExit):
+            IRInterpreter(module).run(fault_hook=hook)
+
+    def test_branch_condition_protected_at_ir(self):
+        module = compile_to_ir("""
+            int main() {
+                int x = 7;
+                if (x > 3) { print_int(1); } else { print_int(0); }
+                return 0;
+            }
+        """)
+        protect_module(module)
+
+        def hook(ip, instr, site):
+            if isinstance(instr, ICmp) and not instr.name.endswith(".dup"):
+                ip.flip_value(instr, 0)
+
+        with pytest.raises(DetectionExit):
+            IRInterpreter(module).run(fault_hook=hook)

@@ -1,0 +1,72 @@
+"""Signature (hybrid IR half) pass tests."""
+
+from repro.backend import compile_module
+from repro.eddi.signatures import protect_branches_with_signatures
+from repro.ir.instructions import Alloca, Check
+from repro.ir.interp import IRInterpreter
+from repro.machine.cpu import Machine
+from repro.minic import compile_to_ir
+
+BRANCHY = """
+int main() {
+    int total = 0;
+    for (int i = 0; i < 6; i++) {
+        if (i % 2 == 0) { total += i; } else { total -= 1; }
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+class TestSignaturePass:
+    def test_stats(self):
+        module = compile_to_ir(BRANCHY)
+        stats = protect_branches_with_signatures(module)
+        assert stats.branches_protected >= 2   # loop + if
+        assert stats.comparisons_duplicated >= 2
+        assert stats.entry_checks >= 3
+        assert stats.blocks_signed == sum(
+            len(f.blocks) for f in module.functions
+        )
+
+    def test_gsr_slot_created_first(self):
+        module = compile_to_ir(BRANCHY)
+        protect_branches_with_signatures(module)
+        entry = module.function("main").entry
+        assert isinstance(entry.instructions[0], Alloca)
+        assert entry.instructions[0].name == "__sig"
+
+    def test_entry_checks_at_targets(self):
+        module = compile_to_ir(BRANCHY)
+        protect_branches_with_signatures(module)
+        func = module.function("main")
+        targets = set()
+        for block in func.blocks:
+            targets.update(func.successors(block))
+        for block in func.blocks:
+            if block.label in targets and block is not func.entry:
+                kinds = [type(i) for i in block.instructions[:2]]
+                assert Check in kinds
+
+    def test_output_preserved_in_interpreter(self):
+        plain = compile_to_ir(BRANCHY)
+        protected = compile_to_ir(BRANCHY)
+        protect_branches_with_signatures(protected)
+        assert IRInterpreter(plain).run().output == \
+            IRInterpreter(protected).run().output
+
+    def test_output_preserved_when_compiled(self):
+        plain = compile_to_ir(BRANCHY)
+        protected = compile_to_ir(BRANCHY)
+        protect_branches_with_signatures(protected)
+        assert Machine(compile_module(plain)).run().output == \
+            Machine(compile_module(protected)).run().output
+
+    def test_instrumentation_tagged_by_backend(self):
+        module = compile_to_ir(BRANCHY)
+        protect_branches_with_signatures(module)
+        program = compile_module(module)
+        origins = {i.origin for i in program.instructions()}
+        assert "instrumentation" in origins
+        assert "check" in origins

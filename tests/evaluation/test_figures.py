@@ -1,0 +1,65 @@
+"""ASCII figure rendering tests (synthetic data — cheap)."""
+
+from repro.evaluation.experiments import CoverageRow, Fig10Result, Fig11Result
+from repro.evaluation.figures import render_fig10_chart, render_fig11_chart
+from repro.faultinjection.campaign import CampaignResult
+from repro.faultinjection.outcome import Outcome
+
+
+def _campaign(sdc: int, total: int = 10) -> CampaignResult:
+    result = CampaignResult(samples=total, fault_sites=50)
+    for _ in range(sdc):
+        result.outcomes.record(Outcome.SDC)
+    for _ in range(total - sdc):
+        result.outcomes.record(Outcome.BENIGN)
+    return result
+
+
+def _fig10() -> Fig10Result:
+    row = CoverageRow("bfs", _campaign(5))
+    row.campaigns = {"ir-eddi": _campaign(2), "hybrid": _campaign(0),
+                     "ferrum": _campaign(0)}
+    return Fig10Result(samples=10, seed=1, rows=[row])
+
+
+class TestFig10Chart:
+    def test_full_coverage_bar_is_full_width(self):
+        text = render_fig10_chart(_fig10(), width=20)
+        assert "F" * 20 in text      # ferrum at 100 %
+        assert "H" * 20 in text      # hybrid at 100 %
+
+    def test_partial_coverage_bar_is_shorter(self):
+        text = render_fig10_chart(_fig10(), width=20)
+        ir_lines = [l for l in text.splitlines() if "I" in l and "|" in l]
+        assert ir_lines and "I" * 20 not in ir_lines[0]
+        assert "I" * 12 in ir_lines[0]  # 60 % coverage of width 20
+
+    def test_labels_and_legend(self):
+        text = render_fig10_chart(_fig10())
+        assert "bfs" in text
+        assert "F = ferrum" in text
+
+    def test_empty_result(self):
+        text = render_fig10_chart(Fig10Result(samples=0, seed=0))
+        assert "Fig. 10" in text
+
+
+class TestFig11Chart:
+    def _result(self) -> Fig11Result:
+        return Fig11Result(rows=[{
+            "benchmark": "lud", "raw_cycles": 100,
+            "ir-eddi": 0.40, "hybrid": 0.80, "ferrum": 0.20,
+        }])
+
+    def test_scaled_to_peak(self):
+        text = render_fig11_chart(self._result(), width=40)
+        assert "H" * 40 in text          # peak bar fills the width
+        assert "F" * 10 in text and "F" * 11 not in text  # quarter of peak
+
+    def test_percentages_shown(self):
+        text = render_fig11_chart(self._result())
+        assert "80.0%" in text and "20.0%" in text
+
+    def test_empty_result(self):
+        text = render_fig11_chart(Fig11Result())
+        assert "Fig. 11" in text

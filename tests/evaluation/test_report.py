@@ -1,0 +1,73 @@
+"""Report rendering tests (cheap: built from synthetic results)."""
+
+from repro.evaluation.experiments import (
+    CoverageRow,
+    Fig10Result,
+    Fig11Result,
+    GapResult,
+    TransformTimeResult,
+)
+from repro.evaluation.report import (
+    render_fig10,
+    render_fig11,
+    render_gap,
+    render_table1,
+    render_table2,
+    render_transform_time,
+)
+from repro.faultinjection.campaign import CampaignResult
+from repro.faultinjection.outcome import Outcome
+
+
+def _campaign(sdc: int, total: int = 10) -> CampaignResult:
+    result = CampaignResult(samples=total, fault_sites=100)
+    for _ in range(sdc):
+        result.outcomes.record(Outcome.SDC)
+    for _ in range(total - sdc):
+        result.outcomes.record(Outcome.BENIGN)
+    return result
+
+
+class TestStaticTables:
+    def test_table1_renders(self):
+        text = render_table1()
+        assert "FERRUM" in text and "comparison" in text
+
+    def test_table2_renders(self):
+        text = render_table2()
+        assert "particlefilter" in text and "Rodinia" in text
+
+
+class TestFigureRendering:
+    def test_fig10(self):
+        row = CoverageRow("bfs", _campaign(5))
+        row.campaigns = {"ir-eddi": _campaign(2), "hybrid": _campaign(0),
+                         "ferrum": _campaign(0)}
+        text = render_fig10(Fig10Result(samples=10, seed=1, rows=[row]))
+        assert "bfs" in text
+        assert "100.0%" in text   # ferrum/hybrid coverage
+        assert "60.0%" in text    # ir-eddi coverage (1 - 2/5)
+
+    def test_fig11(self):
+        result = Fig11Result(rows=[{
+            "benchmark": "lud", "raw_cycles": 1000,
+            "ir-eddi": 0.5, "hybrid": 0.9, "ferrum": 0.2,
+        }])
+        text = render_fig11(result)
+        assert "lud" in text and "20.0%" in text and "AVERAGE" in text
+
+    def test_transform_time(self):
+        result = TransformTimeResult(rows=[{
+            "benchmark": "bfs", "static_instructions": 400,
+            "output_instructions": 1300, "seconds": 0.089,
+        }])
+        text = render_transform_time(result)
+        assert "89.0 ms" in text
+
+    def test_gap(self):
+        result = GapResult(samples=10, seed=1, rows=[{
+            "benchmark": "knn", "anticipated": 0.98, "measured": 0.70,
+            "gap": 0.28,
+        }])
+        text = render_gap(result)
+        assert "knn" in text and "28.0%" in text

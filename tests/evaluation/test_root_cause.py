@@ -1,0 +1,83 @@
+"""Root-cause analysis tests (paper Sec. IV-B1)."""
+
+import pytest
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, Mem, Reg
+from repro.asm.registers import get_register
+from repro.evaluation.root_cause import (
+    RootCauseResult,
+    analyze_root_causes,
+    classify_site,
+)
+from repro.pipeline import build_variants
+
+SOURCE = """
+int pick(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+int main() {
+    int* data = malloc(24);
+    srand(2);
+    for (int i = 0; i < 6; i++) { data[i] = rand_next() % 40; }
+    int best = 0;
+    for (int i = 0; i < 6; i++) { best = pick(best, data[i]); }
+    print_int(best);
+    return 0;
+}
+"""
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+class TestClassifySite:
+    def test_flag_rematerialization(self):
+        instr = ins("cmpl", Imm(0), _reg("eax"))
+        assert classify_site(instr) == "flag rematerialization (Fig. 9)"
+
+    def test_slot_reload(self):
+        instr = ins("movl", Mem(disp=-8, base=get_register("rbp")),
+                    _reg("eax"))
+        assert classify_site(instr) == "slot reload"
+
+    def test_marshalling(self):
+        instr = ins("movl", Mem(disp=-8, base=get_register("rbp")),
+                    _reg("edi"), comment="marshal argument")
+        assert classify_site(instr) == "call argument marshalling"
+
+    def test_lea_is_mapping(self):
+        instr = ins("leaq", Mem(disp=-8, base=get_register("rbp")),
+                    _reg("rax"))
+        assert classify_site(instr) == "address computation (mapping)"
+
+    def test_arithmetic(self):
+        assert classify_site(ins("addl", Imm(1), _reg("eax"))) == "arithmetic"
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def build(self):
+        return build_variants(SOURCE)
+
+    def test_ir_eddi_has_attributable_sdcs(self, build):
+        result = analyze_root_causes(build["ir-eddi"].asm, samples=250,
+                                     seed=5)
+        assert result.total_sdc > 0
+        assert sum(result.by_class.values()) == result.total_sdc
+        # The residual SDCs must come from backend-origin instructions
+        # (the paper's cross-layer thesis), not from IR-visible ones.
+        assert set(result.by_origin) <= {"orig", "check", "instrumentation"}
+
+    def test_ferrum_has_no_sdcs_to_attribute(self, build):
+        result = analyze_root_causes(build["ferrum"].asm, samples=120, seed=5)
+        assert result.total_sdc == 0
+        assert result.by_class == {}
+
+    def test_render(self):
+        result = RootCauseResult(samples=10)
+        result.record(ins("cmpl", Imm(0), _reg("eax")))
+        text = result.render()
+        assert "Fig. 9" in text and "1" in text

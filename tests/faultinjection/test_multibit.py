@@ -1,0 +1,95 @@
+"""Multi-bit (double-fault) injection tests — the paper's future work."""
+
+import pytest
+
+from repro.faultinjection.multibit import (
+    MultiBitPlan,
+    inject_multibit_fault,
+    run_multibit_campaign,
+)
+from repro.faultinjection.injector import FaultPlan
+from repro.faultinjection.outcome import Outcome
+from repro.machine.cpu import Machine
+from repro.pipeline import build_variants
+from repro.utils.rng import DeterministicRng
+from repro.errors import InjectionError
+
+SOURCE = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 10; i++) { acc += i * 3; }
+    print_int(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def build():
+    return build_variants(SOURCE, names=("raw", "ferrum"))
+
+
+class TestPlans:
+    def test_spatial_pins_one_site(self):
+        rng = DeterministicRng(4)
+        plan = MultiBitPlan.sample_spatial(rng, 50)
+        assert plan.spatial
+        assert plan.first.register_pick == plan.second.register_pick
+
+    def test_temporal_sites_sampled_independently(self):
+        rng = DeterministicRng(4)
+        plans = [MultiBitPlan.sample_temporal(rng.fork(i), 1000)
+                 for i in range(20)]
+        assert any(not p.spatial for p in plans)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(InjectionError):
+            MultiBitPlan.sample_spatial(DeterministicRng(1), 0)
+
+
+class TestInjection:
+    def test_deterministic(self, build):
+        program = build["raw"].asm
+        golden = Machine(program).run()
+        plan = MultiBitPlan(FaultPlan(3, 0.0, 0.2), FaultPlan(3, 0.0, 0.8))
+        assert inject_multibit_fault(program, plan, golden) == \
+            inject_multibit_fault(program, plan, golden)
+
+    def test_double_fault_can_corrupt_raw(self, build):
+        program = build["raw"].asm
+        golden = Machine(program).run()
+        outcomes = set()
+        for site in range(0, golden.fault_sites, 5):
+            plan = MultiBitPlan(FaultPlan(site, 0.0, 0.3),
+                                FaultPlan(site, 0.0, 0.6))
+            outcomes.add(inject_multibit_fault(program, plan, golden))
+        assert Outcome.SDC in outcomes
+
+
+class TestCampaigns:
+    def test_spatial_campaign(self, build):
+        result = run_multibit_campaign(build["raw"].asm, samples=20, seed=1,
+                                       mode="spatial")
+        assert result.outcomes.total == 20
+
+    def test_temporal_campaign(self, build):
+        result = run_multibit_campaign(build["raw"].asm, samples=20, seed=1,
+                                       mode="temporal")
+        assert result.outcomes.total == 20
+
+    def test_unknown_mode_rejected(self, build):
+        with pytest.raises(InjectionError):
+            run_multibit_campaign(build["raw"].asm, samples=1, mode="both")
+
+    def test_ferrum_still_strong_under_double_faults(self, build):
+        """Duplication is only *provably* complete for single faults, but
+        double faults must still be overwhelmingly caught or masked."""
+        result = run_multibit_campaign(build["ferrum"].asm, samples=60,
+                                       seed=3, mode="spatial")
+        assert result.outcomes[Outcome.DETECTED] > 0
+        assert result.outcomes.rate(Outcome.SDC) <= 0.05
+
+    def test_reproducible(self, build):
+        a = run_multibit_campaign(build["raw"].asm, samples=15, seed=9)
+        b = run_multibit_campaign(build["raw"].asm, samples=15, seed=9)
+        assert a.outcomes.counts == b.outcomes.counts

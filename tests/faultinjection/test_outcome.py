@@ -1,0 +1,45 @@
+"""Outcome taxonomy and metric tests."""
+
+import pytest
+
+from repro.faultinjection.outcome import Outcome, OutcomeCounts, sdc_coverage
+
+
+class TestOutcomeCounts:
+    def test_starts_empty(self):
+        counts = OutcomeCounts()
+        assert counts.total == 0
+        assert counts.sdc_probability == 0.0
+
+    def test_record_and_rate(self):
+        counts = OutcomeCounts()
+        for _ in range(3):
+            counts.record(Outcome.SDC)
+        counts.record(Outcome.BENIGN)
+        assert counts.total == 4
+        assert counts.rate(Outcome.SDC) == 0.75
+        assert counts[Outcome.BENIGN] == 1
+
+    def test_all_outcomes_tracked(self):
+        counts = OutcomeCounts()
+        for outcome in Outcome:
+            counts.record(outcome)
+        assert counts.total == len(Outcome)
+
+
+class TestSdcCoverage:
+    def test_full_coverage(self):
+        assert sdc_coverage(0.5, 0.0) == 1.0
+
+    def test_no_coverage(self):
+        assert sdc_coverage(0.5, 0.5) == 0.0
+
+    def test_half_coverage(self):
+        assert sdc_coverage(0.4, 0.2) == pytest.approx(0.5)
+
+    def test_zero_raw_is_vacuously_full(self):
+        assert sdc_coverage(0.0, 0.0) == 1.0
+
+    def test_negative_coverage_possible(self):
+        # A "protection" that adds SDCs shows as negative coverage.
+        assert sdc_coverage(0.1, 0.2) < 0

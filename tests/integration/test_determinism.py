@@ -1,0 +1,58 @@
+"""Determinism guarantees across the whole stack.
+
+Reproducibility is a stated property of this artifact: identical inputs
+must yield bit-identical compilations, executions, cycle counts and
+campaign statistics. These tests pin it end to end.
+"""
+
+from repro.asm.printer import format_program
+from repro.faultinjection.campaign import run_campaign
+from repro.machine.cpu import Machine
+from repro.machine.timing import TimingConfig
+from repro.pipeline import build_variants
+
+SOURCE = """
+int main() {
+    srand(77);
+    long total = 0;
+    for (int i = 0; i < 15; i++) { total += rand_next() % 101 - 50; }
+    print_long(total);
+    return 0;
+}
+"""
+
+
+class TestCompilationDeterminism:
+    def test_identical_builds(self):
+        first = build_variants(SOURCE)
+        second = build_variants(SOURCE)
+        for name in first.variants:
+            assert format_program(first[name].asm) == \
+                format_program(second[name].asm), name
+
+
+class TestExecutionDeterminism:
+    def test_runs_identical_across_machines(self):
+        build = build_variants(SOURCE, names=("ferrum",))
+        a = Machine(build["ferrum"].asm).run()
+        b = Machine(build["ferrum"].asm).run()
+        assert (a.output, a.exit_code, a.dynamic_instructions,
+                a.fault_sites) == \
+            (b.output, b.exit_code, b.dynamic_instructions, b.fault_sites)
+
+    def test_cycles_identical_across_builds(self):
+        first = build_variants(SOURCE, names=("raw",))
+        second = build_variants(SOURCE, names=("raw",))
+        timing = TimingConfig()
+        assert Machine(first["raw"].asm).run(timing=timing).cycles == \
+            Machine(second["raw"].asm).run(timing=timing).cycles
+
+
+class TestCampaignDeterminism:
+    def test_campaign_identical_across_builds(self):
+        first = build_variants(SOURCE, names=("raw",))
+        second = build_variants(SOURCE, names=("raw",))
+        a = run_campaign(first["raw"].asm, samples=20, seed=5)
+        b = run_campaign(second["raw"].asm, samples=20, seed=5)
+        assert a.outcomes.counts == b.outcomes.counts
+        assert a.fault_sites == b.fault_sites

@@ -1,0 +1,63 @@
+"""Pipeline integration tests over all four variants."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.machine.cpu import Machine
+from repro.machine.timing import TimingConfig
+from repro.pipeline import VARIANTS, build_variants
+
+
+class TestVariantEquivalence:
+    def test_all_variants_same_output(self, small_build):
+        outputs = {}
+        for name, variant in small_build.variants.items():
+            result = Machine(variant.asm).run()
+            outputs[name] = (result.output, result.exit_code)
+        assert len(set(outputs.values())) == 1
+
+    def test_variant_names(self, small_build):
+        assert tuple(small_build.variants) == VARIANTS
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ReproError):
+            build_variants("int main() { return 0; }", names=("bogus",))
+
+    def test_missing_variant_lookup_rejected(self):
+        build = build_variants("int main() { return 0; }", names=("raw",))
+        with pytest.raises(ReproError):
+            build["ferrum"]
+
+
+class TestSizeAndCost:
+    def test_static_size_ordering(self, small_build):
+        sizes = {n: v.static_size for n, v in small_build.variants.items()}
+        assert sizes["raw"] < sizes["ir-eddi"]
+        assert sizes["raw"] < sizes["ferrum"]
+        assert sizes["raw"] < sizes["hybrid"]
+
+    def test_overhead_ordering(self, small_build):
+        cycles = {}
+        for name, variant in small_build.variants.items():
+            cycles[name] = Machine(variant.asm).run(
+                timing=TimingConfig()
+            ).cycles
+        assert cycles["raw"] < cycles["ferrum"]
+        assert cycles["ferrum"] < cycles["hybrid"]
+
+    def test_transform_seconds_recorded(self, small_build):
+        assert small_build["ferrum"].transform_seconds > 0
+        assert small_build["hybrid"].transform_seconds > 0
+
+    def test_stats_attached(self, small_build):
+        assert small_build["ferrum"].stats.simd_protected > 0
+        assert small_build["ir-eddi"].stats.duplicated > 0
+        assert small_build["hybrid"].stats["asm"].asm.general_protected > 0
+
+
+class TestMetadata:
+    def test_protection_metadata(self, small_build):
+        assert small_build["raw"].asm.metadata["protection"] == "none"
+        assert small_build["ferrum"].asm.metadata["protection"] == "ferrum"
+        assert small_build["hybrid"].asm.metadata["protection"] == \
+            "hybrid-assembly-eddi"

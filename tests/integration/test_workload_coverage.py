@@ -1,0 +1,57 @@
+"""Per-workload protection equivalence and quick coverage spot checks.
+
+The benchmark suite measures coverage at scale; these tests pin the
+invariants cheaply for every Table II workload so a regression in any
+transform fails `pytest tests/` rather than only the benchmark run.
+"""
+
+import pytest
+
+from repro.faultinjection.campaign import run_campaign
+from repro.faultinjection.outcome import Outcome
+from repro.machine.cpu import Machine
+from repro.pipeline import build_variants
+from repro.workloads import get_workload, workload_names
+
+_builds = {}
+
+
+def _build(name):
+    if name not in _builds:
+        _builds[name] = build_variants(get_workload(name).source(1))
+    return _builds[name]
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_all_variants_preserve_output(name):
+    build = _build(name)
+    outputs = set()
+    for variant in build.variants.values():
+        result = Machine(variant.asm).run()
+        outputs.add((result.output, result.exit_code))
+    assert len(outputs) == 1
+
+
+@pytest.mark.parametrize("name", ("bfs", "kmeans"))
+def test_ferrum_spot_coverage(name):
+    """A small campaign on two contrasting workloads (graph traversal and
+    division-heavy clustering): FERRUM must show zero SDCs."""
+    build = _build(name)
+    campaign = run_campaign(build["ferrum"].asm, samples=25, seed=123)
+    assert campaign.outcomes[Outcome.SDC] == 0
+    assert campaign.outcomes[Outcome.DETECTED] > 0
+
+
+@pytest.mark.parametrize("name", ("bfs", "kmeans"))
+def test_hybrid_spot_coverage(name):
+    build = _build(name)
+    campaign = run_campaign(build["hybrid"].asm, samples=25, seed=123)
+    assert campaign.outcomes[Outcome.SDC] == 0
+
+
+def test_ferrum_static_blowup_is_bounded():
+    """Protection cost sanity: FERRUM's static size stays within ~4x."""
+    for name in workload_names():
+        build = _build(name)
+        ratio = build["ferrum"].static_size / build["raw"].static_size
+        assert 1.5 < ratio < 4.5, f"{name}: unexpected blowup {ratio:.2f}"

@@ -1,0 +1,144 @@
+"""IR interpreter tests."""
+
+import pytest
+
+from repro.errors import DetectionExit, ExecutionLimitExceeded, MachineFault
+from repro.ir.interp import IRInterpreter
+from repro.minic import compile_to_ir
+
+
+def run_ir(source: str, **kwargs):
+    return IRInterpreter(compile_to_ir(source), **kwargs).run()
+
+
+class TestBasicExecution:
+    def test_arithmetic(self):
+        result = run_ir("int main() { print_int(2 + 3 * 4); return 0; }")
+        assert result.output == ("14",)
+
+    def test_exit_code(self):
+        assert run_ir("int main() { return 41; }").exit_code == 41
+
+    def test_negative_printing(self):
+        assert run_ir("int main() { print_int(-5); return 0; }").output == ("-5",)
+
+    def test_long_arithmetic(self):
+        result = run_ir("""
+            int main() {
+                long big = 4000000000;
+                big = big * 3;
+                print_long(big);
+                return 0;
+            }
+        """)
+        assert result.output == ("12000000000",)
+
+    def test_division_truncates_toward_zero(self):
+        result = run_ir("""
+            int main() {
+                print_int(-7 / 2);
+                print_int(-7 % 2);
+                return 0;
+            }
+        """)
+        assert result.output == ("-3", "-1")
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MachineFault):
+            run_ir("int main() { int z = 0; return 5 / z; }")
+
+    def test_malloc_and_arrays(self):
+        result = run_ir("""
+            int main() {
+                int* p = malloc(12);
+                p[0] = 10; p[1] = 20; p[2] = 30;
+                print_int(p[0] + p[1] + p[2]);
+                return 0;
+            }
+        """)
+        assert result.output == ("60",)
+
+    def test_local_array(self):
+        result = run_ir("""
+            int main() {
+                int a[4];
+                for (int i = 0; i < 4; i++) { a[i] = i * i; }
+                print_int(a[3]);
+                return 0;
+            }
+        """)
+        assert result.output == ("9",)
+
+    def test_function_calls(self):
+        result = run_ir("""
+            int square(int x) { return x * x; }
+            int main() { print_int(square(9)); return 0; }
+        """)
+        assert result.output == ("81",)
+
+    def test_recursion(self):
+        result = run_ir("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print_int(fib(10)); return 0; }
+        """)
+        assert result.output == ("55",)
+
+    def test_rand_deterministic(self):
+        src = """
+            int main() {
+                srand(3);
+                print_int(rand_next() % 1000);
+                return 0;
+            }
+        """
+        assert run_ir(src).output == run_ir(src).output
+
+    def test_exit_builtin(self):
+        result = run_ir("int main() { exit(9); print_int(1); return 0; }")
+        assert result.exit_code == 9
+        assert result.output == ()
+
+    def test_instruction_budget(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run_ir("int main() { while (1) { } return 0; }",
+                   max_instructions=500)
+
+
+class TestFaultInjectionInterface:
+    def test_fault_sites_counted(self):
+        result = run_ir("int main() { return 1 + 2; }")
+        assert result.fault_sites > 0
+
+    def test_flip_changes_output(self):
+        module = compile_to_ir("int main() { print_int(4 + 4); return 0; }")
+        interp = IRInterpreter(module)
+        golden = interp.run()
+
+        def hook(ip, instr, site):
+            if instr.opcode == "add" and instr.has_result:
+                ip.flip_value(instr, 0)
+
+        faulty = IRInterpreter(module).run(fault_hook=hook)
+        assert faulty.output != golden.output
+
+    def test_check_detects_mismatch(self):
+        from repro.eddi.ir_eddi import protect_module
+
+        module = compile_to_ir("int main() { print_int(4 + 4); return 0; }")
+        protect_module(module)
+        interp = IRInterpreter(module)
+        interp.run()  # fault-free: no detection
+
+        flipped = {"done": False}
+
+        def hook(ip, instr, site):
+            if instr.opcode == "add" and not instr.name.endswith(".dup") \
+                    and not flipped["done"]:
+                ip.flip_value(instr, 2)
+                flipped["done"] = True
+
+        with pytest.raises(DetectionExit):
+            IRInterpreter(module).run(fault_hook=hook)

@@ -1,0 +1,160 @@
+"""IR instruction/builder/verifier/printer tests."""
+
+import pytest
+
+from repro.errors import IRError, IRVerifyError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import BinOp, Br, Check, ICmp, Load, Ret, Store
+from repro.ir.module import IRFunction, IRModule
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.types import I1, I32, I64, PointerType
+from repro.ir.values import Constant
+from repro.ir.verifier import verify_module
+
+
+def _simple_function() -> tuple[IRModule, IRFunction, IRBuilder]:
+    module = IRModule()
+    func = IRFunction("f", [("x", I32)], I32)
+    module.add_function(func)
+    builder = IRBuilder(func)
+    builder.position_at(func.add_block("entry"))
+    return module, func, builder
+
+
+class TestInstructionConstruction:
+    def test_binop_type_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("add", Constant(1, I32), Constant(1, I64))
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("frob", Constant(1, I32), Constant(1, I32))
+
+    def test_icmp_produces_i1(self):
+        cmp = ICmp("slt", Constant(1, I32), Constant(2, I32))
+        assert cmp.type == I1
+
+    def test_load_requires_typed_pointer(self):
+        with pytest.raises(IRError):
+            Load(Constant(0, I32))
+
+    def test_br_requires_i1(self):
+        with pytest.raises(IRError):
+            Br(Constant(1, I32), "a", "b")
+
+    def test_check_requires_matching_types(self):
+        with pytest.raises(IRError):
+            Check(Constant(1, I32), Constant(1, I64))
+
+    def test_terminator_flags(self):
+        assert Ret().is_terminator
+        assert not Store(Constant(1, I32),
+                         Constant(0, PointerType(I32))).is_terminator
+
+
+class TestBuilder:
+    def test_emission_order(self):
+        _, func, builder = _simple_function()
+        slot = builder.alloca(I32, name="slot")
+        builder.store(Constant(5, I32), slot)
+        value = builder.load(slot)
+        builder.ret(value)
+        opcodes = [i.opcode for i in func.entry.instructions]
+        assert opcodes == ["alloca", "store", "load", "ret"]
+
+    def test_emitting_after_terminator_rejected(self):
+        _, func, builder = _simple_function()
+        builder.ret(Constant(0, I32))
+        with pytest.raises(IRError):
+            builder.alloca(I32)
+
+    def test_new_block_labels_unique(self):
+        _, func, builder = _simple_function()
+        a = builder.new_block("bb")
+        b = builder.new_block("bb")
+        assert a.label != b.label
+
+
+class TestVerifier:
+    def test_valid_module_passes(self):
+        module, func, builder = _simple_function()
+        slot = builder.alloca(I32)
+        builder.store(func.args[0], slot)
+        builder.ret(builder.load(slot))
+        verify_module(module)
+
+    def test_missing_terminator_rejected(self):
+        module, func, builder = _simple_function()
+        builder.alloca(I32)
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_cross_block_value_flow_rejected(self):
+        module, func, builder = _simple_function()
+        entry = builder.block
+        value = builder.binop("add", func.args[0], Constant(1, I32))
+        second = func.add_block("second")
+        builder.jump("second")
+        builder.position_at(second)
+        builder.ret(value)  # uses a value from 'entry' directly
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_branch_to_unknown_label_rejected(self):
+        module, func, builder = _simple_function()
+        cond = builder.icmp("eq", func.args[0], Constant(0, I32))
+        builder.br(cond, "nowhere", "entry")
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_unknown_callee_rejected(self):
+        module, func, builder = _simple_function()
+        builder.call("mystery", [], I32)
+        builder.ret(Constant(0, I32))
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_builtin_arity_checked(self):
+        module, func, builder = _simple_function()
+        builder.call("print_int", [], I32)
+        builder.ret(Constant(0, I32))
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_module_function_arity_checked(self):
+        module, func, builder = _simple_function()
+        builder.call("f", [], I32)  # f takes one argument
+        builder.ret(Constant(0, I32))
+        with pytest.raises(IRVerifyError):
+            verify_module(module)
+
+    def test_duplicate_labels_rejected(self):
+        module = IRModule()
+        func = IRFunction("g", [])
+        module.add_function(func)
+        func.add_block("a")
+        with pytest.raises(IRError):
+            func.add_block("a")
+
+
+class TestPrinter:
+    def test_format_instruction_samples(self):
+        slot = Constant(0, PointerType(I32))
+        store = Store(Constant(3, I32), slot)
+        assert "store" in format_instruction(store)
+
+    def test_format_function_contains_blocks(self):
+        module, func, builder = _simple_function()
+        builder.ret(Constant(0, I32))
+        text = format_function(func)
+        assert "define i32 @f(i32 %x)" in text
+        assert "entry:" in text
+
+    def test_format_module_roundtrips_names(self):
+        module, func, builder = _simple_function()
+        builder.ret(Constant(0, I32))
+        assert "@f" in format_module(module)
+
+    def test_check_printed(self):
+        check = Check(Constant(1, I32), Constant(1, I32))
+        assert format_instruction(check).startswith("check")

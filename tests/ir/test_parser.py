@@ -1,0 +1,139 @@
+"""IR text parser tests, including the print/parse fixpoint property."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.eddi.ir_eddi import protect_module
+from repro.ir.interp import IRInterpreter
+from repro.ir.parser import IRParseError, parse_ir, parse_type
+from repro.ir.printer import format_module
+from repro.ir.types import I1, I32, I64, PointerType, VOID
+from repro.machine.cpu import Machine
+from repro.minic import compile_to_ir
+from repro.workloads import get_workload
+
+
+class TestParseType:
+    def test_int_types(self):
+        assert parse_type("i32") == I32
+        assert parse_type("i64") == I64
+        assert parse_type("i1") == I1
+
+    def test_pointers(self):
+        assert parse_type("i32*") == PointerType(I32)
+        assert parse_type("i32**") == PointerType(PointerType(I32))
+        assert parse_type("ptr") == PointerType(None)
+
+    def test_void(self):
+        assert parse_type("void") == VOID
+
+    def test_unknown_rejected(self):
+        with pytest.raises(Exception):
+            parse_type("f32")
+
+
+class TestHandwritten:
+    def test_minimal_function(self):
+        module = parse_ir("""
+            define i32 @main() {
+            entry:
+              %x = add i32 2, 3
+              ret i32 %x
+            }
+        """)
+        assert IRInterpreter(module).run().exit_code == 5
+
+    def test_memory_and_calls(self):
+        module = parse_ir("""
+            define i32 @main() {
+            entry:
+              %slot = alloca i32
+              store i32 41, %slot
+              %v = load i32, %slot
+              %w = add i32 %v, 1
+              call void @print_int(%w)
+              ret i32 0
+            }
+        """)
+        assert IRInterpreter(module).run().output == ("42",)
+
+    def test_branching(self):
+        module = parse_ir("""
+            define i32 @main() {
+            entry:
+              %c = icmp slt i32 1, 2
+              br i1 %c, label %yes, label %no
+            yes:
+              ret i32 7
+            no:
+              ret i32 9
+            }
+        """)
+        assert IRInterpreter(module).run().exit_code == 7
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_ir("""
+                define i32 @main() {
+                entry:
+                  ret i32 %ghost
+                }
+            """)
+
+    def test_instruction_outside_function_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_ir("%x = add i32 1, 2")
+
+    def test_unterminated_function_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_ir("define i32 @f() {\nentry:\n  ret i32 0\n")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(IRParseError):
+            parse_ir("""
+                define i32 @main() {
+                entry:
+                  %x = add i32 1, 2
+                  %x = add i32 3, 4
+                  ret i32 %x
+                }
+            """)
+
+
+class TestFixpoint:
+    def _roundtrip(self, source: str) -> None:
+        module = compile_to_ir(source)
+        text = format_module(module)
+        reparsed = parse_ir(text)
+        assert format_module(reparsed) == text
+        # Behavioural equivalence through both the interpreter and backend.
+        assert IRInterpreter(module).run().output == \
+            IRInterpreter(reparsed).run().output
+        assert Machine(compile_module(reparsed)).run().output == \
+            IRInterpreter(module).run().output
+
+    def test_roundtrip_simple(self):
+        self._roundtrip("int main() { print_int(6 * 7); return 0; }")
+
+    def test_roundtrip_control_flow(self):
+        self._roundtrip("""
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 9; i++) {
+                    if (i % 2 == 0 || i == 7) { total += i; }
+                }
+                print_int(total);
+                return 0;
+            }
+        """)
+
+    def test_roundtrip_workload(self):
+        self._roundtrip(get_workload("knn").source(1))
+
+    def test_roundtrip_protected_ir(self):
+        module = compile_to_ir(
+            "int main() { print_int(1 + 2 + 3); return 0; }"
+        )
+        protect_module(module)
+        text = format_module(module)
+        assert format_module(parse_ir(text)) == text

@@ -1,0 +1,54 @@
+"""Unit tests for the IR type system."""
+
+from repro.ir.types import (
+    I1, I8, I32, I64, IntType, PointerType, VOID, compatible,
+)
+
+
+class TestIntTypes:
+    def test_sizes(self):
+        assert I32.size_bytes == 4
+        assert I64.size_bytes == 8
+        assert I8.size_bytes == 1
+        assert I1.size_bytes == 1
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(I1) == "i1"
+
+    def test_equality_by_value(self):
+        assert IntType(32) == I32
+
+
+class TestPointerTypes:
+    def test_size_always_8(self):
+        assert PointerType(I32).size_bytes == 8
+        assert PointerType(None).size_bytes == 8
+
+    def test_element_size(self):
+        assert PointerType(I32).element_size == 4
+        assert PointerType(I64).element_size == 8
+        assert PointerType(None).element_size == 1
+
+    def test_str(self):
+        assert str(PointerType(I32)) == "i32*"
+        assert str(PointerType(None)) == "ptr"
+
+
+class TestCompatibility:
+    def test_exact_match(self):
+        assert compatible(I32, I32)
+        assert not compatible(I32, I64)
+
+    def test_wildcard_pointer_adopts(self):
+        assert compatible(PointerType(I32), PointerType(None))
+        assert compatible(PointerType(None), PointerType(I64))
+
+    def test_distinct_pointees_incompatible(self):
+        assert not compatible(PointerType(I32), PointerType(I64))
+
+    def test_pointer_int_incompatible(self):
+        assert not compatible(PointerType(I32), I64)
+
+    def test_void_size(self):
+        assert VOID.size_bytes == 0

@@ -1,0 +1,107 @@
+"""Builtin runtime tests (malloc, printing, LCG, exit, detect)."""
+
+import pytest
+
+from repro.asm.parser import parse_program
+from repro.errors import MachineFault
+from repro.machine.builtins import builtin_names, is_builtin
+from repro.machine.cpu import Machine
+from repro.machine.memory import MemoryLayout
+
+
+def _program(body: str) -> str:
+    return "\t.globl main\nmain:\n" + body + "\tmovl $0, %eax\n\tretq\n"
+
+
+class TestRegistry:
+    def test_expected_builtins_present(self):
+        names = set(builtin_names())
+        assert {"malloc", "free", "print_int", "print_long", "srand",
+                "rand_next", "exit", "__eddi_detect"} == names
+
+    def test_is_builtin(self):
+        assert is_builtin("malloc")
+        assert not is_builtin("printf")
+
+
+class TestMalloc:
+    def test_returns_16_aligned_pointers(self):
+        text = _program(
+            "\tmovl $7, %edi\n\tcall malloc\n"
+            "\tandq $15, %rax\n\tmovq %rax, %rdi\n\tcall print_long\n"
+        )
+        result = Machine(parse_program(text)).run()
+        assert result.output == ("0",)
+
+    def test_zero_size_allocations_distinct(self):
+        text = _program(
+            "\tmovl $0, %edi\n\tcall malloc\n\tmovq %rax, %rcx\n"
+            "\tmovl $0, %edi\n\tcall malloc\n"
+            "\tsubq %rcx, %rax\n\tmovq %rax, %rdi\n\tcall print_long\n"
+        )
+        result = Machine(parse_program(text)).run()
+        assert int(result.output[0]) >= 16
+
+    def test_heap_exhaustion_faults(self):
+        layout = MemoryLayout(heap_size=1024)
+        text = _program(
+            "\tmovl $4096, %edi\n\tcall malloc\n"
+        )
+        with pytest.raises(MachineFault):
+            Machine(parse_program(text), layout=layout).run()
+
+    def test_free_is_noop(self):
+        text = _program(
+            "\tmovl $32, %edi\n\tcall malloc\n"
+            "\tmovq %rax, %rdi\n\tcall free\n"
+        )
+        Machine(parse_program(text)).run()  # must not raise
+
+
+class TestPrinting:
+    def test_print_int_sign_extends_low_32(self):
+        text = _program(
+            "\tmovq $-1, %rdi\n\tcall print_int\n"
+        )
+        assert Machine(parse_program(text)).run().output == ("-1",)
+
+    def test_print_long_full_width(self):
+        text = _program(
+            "\tmovq $1, %rdi\n\tshlq $40, %rdi\n\tcall print_long\n"
+        )
+        assert Machine(parse_program(text)).run().output == (str(1 << 40),)
+
+
+class TestRandom:
+    def test_srand_resets_stream(self):
+        text = _program(
+            "\tmovl $5, %edi\n\tcall srand\n\tcall rand_next\n"
+            "\tmovq %rax, %rcx\n"
+            "\tmovl $5, %edi\n\tcall srand\n\tcall rand_next\n"
+            "\tsubq %rcx, %rax\n\tmovq %rax, %rdi\n\tcall print_long\n"
+        )
+        assert Machine(parse_program(text)).run().output == ("0",)
+
+    def test_rand_next_is_31_bit_nonnegative(self):
+        text = _program(
+            "\tcall rand_next\n\tsarq $31, %rax\n"
+            "\tmovq %rax, %rdi\n\tcall print_long\n"
+        )
+        assert Machine(parse_program(text)).run().output == ("0",)
+
+    def test_default_seed_matches_ir_interpreter(self):
+        """The machine and the IR interpreter must share the LCG, so raw
+        outputs agree across layers for rand-driven workloads."""
+        from repro.backend import compile_module
+        from repro.ir.interp import IRInterpreter
+        from repro.minic import compile_to_ir
+
+        source = """
+        int main() {
+            print_int(rand_next() % 9973);
+            return 0;
+        }
+        """
+        module = compile_to_ir(source)
+        assert IRInterpreter(module).run().output == \
+            Machine(compile_module(module)).run().output

@@ -1,0 +1,191 @@
+"""CPU loop tests: calls, exits, budgets, fault hooks, builtins."""
+
+import pytest
+
+from repro.asm.parser import parse_program
+from repro.errors import (
+    DetectionExit,
+    ExecutionLimitExceeded,
+    MachineFault,
+)
+from repro.machine.cpu import Machine
+
+CALL_PROGRAM = """\t.globl add2
+add2:
+\tleaq 2(%rdi), %rax
+\tretq
+\t.globl main
+main:
+\tmovl $40, %edi
+\tcall add2
+\tmovq %rax, %rdi
+\tcall print_long
+\tmovl $7, %eax
+\tretq
+"""
+
+LOOP_FOREVER = """\t.globl main
+main:
+.Lspin:
+\tjmp .Lspin
+"""
+
+
+class TestCallsAndReturns:
+    def test_cross_function_call(self):
+        result = Machine(parse_program(CALL_PROGRAM)).run()
+        assert result.output == ("42",)
+
+    def test_exit_code_from_eax(self):
+        result = Machine(parse_program(CALL_PROGRAM)).run()
+        assert result.exit_code == 7
+
+    def test_entry_function_selectable(self):
+        result = Machine(parse_program(CALL_PROGRAM)).run(
+            function="add2", args=(10,)
+        )
+        assert result.exit_code == 12
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(MachineFault):
+            Machine(parse_program(CALL_PROGRAM)).run(function="nope")
+
+    def test_recursion(self):
+        text = """\t.globl fact
+fact:
+\tcmpq $1, %rdi
+\tjg .Lrec
+\tmovq $1, %rax
+\tretq
+.Lrec:
+\tpushq %rdi
+\tleaq -1(%rdi), %rdi
+\tcall fact
+\tpopq %rdi
+\timulq %rdi, %rax
+\tretq
+\t.globl main
+main:
+\tmovq $6, %rdi
+\tcall fact
+\tmovq %rax, %rdi
+\tcall print_long
+\tmovl $0, %eax
+\tretq
+"""
+        assert Machine(parse_program(text)).run().output == ("720",)
+
+
+class TestBuiltins:
+    def test_malloc_returns_heap_pointers(self):
+        text = """\t.globl main
+main:
+\tmovl $64, %edi
+\tcall malloc
+\tmovq %rax, %rcx
+\tmovl $64, %edi
+\tcall malloc
+\tsubq %rcx, %rax
+\tmovq %rax, %rdi
+\tcall print_long
+\tmovl $0, %eax
+\tretq
+"""
+        result = Machine(parse_program(text)).run()
+        assert int(result.output[0]) >= 64  # second allocation is disjoint
+
+    def test_rand_is_deterministic_per_run(self):
+        text = """\t.globl main
+main:
+\tmovl $9, %edi
+\tcall srand
+\tcall rand_next
+\tmovq %rax, %rdi
+\tcall print_long
+\tmovl $0, %eax
+\tretq
+"""
+        machine = Machine(parse_program(text))
+        assert machine.run().output == machine.run().output
+
+    def test_exit_builtin_stops_execution(self):
+        text = """\t.globl main
+main:
+\tmovl $3, %edi
+\tcall exit
+\tmovl $9, %edi
+\tcall print_int
+\tmovl $0, %eax
+\tretq
+"""
+        result = Machine(parse_program(text)).run()
+        assert result.exit_code == 3
+        assert result.output == ()
+
+    def test_detect_builtin_raises(self):
+        text = """\t.globl main
+main:
+\tcall __eddi_detect
+\tretq
+"""
+        with pytest.raises(DetectionExit):
+            Machine(parse_program(text)).run()
+
+
+class TestLimitsAndFaults:
+    def test_instruction_budget(self):
+        machine = Machine(parse_program(LOOP_FOREVER))
+        with pytest.raises(ExecutionLimitExceeded):
+            machine.run(max_instructions=1000)
+
+    def test_wild_memory_access_faults(self):
+        text = """\t.globl main
+main:
+\tmovq $0, %rax
+\tmovq (%rax), %rcx
+\tretq
+"""
+        with pytest.raises(MachineFault):
+            Machine(parse_program(text)).run()
+
+    def test_corrupted_return_address_faults(self):
+        text = """\t.globl main
+main:
+\tpushq %rax
+\tretq
+"""
+        # rax is 0: returning to instruction index 0 loops; budget catches
+        # it, or an out-of-range value faults. Either is a crash/timeout.
+        with pytest.raises((MachineFault, ExecutionLimitExceeded)):
+            Machine(parse_program(text)).run(max_instructions=100)
+
+
+class TestRunBookkeeping:
+    def test_fault_sites_counted(self):
+        result = Machine(parse_program(CALL_PROGRAM)).run()
+        # leaq, movl, movq, movl(eax) have register dests; calls/ret do not.
+        assert result.fault_sites == 4
+
+    def test_dynamic_instructions_counted(self):
+        result = Machine(parse_program(CALL_PROGRAM)).run()
+        # movl, call, leaq, retq, movq, call, movl, retq
+        assert result.dynamic_instructions == 8
+
+    def test_fault_hook_called_per_site(self):
+        seen = []
+
+        def hook(machine, instr, site):
+            seen.append((site, instr.mnemonic))
+
+        Machine(parse_program(CALL_PROGRAM)).run(fault_hook=hook)
+        assert [s for s, _ in seen] == [0, 1, 2, 3]
+
+    def test_runs_are_isolated(self):
+        machine = Machine(parse_program(CALL_PROGRAM))
+        first = machine.run()
+        second = machine.run()
+        assert first.output == second.output
+        assert first.exit_code == second.exit_code
+
+    def test_cycles_none_without_timing(self):
+        assert Machine(parse_program(CALL_PROGRAM)).run().cycles is None

@@ -1,0 +1,99 @@
+"""Unit tests for RFLAGS semantics against reference arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.flags import (
+    CF_BIT,
+    OF_BIT,
+    SF_BIT,
+    ZF_BIT,
+    condition_holds,
+    flags_for_add,
+    flags_for_result,
+    flags_for_sub,
+    get_flag,
+    pack_flags,
+)
+from repro.utils.bitops import to_signed, to_unsigned
+
+u32 = st.integers(0, 2 ** 32 - 1)
+
+
+class TestPackGet:
+    def test_pack_positions(self):
+        rflags = pack_flags(True, False, True, False, True)
+        assert get_flag(rflags, CF_BIT)
+        assert get_flag(rflags, ZF_BIT)
+        assert get_flag(rflags, OF_BIT)
+        assert not get_flag(rflags, SF_BIT)
+
+
+class TestArithmeticFlags:
+    @given(u32, u32)
+    def test_add_result_and_carry(self, a, b):
+        result, rflags = flags_for_add(a, b, 32)
+        assert result == to_unsigned(a + b, 32)
+        assert get_flag(rflags, CF_BIT) == (a + b >= 2 ** 32)
+
+    @given(u32, u32)
+    def test_add_overflow_matches_signed(self, a, b):
+        result, rflags = flags_for_add(a, b, 32)
+        true_sum = to_signed(a, 32) + to_signed(b, 32)
+        assert get_flag(rflags, OF_BIT) == not_in_range(true_sum)
+
+    @given(u32, u32)
+    def test_sub_zero_flag(self, a, b):
+        _, rflags = flags_for_sub(a, b, 32)
+        assert get_flag(rflags, ZF_BIT) == (a == b)
+
+    @given(u32, u32)
+    def test_sub_borrow(self, a, b):
+        _, rflags = flags_for_sub(a, b, 32)
+        assert get_flag(rflags, CF_BIT) == (a < b)
+
+    @given(u32)
+    def test_logic_flags(self, a):
+        rflags = flags_for_result(a, 32)
+        assert get_flag(rflags, ZF_BIT) == (a == 0)
+        assert get_flag(rflags, SF_BIT) == bool(a >> 31)
+        assert not get_flag(rflags, CF_BIT)
+        assert not get_flag(rflags, OF_BIT)
+
+
+def not_in_range(value: int) -> bool:
+    return not -(2 ** 31) <= value < 2 ** 31
+
+
+class TestConditions:
+    @given(u32, u32)
+    def test_signed_comparisons_after_cmp(self, a, b):
+        """After cmp b, the condition codes must mirror signed compare."""
+        _, rflags = flags_for_sub(a, b, 32)
+        sa, sb = to_signed(a, 32), to_signed(b, 32)
+        assert condition_holds("e", rflags) == (sa == sb)
+        assert condition_holds("ne", rflags) == (sa != sb)
+        assert condition_holds("l", rflags) == (sa < sb)
+        assert condition_holds("le", rflags) == (sa <= sb)
+        assert condition_holds("g", rflags) == (sa > sb)
+        assert condition_holds("ge", rflags) == (sa >= sb)
+
+    @given(u32, u32)
+    def test_unsigned_comparisons_after_cmp(self, a, b):
+        _, rflags = flags_for_sub(a, b, 32)
+        assert condition_holds("b", rflags) == (a < b)
+        assert condition_holds("ae", rflags) == (a >= b)
+        assert condition_holds("be", rflags) == (a <= b)
+        assert condition_holds("a", rflags) == (a > b)
+
+    @given(u32)
+    def test_sign_conditions(self, a):
+        rflags = flags_for_result(a, 32)
+        assert condition_holds("s", rflags) == bool(a >> 31)
+        assert condition_holds("ns", rflags) == (not a >> 31)
+
+    def test_unknown_condition_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            condition_holds("xx", 0)

@@ -1,0 +1,72 @@
+"""Unit tests for segmented memory."""
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.machine.memory import Memory, MemoryLayout
+
+
+@pytest.fixture
+def memory():
+    return Memory()
+
+
+class TestReadWrite:
+    def test_roundtrip_u64(self, memory):
+        addr = memory.layout.heap_base
+        memory.write_uint(addr, 0x1122334455667788, 8)
+        assert memory.read_uint(addr, 8) == 0x1122334455667788
+
+    def test_little_endian(self, memory):
+        addr = memory.layout.heap_base
+        memory.write_uint(addr, 0x0102, 2)
+        assert memory.read_uint(addr, 1) == 0x02
+        assert memory.read_uint(addr + 1, 1) == 0x01
+
+    def test_truncates_to_size(self, memory):
+        addr = memory.layout.heap_base
+        memory.write_uint(addr, 0x1FF, 1)
+        assert memory.read_uint(addr, 1) == 0xFF
+
+    def test_zero_initialized(self, memory):
+        assert memory.read_uint(memory.layout.stack_base, 8) == 0
+
+    def test_bytes_interface(self, memory):
+        addr = memory.layout.globals_base
+        memory.write_bytes(addr, b"hello")
+        assert memory.read_bytes(addr, 5) == b"hello"
+
+
+class TestSegmentation:
+    def test_null_page_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read_uint(0, 8)
+
+    def test_gap_between_segments_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.read_uint(memory.layout.heap_base - 16, 8)
+
+    def test_straddling_end_of_segment_faults(self, memory):
+        end = memory.layout.heap_base + memory.layout.heap_size
+        with pytest.raises(SegmentationFault):
+            memory.read_uint(end - 4, 8)
+
+    def test_stack_segment_accessible(self, memory):
+        memory.write_uint(memory.layout.stack_top - 8, 1, 8)
+
+    def test_write_outside_faults(self, memory):
+        with pytest.raises(SegmentationFault):
+            memory.write_uint(0xDEAD_BEEF_0000, 1, 8)
+
+
+class TestLayout:
+    def test_stack_base_derived(self):
+        layout = MemoryLayout()
+        assert layout.stack_base == layout.stack_top - layout.stack_size
+
+    def test_custom_layout(self):
+        layout = MemoryLayout(heap_size=4096)
+        memory = Memory(layout)
+        memory.write_uint(layout.heap_base + 4088, 1, 8)
+        with pytest.raises(SegmentationFault):
+            memory.write_uint(layout.heap_base + 4096, 1, 8)

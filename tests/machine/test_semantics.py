@@ -1,0 +1,260 @@
+"""Instruction semantics tests: tiny programs through the full machine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm.parser import parse_program
+from repro.errors import MachineFault
+from repro.machine.cpu import Machine
+from repro.utils.bitops import to_signed, to_unsigned
+
+
+def run_snippet(body: str, ret: str = "movq %rax, %rdi\n\tcall print_long"):
+    """Wrap a snippet in main, run it, return output lines."""
+    text = "\t.globl main\nmain:\n"
+    for line in body.strip().splitlines():
+        text += f"\t{line.strip()}\n"
+    text += f"\t{ret}\n\tmovl $0, %eax\n\tretq\n"
+    return Machine(parse_program(text)).run().output
+
+
+def result_of(body: str) -> int:
+    return int(run_snippet(body)[0])
+
+
+class TestMovFamily:
+    def test_mov_immediate(self):
+        assert result_of("movq $42, %rax") == 42
+
+    def test_mov32_zero_extends(self):
+        assert result_of("movq $-1, %rax\n movl $5, %eax") == 5
+
+    def test_movslq_sign_extends(self):
+        assert result_of("""
+            movl $-7, %ecx
+            movl %ecx, -8(%rsp)
+            movslq -8(%rsp), %rax
+        """) == -7
+
+    def test_movzbl_zero_extends(self):
+        assert result_of("movq $-1, %rcx\n movzbl %cl, %eax") == 255
+
+    def test_load_store_roundtrip(self):
+        assert result_of("""
+            movq $123, %rcx
+            movq %rcx, -16(%rsp)
+            movq -16(%rsp), %rax
+        """) == 123
+
+    def test_lea_computes_address_without_access(self):
+        assert result_of("""
+            movq $100, %rcx
+            movq $3, %rdx
+            leaq 5(%rcx,%rdx,4), %rax
+        """) == 117
+
+
+class TestAlu:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_add(self, a, b):
+        assert result_of(f"movq ${a}, %rax\n addq ${b}, %rax") == a + b
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_imul(self, a, b):
+        assert result_of(f"movq ${a}, %rax\n movq ${b}, %rcx\n"
+                         f" imulq %rcx, %rax") == a * b
+
+    def test_sub_order(self):
+        # AT&T: subq %rcx, %rax is rax -= rcx.
+        assert result_of("movq $10, %rax\n movq $3, %rcx\n subq %rcx, %rax") == 7
+
+    def test_xor_self_zeroes(self):
+        assert result_of("movq $99, %rax\n xorq %rax, %rax") == 0
+
+    def test_and_or(self):
+        assert result_of("movq $12, %rax\n andq $10, %rax") == 8
+        assert result_of("movq $12, %rax\n orq $3, %rax") == 15
+
+    def test_32bit_add_wraps(self):
+        assert result_of(
+            "movl $2147483647, %eax\n addl $1, %eax\n movslq %eax, %rax\n"
+            " movq %rax, -8(%rsp)\n movq -8(%rsp), %rax",
+        ) == to_signed(0x8000_0000, 32)
+
+    def test_neg_not_inc_dec(self):
+        assert result_of("movq $5, %rax\n negq %rax") == -5
+        assert result_of("movq $0, %rax\n notq %rax") == -1
+        assert result_of("movq $5, %rax\n incq %rax") == 6
+        assert result_of("movq $5, %rax\n decq %rax") == 4
+
+
+class TestShifts:
+    def test_shl_imm(self):
+        assert result_of("movq $3, %rax\n shlq $4, %rax") == 48
+
+    def test_sar_keeps_sign(self):
+        assert result_of("movq $-16, %rax\n sarq $2, %rax") == -4
+
+    def test_shr_is_logical(self):
+        assert result_of("movq $-1, %rax\n shrq $60, %rax") == 15
+
+    def test_shift_by_cl(self):
+        assert result_of("movq $1, %rax\n movq $5, %rcx\n shlq %cl, %rax") == 32
+
+    def test_zero_count_leaves_value(self):
+        assert result_of("movq $7, %rax\n shlq $0, %rax") == 7
+
+
+class TestDivision:
+    @given(st.integers(-10000, 10000), st.integers(1, 97))
+    def test_idivl_quotient_remainder(self, a, b):
+        quotient = result_of(f"""
+            movl ${a}, %eax
+            movl ${b}, %ecx
+            cltd
+            idivl %ecx
+            movslq %eax, %rax
+            movq %rax, -8(%rsp)
+            movq -8(%rsp), %rax
+        """)
+        assert quotient == int(a / b)  # x86 truncates toward zero
+
+    def test_idivl_remainder_in_edx(self):
+        out = run_snippet("""
+            movl $17, %eax
+            movl $5, %ecx
+            cltd
+            idivl %ecx
+            movslq %edx, %rax
+        """)
+        assert int(out[0]) == 2
+
+    def test_idivq(self):
+        assert result_of("""
+            movq $-100, %rax
+            movq $7, %rcx
+            cqto
+            idivq %rcx
+        """) == -14  # truncation toward zero, not floor (-15)
+
+    def test_divide_by_zero_faults(self):
+        with pytest.raises(MachineFault):
+            run_snippet("movl $1, %eax\n movl $0, %ecx\n cltd\n idivl %ecx")
+
+
+class TestBranches:
+    def test_branch_full_program(self):
+        text = """\t.globl main
+main:
+\tmovl $5, %eax
+\tcmpl $5, %eax
+\tjne .Lwrong
+\tmovl $1, %edi
+\tcall print_int
+\tjmp .Ldone
+.Lwrong:
+\tmovl $0, %edi
+\tcall print_int
+.Ldone:
+\tmovl $0, %eax
+\tretq
+"""
+        assert Machine(parse_program(text)).run().output == ("1",)
+
+    def test_setcc(self):
+        assert result_of("""
+            movq $3, %rax
+            cmpq $5, %rax
+            setl %al
+            movzbl %al, %eax
+        """) == 1
+
+
+class TestStack:
+    def test_push_pop(self):
+        assert result_of("""
+            movq $77, %rcx
+            pushq %rcx
+            popq %rax
+        """) == 77
+
+    def test_push_adjusts_rsp_by_8(self):
+        assert result_of("""
+            movq %rsp, %rcx
+            pushq %rax
+            movq %rsp, %rax
+            popq %rdx
+            subq %rax, %rcx
+            movq %rcx, %rax
+        """) == 8
+
+
+class TestVector:
+    def test_movq_to_xmm_zeroes_upper_quadword(self):
+        assert result_of("""
+            movq $-1, %rcx
+            movq %rcx, %xmm0
+            pinsrq $0, %rcx, %xmm1
+            pextrq $1, %xmm0, %rax
+        """) == 0
+
+    def test_pinsrq_pextrq_lanes(self):
+        assert result_of("""
+            movq $11, %rcx
+            movq $22, %rdx
+            movq %rcx, %xmm0
+            pinsrq $1, %rdx, %xmm0
+            pextrq $1, %xmm0, %rax
+        """) == 22
+
+    def test_vinserti128_upper_lane(self):
+        assert result_of("""
+            movq $5, %rcx
+            movq %rcx, %xmm1
+            vinserti128 $1, %xmm1, %ymm0, %ymm0
+            pextrq $0, %xmm0, %rax
+        """) == 0  # low lane of ymm0 untouched
+
+    def test_vpxor_and_vptest_equal(self):
+        text = """\t.globl main
+main:
+\tmovq $9, %rcx
+\tmovq %rcx, %xmm0
+\tmovq %rcx, %xmm1
+\tvpxor %ymm1, %ymm0, %ymm2
+\tvptest %ymm2, %ymm2
+\tjne .Lbad
+\tmovl $1, %edi
+\tcall print_int
+\tmovl $0, %eax
+\tretq
+.Lbad:
+\tmovl $0, %edi
+\tcall print_int
+\tmovl $0, %eax
+\tretq
+"""
+        assert Machine(parse_program(text)).run().output == ("1",)
+
+    def test_vptest_detects_difference(self):
+        text = """\t.globl main
+main:
+\tmovq $9, %rcx
+\tmovq %rcx, %xmm0
+\tmovq $10, %rcx
+\tmovq %rcx, %xmm1
+\tvpxor %ymm1, %ymm0, %ymm2
+\tvptest %ymm2, %ymm2
+\tjne .Lbad
+\tmovl $1, %edi
+\tcall print_int
+\tmovl $0, %eax
+\tretq
+.Lbad:
+\tmovl $0, %edi
+\tcall print_int
+\tmovl $0, %eax
+\tretq
+"""
+        assert Machine(parse_program(text)).run().output == ("0",)

@@ -1,0 +1,97 @@
+"""Unit tests for the register file's sub-register write rules."""
+
+from repro.asm.registers import get_register
+from repro.machine.state import RegisterFile
+
+
+class TestGprWrites:
+    def test_64bit_replaces(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xFFFF_FFFF_FFFF_FFFF)
+        regs.write(get_register("rax"), 1)
+        assert regs.read(get_register("rax")) == 1
+
+    def test_32bit_zero_extends(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xFFFF_FFFF_FFFF_FFFF)
+        regs.write(get_register("eax"), 0x1234)
+        assert regs.read(get_register("rax")) == 0x1234  # upper cleared
+
+    def test_16bit_merges(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xAAAA_BBBB_CCCC_DDDD)
+        regs.write(get_register("ax"), 0x1111)
+        assert regs.read(get_register("rax")) == 0xAAAA_BBBB_CCCC_1111
+
+    def test_8bit_merges(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xAAAA_BBBB_CCCC_DDDD)
+        regs.write(get_register("al"), 0x22)
+        assert regs.read(get_register("rax")) == 0xAAAA_BBBB_CCCC_DD22
+
+    def test_read_view_masks(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0x1122_3344_5566_7788)
+        assert regs.read(get_register("eax")) == 0x5566_7788
+        assert regs.read(get_register("al")) == 0x88
+
+
+class TestVectorWrites:
+    def test_xmm_preserves_upper_lane(self):
+        regs = RegisterFile()
+        regs.write(get_register("ymm0"), (1 << 255) | 7)
+        regs.write(get_register("xmm0"), 42)
+        value = regs.read(get_register("ymm0"))
+        assert value & ((1 << 128) - 1) == 42
+        assert value >> 255 == 1  # upper lane preserved
+
+    def test_ymm_replaces_all(self):
+        regs = RegisterFile()
+        regs.write(get_register("ymm1"), (1 << 255) | 7)
+        regs.write(get_register("ymm1"), 5)
+        assert regs.read(get_register("ymm1")) == 5
+
+    def test_xmm_read_masks_to_128(self):
+        regs = RegisterFile()
+        regs.write(get_register("ymm2"), (123 << 128) | 9)
+        assert regs.read(get_register("xmm2")) == 9
+
+
+class TestFlip:
+    def test_flip_gpr_bit(self):
+        regs = RegisterFile()
+        regs.write(get_register("rbx"), 0)
+        regs.flip(get_register("rbx"), 5)
+        assert regs.read(get_register("rbx")) == 32
+
+    def test_flip_subregister_respects_width(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xFF00)
+        regs.flip(get_register("al"), 0)
+        assert regs.read(get_register("rax")) == 0xFF01
+
+    def test_flip_flags(self):
+        from repro.asm.registers import FLAGS
+
+        regs = RegisterFile()
+        regs.flip(FLAGS, 6)
+        assert regs.rflags == 64
+
+    def test_flip_32bit_view_clears_upper(self):
+        # Flipping a bit in a 32-bit view rewrites via the 32-bit rule.
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xFFFF_FFFF_0000_0000)
+        regs.flip(get_register("eax"), 0)
+        assert regs.read(get_register("rax")) == 1
+
+
+class TestSnapshot:
+    def test_snapshot_contains_all_roots(self):
+        snap = RegisterFile().snapshot()
+        assert "rax" in snap and "ymm15" in snap and "rflags" in snap
+
+    def test_snapshot_is_a_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs.write(get_register("rax"), 9)
+        assert snap["rax"] == 0

@@ -1,0 +1,161 @@
+"""Timing-model tests: port classification, latency, dependence stalls."""
+
+from repro.asm.instructions import ins
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.parser import parse_program
+from repro.asm.registers import get_register
+from repro.machine.cpu import Machine
+from repro.machine.timing import Port, TimingConfig, TimingModel, latency_of, port_of
+
+
+def _reg(name):
+    return Reg(get_register(name))
+
+
+def _mem(disp=-8):
+    return Mem(disp=disp, base=get_register("rbp"))
+
+
+class TestPortClassification:
+    def test_scalar_alu_is_int(self):
+        assert port_of(ins("addq", Imm(1), _reg("rax"))) is Port.INT
+
+    def test_load_port(self):
+        assert port_of(ins("movq", _mem(), _reg("rax"))) is Port.LOAD
+
+    def test_store_port(self):
+        assert port_of(ins("movq", _reg("rax"), _mem())) is Port.STORE
+
+    def test_branch_port(self):
+        assert port_of(ins("jmp", LabelRef("x"))) is Port.BRANCH
+        assert port_of(ins("call", LabelRef("f"))) is Port.BRANCH
+
+    def test_vector_port(self):
+        assert port_of(ins("movq", _reg("rax"), _reg("xmm0"))) is Port.VEC
+        assert port_of(ins("vpxor", _reg("ymm0"), _reg("ymm1"),
+                           _reg("ymm2"))) is Port.VEC
+
+    def test_push_pop_ports(self):
+        assert port_of(ins("pushq", _reg("rax"))) is Port.STORE
+        assert port_of(ins("popq", _reg("rax"))) is Port.LOAD
+
+    def test_lea_is_int(self):
+        assert port_of(ins("leaq", _mem(), _reg("rax"))) is Port.INT
+
+
+class TestLatency:
+    def test_load_latency(self):
+        config = TimingConfig()
+        instr = ins("movq", _mem(), _reg("rax"))
+        assert latency_of(instr, config) == config.latency_load
+
+    def test_lea_is_not_a_load(self):
+        config = TimingConfig()
+        instr = ins("leaq", _mem(), _reg("rax"))
+        assert latency_of(instr, config) == config.latency_lea
+
+    def test_idiv_slowest(self):
+        config = TimingConfig()
+        assert latency_of(ins("idivl", _reg("ecx")), config) == config.latency_idiv
+
+    def test_imul_latency(self):
+        config = TimingConfig()
+        instr = ins("imulq", _reg("rcx"), _reg("rax"))
+        assert latency_of(instr, config) == config.latency_imul
+
+
+class TestModelBehaviour:
+    def test_dependent_chain_slower_than_independent(self):
+        config = TimingConfig()
+        dependent = TimingModel(config)
+        for _ in range(20):
+            dependent.observe(ins("addq", Imm(1), _reg("rax")), [], [], False)
+        independent = TimingModel(config)
+        regs = ["rax", "rbx", "rcx", "rdx"]
+        for i in range(20):
+            independent.observe(ins("addq", Imm(1), _reg(regs[i % 4])),
+                                [], [], False)
+        assert dependent.cycles > independent.cycles
+
+    def test_store_load_forwarding_dependency(self):
+        config = TimingConfig()
+        model = TimingModel(config)
+        model.observe(ins("movq", _reg("rax"), _mem()), [], [100], False)
+        model.observe(ins("movq", _mem(), _reg("rbx")), [100], [], False)
+        with_dep = model.cycles
+        model2 = TimingModel(config)
+        model2.observe(ins("movq", _reg("rax"), _mem()), [], [100], False)
+        model2.observe(ins("movq", _mem(), _reg("rbx")), [200], [], False)
+        assert with_dep > model2.cycles
+
+    def test_taken_branch_penalty(self):
+        config = TimingConfig()
+        taken = TimingModel(config)
+        for _ in range(10):
+            taken.observe(ins("jmp", LabelRef("x")), [], [], True)
+        not_taken = TimingModel(config)
+        for _ in range(10):
+            not_taken.observe(ins("jne", LabelRef("x")), [], [], False)
+        assert taken.cycles > not_taken.cycles
+
+    def test_branch_port_serializes(self):
+        config = TimingConfig()
+        model = TimingModel(config)
+        for _ in range(16):
+            model.observe(ins("jne", LabelRef("x")), [], [], False)
+        # One branch unit: at least one branch per cycle.
+        assert model.cycles >= 15
+
+    def test_vector_work_overlaps_scalar(self):
+        """The paper's core claim: VEC uops ride along nearly for free."""
+        config = TimingConfig()
+        scalar_only = TimingModel(config)
+        mixed = TimingModel(config)
+        for i in range(40):
+            scalar_only.observe(ins("addq", Imm(1), _reg("rax")), [], [], False)
+            mixed.observe(ins("addq", Imm(1), _reg("rax")), [], [], False)
+            mixed.observe(ins("movq", _reg("rbx"), _reg("xmm0")), [], [], False)
+        assert mixed.cycles <= scalar_only.cycles * 1.3
+
+    def test_rob_limits_runahead(self):
+        small = TimingConfig(rob_size=4)
+        large = TimingConfig(rob_size=512)
+        def run(config):
+            model = TimingModel(config)
+            # One long-latency op then many independent cheap ops.
+            model.observe(ins("idivl", _reg("ecx")), [], [], False)
+            for i in range(64):
+                model.observe(ins("addq", Imm(1), _reg("rbx")), [], [], False)
+            return model.cycles
+        assert run(small) > run(large)
+
+    def test_granules(self):
+        assert TimingModel.granules(0, 8) == [0]
+        assert TimingModel.granules(4, 8) == [0, 1]
+        assert TimingModel.granules(8, 4) == [1]
+
+
+class TestEndToEndDeterminism:
+    def test_cycles_deterministic(self, tiny_build):
+        machine = Machine(tiny_build["raw"].asm)
+        a = machine.run(timing=TimingConfig()).cycles
+        b = machine.run(timing=TimingConfig()).cycles
+        assert a == b and a > 0
+
+    def test_cycles_scale_with_work(self):
+        text = """\t.globl main
+main:
+\tmovq $0, %rax
+\tmovq $0, %rcx
+.Lloop:
+\taddq $1, %rax
+\taddq $1, %rcx
+\tcmpq $NNN, %rcx
+\tjne .Lloop
+\tmovl $0, %eax
+\tretq
+"""
+        short = Machine(parse_program(text.replace("NNN", "10")))
+        long = Machine(parse_program(text.replace("NNN", "100")))
+        assert long.run(timing=TimingConfig()).cycles > \
+            short.run(timing=TimingConfig()).cycles * 5

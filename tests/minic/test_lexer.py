@@ -1,0 +1,73 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int foo while whilefoo")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[2].kind is TokenKind.KEYWORD
+        assert tokens[3].kind is TokenKind.IDENT
+
+    def test_numbers(self):
+        tokens = tokenize("0 123 456789")
+        assert all(t.kind is TokenKind.INT_LITERAL for t in tokens[:-1])
+
+    def test_maximal_munch_operators(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+        assert texts("i++") == ["i", "++"]
+        assert texts("a&&b") == ["a", "&&", "b"]
+        assert texts("a&b") == ["a", "&", "b"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_bad_number_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("123abc")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("x\n  @")
+        except LexError as exc:
+            assert exc.line == 2 and exc.column == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected LexError")

@@ -1,0 +1,222 @@
+"""Lowering tests: semantics via the IR interpreter + type errors."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir.interp import IRInterpreter
+from repro.minic import compile_to_ir
+
+
+def outputs(source: str) -> tuple[str, ...]:
+    return IRInterpreter(compile_to_ir(source)).run().output
+
+
+class TestLanguageSemantics:
+    def test_short_circuit_and_skips_rhs(self):
+        out = outputs("""
+            int side(int x) { print_int(x); return x; }
+            int main() {
+                if (side(0) && side(1)) { }
+                return 0;
+            }
+        """)
+        assert out == ("0",)  # rhs never evaluated
+
+    def test_short_circuit_or_skips_rhs(self):
+        out = outputs("""
+            int side(int x) { print_int(x); return x; }
+            int main() {
+                if (side(1) || side(2)) { }
+                return 0;
+            }
+        """)
+        assert out == ("1",)
+
+    def test_logical_results_are_0_or_1(self):
+        assert outputs("""
+            int main() {
+                print_int((3 < 5) + (5 < 3));
+                print_int(!7);
+                print_int(!0);
+                return 0;
+            }
+        """) == ("1", "0", "1")
+
+    def test_scoping_shadows(self):
+        assert outputs("""
+            int main() {
+                int x = 1;
+                { int x = 2; print_int(x); }
+                print_int(x);
+                return 0;
+            }
+        """) == ("2", "1")
+
+    def test_for_scope_confined(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("""
+                int main() {
+                    for (int i = 0; i < 3; i++) { }
+                    print_int(i);
+                    return 0;
+                }
+            """)
+
+    def test_break_and_continue(self):
+        assert outputs("""
+            int main() {
+                int total = 0;
+                for (int i = 0; i < 10; i++) {
+                    if (i == 3) { continue; }
+                    if (i == 6) { break; }
+                    total += i;
+                }
+                print_int(total);
+                return 0;
+            }
+        """) == ("12",)  # 0+1+2+4+5
+
+    def test_int_long_promotion(self):
+        assert outputs("""
+            int main() {
+                long big = 2000000000;
+                int small = 10;
+                print_long(big + small + big);
+                return 0;
+            }
+        """) == ("4000000010",)
+
+    def test_long_to_int_truncation(self):
+        assert outputs("""
+            int main() {
+                long big = 4294967297;
+                int t = big;
+                print_int(t);
+                return 0;
+            }
+        """) == ("1",)
+
+    def test_pointer_plus_int(self):
+        assert outputs("""
+            int main() {
+                int* p = malloc(16);
+                p[0] = 1; p[1] = 2; p[2] = 3;
+                int* q = p + 2;
+                print_int(q[0]);
+                return 0;
+            }
+        """) == ("3",)
+
+    def test_array_decay_to_call(self):
+        assert outputs("""
+            int first(int* p) { return p[0]; }
+            int main() {
+                int a[3];
+                a[0] = 42;
+                print_int(first(a));
+                return 0;
+            }
+        """) == ("42",)
+
+    def test_main_implicit_return_zero(self):
+        result = IRInterpreter(compile_to_ir(
+            "int main() { print_int(1); }"
+        )).run()
+        assert result.exit_code == 0
+
+    def test_nested_loops(self):
+        assert outputs("""
+            int main() {
+                int count = 0;
+                for (int i = 0; i < 4; i++) {
+                    for (int j = 0; j < i; j++) { count++; }
+                }
+                print_int(count);
+                return 0;
+            }
+        """) == ("6",)
+
+    def test_modulo_negative(self):
+        assert outputs("int main() { print_int(-9 % 4); return 0; }") == ("-1",)
+
+    def test_shift_operators(self):
+        assert outputs("""
+            int main() {
+                print_int(1 << 5);
+                print_int(-32 >> 2);
+                return 0;
+            }
+        """) == ("32", "-8")
+
+    def test_bitwise_operators(self):
+        assert outputs("""
+            int main() {
+                print_int(12 & 10);
+                print_int(12 | 3);
+                print_int(12 ^ 10);
+                return 0;
+            }
+        """) == ("8", "15", "6")
+
+
+class TestTypeErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { return x; }")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { int x = 1; int x = 2; return 0; }")
+
+    def test_pointer_int_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { int* p = 5; return 0; }")
+
+    def test_mismatched_pointer_types_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("""
+                int main() { long* p = malloc(8); int* q = p; return 0; }
+            """)
+
+    def test_indexing_non_pointer_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { int x = 1; return x[0]; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("""
+                int f(int a) { return a; }
+                int main() { return f(1, 2); }
+            """)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { return mystery(); }")
+
+    def test_void_function_returning_value_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("void f() { return 3; } int main() { return 0; }")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int f() { int x = 1; } int main() { return 0; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main() { break; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("""
+                int main() { int a[2]; int* p = malloc(8); a = p; return 0; }
+            """)
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int malloc(int x) { return x; } "
+                          "int main() { return 0; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int f() { return 1; } int f() { return 2; } "
+                          "int main() { return 0; }")

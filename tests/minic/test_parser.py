@@ -1,0 +1,139 @@
+"""Mini-C parser tests (AST shape and error reporting)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.parser import parse
+
+
+def main_body(source_body: str) -> tuple:
+    program = parse("int main() { " + source_body + " }")
+    return program.functions[0].body.statements
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        program = parse("long f(int a, int* b) { return 0; }")
+        func = program.functions[0]
+        assert func.name == "f"
+        assert func.return_type == ast.TypeName("long")
+        assert func.params[0].type == ast.TypeName("int")
+        assert func.params[1].type == ast.TypeName("int", 1)
+
+    def test_variable_with_init(self):
+        (decl,) = main_body("int x = 5;")
+        assert isinstance(decl, ast.Declaration)
+        assert decl.name == "x" and isinstance(decl.init, ast.IntLiteral)
+
+    def test_array_declaration(self):
+        (decl,) = main_body("int a[10];")
+        assert decl.array_size == 10
+
+    def test_array_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int a[2] = 5; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { void v; }")
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        (stmt,) = main_body("int x = 1 + 2 * 3;")
+        init = stmt.init
+        assert init.op == "+" and init.rhs.op == "*"
+
+    def test_comparison_below_arithmetic(self):
+        (stmt,) = main_body("int x = 1 + 2 < 4;")
+        assert stmt.init.op == "<"
+
+    def test_logical_or_weakest(self):
+        (stmt,) = main_body("int x = 1 < 2 && 3 < 4 || 5 < 6;")
+        assert stmt.init.op == "||"
+
+    def test_parentheses_override(self):
+        (stmt,) = main_body("int x = (1 + 2) * 3;")
+        assert stmt.init.op == "*" and stmt.init.lhs.op == "+"
+
+    def test_shift_precedence(self):
+        (stmt,) = main_body("int x = 1 << 2 + 3;")
+        assert stmt.init.op == "<<"  # + binds tighter than <<
+
+    def test_unary_minus(self):
+        (stmt,) = main_body("int x = -y;")
+        assert isinstance(stmt.init, ast.Unary) and stmt.init.op == "-"
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = main_body("if (1) { } else { }")
+        assert isinstance(stmt, ast.If) and stmt.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = main_body("if (1) if (2) { } else { }")
+        assert stmt.else_body is None
+        assert stmt.then_body.else_body is not None
+
+    def test_while(self):
+        (stmt,) = main_body("while (x < 3) { }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        (stmt,) = main_body("for (int i = 0; i < 3; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = main_body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_break_continue(self):
+        body = main_body("while (1) { break; } while (1) { continue; }")
+        assert isinstance(body[0].body.statements[0], ast.Break)
+        assert isinstance(body[1].body.statements[0], ast.Continue)
+
+
+class TestDesugaring:
+    def test_compound_assignment(self):
+        (_, stmt) = main_body("int x = 0; x += 2;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.value.op == "+"
+
+    def test_increment(self):
+        (_, stmt) = main_body("int i = 0; i++;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value.rhs, ast.IntLiteral)
+
+    def test_indexed_assignment(self):
+        (stmt,) = main_body("p[3] = 7;")
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { 1 + 2 = 3; }")
+
+    def test_call_statement(self):
+        (stmt,) = main_body("print_int(3);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.CallExpr)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { int x = 1 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("int main() { ")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main() { if (1 { } }")
+
+    def test_garbage_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("banana")

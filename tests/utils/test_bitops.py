@@ -1,0 +1,113 @@
+"""Unit tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    flip_bit,
+    mask_for_width,
+    parity_even,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    zero_extend,
+)
+
+WIDTHS = (8, 16, 32, 64)
+
+
+class TestMaskForWidth:
+    def test_common_widths(self):
+        assert mask_for_width(8) == 0xFF
+        assert mask_for_width(32) == 0xFFFF_FFFF
+        assert mask_for_width(64) == (1 << 64) - 1
+
+    def test_uncached_width(self):
+        assert mask_for_width(5) == 0b11111
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            mask_for_width(0)
+
+
+class TestSignedness:
+    def test_to_unsigned_wraps_negative(self):
+        assert to_unsigned(-1, 8) == 255
+        assert to_unsigned(-128, 8) == 128
+
+    def test_to_signed_high_bit(self):
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0xFFFF_FFFF, 32) == -1
+
+    def test_to_signed_positive_passthrough(self):
+        assert to_signed(127, 8) == 127
+
+    @given(st.integers(-(2 ** 63), 2 ** 63 - 1),
+           st.sampled_from(WIDTHS))
+    def test_roundtrip(self, value, width):
+        truncated = to_unsigned(value, width)
+        assert to_unsigned(to_signed(truncated, width), width) == truncated
+
+    @given(st.integers(0, 2 ** 64 - 1), st.sampled_from(WIDTHS))
+    def test_signed_range(self, value, width):
+        signed = to_signed(value, width)
+        assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+class TestSignExtend:
+    def test_extends_negative(self):
+        assert sign_extend(0xFF, 8, 16) == 0xFFFF
+        assert sign_extend(0x8000_0000, 32, 64) == 0xFFFF_FFFF_8000_0000
+
+    def test_extends_positive_unchanged(self):
+        assert sign_extend(0x7F, 8, 64) == 0x7F
+
+    def test_same_width_identity(self):
+        assert sign_extend(0xAB, 8, 8) == 0xAB
+
+    def test_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 16, 8)
+
+    def test_zero_extend_truncates(self):
+        assert zero_extend(0x1FF, 8) == 0xFF
+
+
+class TestFlipBit:
+    def test_sets_clear_bit(self):
+        assert flip_bit(0, 3, 8) == 8
+
+    def test_clears_set_bit(self):
+        assert flip_bit(8, 3, 8) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 8, 8)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1, 8)
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(0, 31))
+    def test_involution(self, value, bit):
+        assert flip_bit(flip_bit(value, bit, 32), bit, 32) == value
+
+    @given(st.integers(0, 2 ** 32 - 1), st.integers(0, 31))
+    def test_changes_exactly_one_bit(self, value, bit):
+        flipped = flip_bit(value, bit, 32)
+        assert popcount(value ^ flipped) == 1
+
+
+class TestParity:
+    def test_even_parity_of_zero(self):
+        assert parity_even(0)
+
+    def test_single_bit_is_odd(self):
+        assert not parity_even(1)
+
+    def test_only_low_byte_counts(self):
+        assert parity_even(0x100)  # bit above the low byte is ignored
+
+    @given(st.integers(0, 255))
+    def test_matches_popcount(self, value):
+        assert parity_even(value) == (popcount(value) % 2 == 0)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.rng."""
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [
+            b.randint(0, 10 ** 9) for _ in range(5)
+        ]
+
+    def test_seed_property(self):
+        assert DeterministicRng(7).seed == 7
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(9).fork(3)
+        b = DeterministicRng(9).fork(3)
+        assert a.randint(0, 10 ** 9) == b.randint(0, 10 ** 9)
+
+    def test_fork_streams_are_independent(self):
+        parent = DeterministicRng(9)
+        streams = [parent.fork(i).randint(0, 10 ** 9) for i in range(50)]
+        assert len(set(streams)) > 45  # collisions would indicate bad mixing
+
+    def test_fork_does_not_consume_parent_state(self):
+        parent = DeterministicRng(9)
+        before = DeterministicRng(9).randint(0, 10 ** 9)
+        parent.fork(0)
+        assert parent.randint(0, 10 ** 9) == before
+
+
+class TestHelpers:
+    def test_sample_bit_in_range(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            assert 0 <= rng.sample_bit(64) < 64
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRng(1)
+        items = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice(items) in items
+
+    def test_shuffled_preserves_elements(self):
+        rng = DeterministicRng(1)
+        items = list(range(30))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(30))  # input untouched
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(5)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0

@@ -1,0 +1,34 @@
+"""Unit tests for repro.utils.text."""
+
+from repro.utils.text import format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["x", 1], ["yyy", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a ")
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_cells_stringified(self):
+        table = format_table(["n"], [[3.5]])
+        assert "3.5" in table
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(0.2983) == "29.8%"
+
+    def test_digits(self):
+        assert percent(0.5, digits=0) == "50%"
+
+    def test_over_one(self):
+        assert percent(1.345) == "134.5%"

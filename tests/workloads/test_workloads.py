@@ -1,0 +1,72 @@
+"""Workload registry and behaviour tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir.interp import IRInterpreter
+from repro.machine.cpu import Machine
+from repro.backend import compile_module
+from repro.minic import compile_to_ir
+from repro.workloads import all_workloads, get_workload, workload_names
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(all_workloads()) == 8
+
+    def test_table2_names(self):
+        assert workload_names() == (
+            "backprop", "bfs", "pathfinder", "lud", "needle",
+            "knn", "kmeans", "particlefilter",
+        )
+
+    def test_domains_match_table2(self):
+        domains = {spec.name: spec.domain for spec in all_workloads()}
+        assert domains["backprop"] == "Machine Learning"
+        assert domains["bfs"] == "Graph Algorithm"
+        assert domains["pathfinder"] == "Dynamic Programming"
+        assert domains["lud"] == "Linear Algebra"
+        assert domains["needle"] == "Dynamic Programming"
+        assert domains["knn"] == "Machine Learning"
+        assert domains["kmeans"] == "Data Mining"
+        assert domains["particlefilter"] == "Noise estimator"
+
+    def test_all_from_rodinia(self):
+        assert {spec.suite for spec in all_workloads()} == {"Rodinia"}
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("doom")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("bfs").source(0)
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestEachWorkload:
+    def test_compiles_and_runs(self, name):
+        module = compile_to_ir(get_workload(name).source(1))
+        result = IRInterpreter(module).run()
+        assert result.exit_code == 0
+        assert len(result.output) >= 2  # at least two checksum lines
+
+    def test_compiled_matches_interpreter(self, name):
+        module = compile_to_ir(get_workload(name).source(1))
+        ir_out = IRInterpreter(module).run().output
+        asm_out = Machine(compile_module(module)).run().output
+        assert asm_out == ir_out
+
+    def test_deterministic(self, name):
+        module = compile_to_ir(get_workload(name).source(1))
+        machine = Machine(compile_module(module))
+        assert machine.run().output == machine.run().output
+
+
+class TestScaling:
+    def test_scale_grows_work(self):
+        spec = get_workload("pathfinder")
+        small = Machine(compile_module(compile_to_ir(spec.source(1))))
+        large = Machine(compile_module(compile_to_ir(spec.source(2))))
+        assert large.run().dynamic_instructions > \
+            small.run().dynamic_instructions * 1.5
