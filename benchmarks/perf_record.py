@@ -1,0 +1,136 @@
+"""Campaign-throughput measurement and its cross-PR perf trail.
+
+Measures faults/sec for the checkpointed vs. replay injection engines and
+appends each measurement to ``BENCH_campaign_throughput.json`` at the repo
+root, so regressions in the injection engine stay visible from PR to PR.
+
+Used two ways:
+
+* imported by ``benchmarks/test_campaign_throughput.py`` (the tier-2 perf
+  smoke target);
+* standalone: ``PYTHONPATH=src python benchmarks/perf_record.py
+  [--workloads kmeans,lud] [--samples 40] [--seed 11]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign_throughput.json"
+
+
+@dataclass(frozen=True)
+class ThroughputRecord:
+    """One engine-vs-engine measurement on one workload."""
+
+    timestamp: str
+    workload: str
+    samples: int
+    seed: int
+    fault_sites: int
+    dynamic_instructions: int
+    replay_seconds: float
+    checkpoint_seconds: float
+    replay_faults_per_sec: float
+    checkpoint_faults_per_sec: float
+    speedup: float
+
+
+def measure_throughput(program, workload: str, samples: int,
+                       seed: int) -> ThroughputRecord:
+    """Time both engines on ``program``; asserts bit-identical outcomes."""
+    from repro.faultinjection.campaign import run_campaign
+
+    start = time.perf_counter()
+    replay = run_campaign(program, samples=samples, seed=seed, engine="replay")
+    replay_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checkpointed = run_campaign(program, samples=samples, seed=seed,
+                                engine="checkpoint")
+    checkpoint_seconds = time.perf_counter() - start
+
+    if checkpointed.outcomes.counts != replay.outcomes.counts:
+        raise AssertionError(
+            f"{workload}: engines disagree: "
+            f"{checkpointed.outcomes.counts} != {replay.outcomes.counts}"
+        )
+    return ThroughputRecord(
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        workload=workload,
+        samples=samples,
+        seed=seed,
+        fault_sites=replay.fault_sites,
+        dynamic_instructions=replay.dynamic_instructions,
+        replay_seconds=round(replay_seconds, 4),
+        checkpoint_seconds=round(checkpoint_seconds, 4),
+        replay_faults_per_sec=round(samples / replay_seconds, 3),
+        checkpoint_faults_per_sec=round(samples / checkpoint_seconds, 3),
+        speedup=round(replay_seconds / checkpoint_seconds, 3),
+    )
+
+
+def append_record(record: ThroughputRecord, path: Path = BENCH_PATH) -> None:
+    """Append one measurement to the JSON trail (a list of records)."""
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(asdict(record))
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def render_table(records: list[ThroughputRecord]) -> str:
+    lines = [
+        "Campaign throughput: checkpointed vs. replay engine",
+        f"{'workload':<14} {'sites':>8} {'replay f/s':>11} "
+        f"{'ckpt f/s':>10} {'speedup':>8}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec.workload:<14} {rec.fault_sites:>8} "
+            f"{rec.replay_faults_per_sec:>11.2f} "
+            f"{rec.checkpoint_faults_per_sec:>10.2f} "
+            f"{rec.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", default="kmeans,lud",
+                        help="comma-separated Rodinia workload names")
+    parser.add_argument("--samples", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--scale", type=int, default=1)
+    args = parser.parse_args()
+
+    from repro.backend import compile_module
+    from repro.minic import compile_to_ir
+    from repro.workloads import get_workload
+
+    records = []
+    for name in args.workloads.split(","):
+        name = name.strip()
+        program = compile_module(
+            compile_to_ir(get_workload(name).source(args.scale))
+        )
+        record = measure_throughput(program, name, args.samples, args.seed)
+        append_record(record)
+        records.append(record)
+    print(render_table(records))
+    print(f"appended {len(records)} record(s) to {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

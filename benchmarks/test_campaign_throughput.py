@@ -1,0 +1,57 @@
+"""Tier-2 perf smoke: campaign throughput, checkpointed vs. replay engine.
+
+The checkpointed engine executes the shared golden prefix of a campaign
+once and serves every injection from an O(touched pages) snapshot, so its
+faults/sec must beat the replay engine by >= 2x at the campaign sizes these
+benchmarks actually run (``REPRO_FI_SAMPLES``, default 40). Each run also
+appends its measurements to ``BENCH_campaign_throughput.json`` so the perf
+trajectory is tracked across PRs.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/test_campaign_throughput.py -q``
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import FI_SAMPLES, build_for, emit
+from perf_record import append_record, measure_throughput, render_table
+
+pytestmark = pytest.mark.perf
+
+#: kmeans and lud show the engine's speedup with the most headroom at scale
+#: 1 (few early-crash shortcuts, no timeout runs at this seed); overridable
+#: for wider sweeps.
+WORKLOADS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_THROUGHPUT_WORKLOADS", "kmeans,lud"
+    ).split(",")
+    if name.strip()
+)
+SEED = 11
+MIN_SPEEDUP = 2.0
+
+_records = []
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_checkpoint_engine_speedup(name):
+    program = build_for(name)["raw"].asm
+    record = measure_throughput(program, name, samples=FI_SAMPLES, seed=SEED)
+    append_record(record)
+    _records.append(record)
+    assert record.checkpoint_faults_per_sec > record.replay_faults_per_sec
+    assert record.speedup >= MIN_SPEEDUP, (
+        f"{name}: checkpointed engine only {record.speedup:.2f}x faster "
+        f"({record.checkpoint_faults_per_sec:.2f} vs "
+        f"{record.replay_faults_per_sec:.2f} faults/sec)"
+    )
+
+
+def test_report(capsys):
+    if not _records:
+        pytest.skip("no throughput measurements collected")
+    emit(capsys, render_table(_records))

@@ -5,6 +5,21 @@ independent runs, one uniformly sampled single-bit fault each, outcomes
 aggregated into an :class:`OutcomeCounts` histogram. Sampling is fully
 deterministic from a seed; each run forks its own RNG stream, so campaigns
 are reproducible and embarrassingly parallel in structure.
+
+Two execution engines serve the same sampled plans:
+
+* ``engine="replay"`` — the classic protocol: every injection re-executes
+  the program from instruction 0, so campaign cost is ~N × full-run time
+  even though all runs share an identical golden prefix up to the fault
+  site.
+* ``engine="checkpoint"`` (default) — plans are sorted by dynamic site,
+  grouped into checkpoint regions, and the shared golden prefix is executed
+  exactly once: a cursor snapshot advances region to region
+  (:meth:`Machine.run_to_site`), and each injection restores the region's
+  O(touched pages) snapshot and runs only its own suffix. Outcomes are
+  bit-identical to the replay engine (plans are RNG-independent and
+  snapshots capture complete architectural state); only the execution
+  strategy changes. See ``docs/fault_model.md``.
 """
 
 from __future__ import annotations
@@ -12,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.asm.program import AsmProgram
+from repro.errors import InjectionError
 from repro.faultinjection.injector import (
     FaultPlan,
     inject_asm_fault,
@@ -22,6 +38,9 @@ from repro.ir.interp import IRInterpreter
 from repro.ir.module import IRModule
 from repro.machine.cpu import Machine
 from repro.utils.rng import DeterministicRng
+
+#: Execution strategies accepted by ``run_campaign``/``run_ir_campaign``.
+ENGINES = ("checkpoint", "replay")
 
 
 @dataclass
@@ -47,6 +66,74 @@ class CampaignResult:
         )
 
 
+def _checkpoint_schedule(
+    plans: list[FaultPlan], interval: int | None
+) -> list[tuple[int, list[FaultPlan]]]:
+    """Group plans by the checkpoint that serves them, ascending by site.
+
+    ``interval=None`` checkpoints at every distinct fault site (zero
+    fast-forward per injection); ``interval=K`` snapshots only at multiples
+    of K sites, trading up to K-1 sites of fast-forward per injection for
+    fewer, coarser snapshots — the knob that matters when region snapshots
+    must be materialized simultaneously (the multiprocessing path).
+    """
+    if interval is not None and interval < 1:
+        raise InjectionError(f"checkpoint interval must be >= 1, got {interval}")
+    regions: dict[int, list[FaultPlan]] = {}
+    for plan in plans:
+        site = plan.site_index
+        checkpoint = site if interval is None else site - site % interval
+        regions.setdefault(checkpoint, []).append(plan)
+    return sorted(regions.items())
+
+
+def _checkpointed_asm_outcomes(
+    program: AsmProgram,
+    plans: list[FaultPlan],
+    golden,
+    function: str,
+    args: tuple[int, ...],
+    interval: int | None,
+) -> list[Outcome]:
+    """Serve all plans off one incremental golden-prefix pass (sequential)."""
+    outcomes = []
+    machine = Machine(program)
+    cursor = None
+    for checkpoint_site, region_plans in _checkpoint_schedule(plans, interval):
+        cursor = machine.run_to_site(checkpoint_site, function=function,
+                                     args=args, resume_from=cursor)
+        for plan in region_plans:
+            outcomes.append(
+                inject_asm_fault(program, plan, golden, function=function,
+                                 args=args, machine=machine,
+                                 resume_from=cursor)
+            )
+    return outcomes
+
+
+def _checkpointed_ir_outcomes(
+    module: IRModule,
+    plans: list[FaultPlan],
+    golden,
+    function: str,
+    args: tuple[int, ...],
+    interval: int | None,
+) -> list[Outcome]:
+    """IR twin of :func:`_checkpointed_asm_outcomes`."""
+    outcomes = []
+    interp = IRInterpreter(module)
+    cursor = None
+    for checkpoint_site, region_plans in _checkpoint_schedule(plans, interval):
+        cursor = interp.run_to_site(checkpoint_site, function=function,
+                                    args=args, resume_from=cursor)
+        for plan in region_plans:
+            outcomes.append(
+                inject_ir_fault(module, plan, golden, function=function,
+                                args=args, interp=interp, resume_from=cursor)
+            )
+    return outcomes
+
+
 #: State inherited by forked campaign workers (see ``run_campaign``).
 _PARALLEL_STATE: dict = {}
 
@@ -59,6 +146,65 @@ def _parallel_inject(plan: FaultPlan) -> Outcome:
     )
 
 
+def _parallel_inject_region(region_index: int) -> list[Outcome]:
+    """Worker for the checkpoint-aware pool: one restore-base per region."""
+    state = _PARALLEL_STATE
+    snapshot, region_plans = state["regions"][region_index]
+    machine = state["machine"]
+    return [
+        inject_asm_fault(state["program"], plan, state["golden"],
+                         function=state["function"], args=state["args"],
+                         machine=machine, resume_from=snapshot)
+        for plan in region_plans
+    ]
+
+
+def _parallel_inject_ir(plan: FaultPlan) -> Outcome:
+    state = _PARALLEL_STATE
+    return inject_ir_fault(
+        state["module"], plan, state["golden"],
+        function=state["function"], args=state["args"],
+    )
+
+
+def _parallel_inject_ir_region(region_index: int) -> list[Outcome]:
+    state = _PARALLEL_STATE
+    snapshot, region_plans = state["regions"][region_index]
+    interp = state["interp"]
+    return [
+        inject_ir_fault(state["module"], plan, state["golden"],
+                        function=state["function"], args=state["args"],
+                        interp=interp, resume_from=snapshot)
+        for plan in region_plans
+    ]
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or None where unsupported.
+
+    Campaign workers rely on inheriting the parent's program, golden run
+    and snapshots by address-space copy; ``spawn``/``forkserver`` would need
+    everything re-pickled and re-validated per worker. Callers fall back to
+    sequential execution (identical results, no crash) when ``fork`` is
+    unavailable (e.g. some non-POSIX platforms).
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def _pooled(context, processes: int, worker, tasks, chunksize: int) -> list:
+    """Map over a pool, always clearing the inherited-state global."""
+    try:
+        with context.Pool(processes) as pool:
+            return pool.map(worker, tasks, chunksize=chunksize)
+    finally:
+        _PARALLEL_STATE.clear()
+
+
 def run_campaign(
     program: AsmProgram,
     samples: int,
@@ -66,6 +212,8 @@ def run_campaign(
     function: str = "main",
     args: tuple[int, ...] = (),
     processes: int = 1,
+    engine: str = "checkpoint",
+    checkpoint_interval: int | None = None,
 ) -> CampaignResult:
     """Inject ``samples`` single-bit faults at assembly level.
 
@@ -73,10 +221,19 @@ def run_campaign(
     the dynamic fault-site population; each sample then flips one bit at a
     uniformly chosen site/register/bit and classifies the outcome.
 
-    ``processes > 1`` fans the (independent) runs out over forked worker
-    processes; results are identical to the sequential order because every
-    run derives its own RNG stream from the seed.
+    ``engine`` selects the execution strategy (see the module docstring);
+    both produce bit-identical :class:`OutcomeCounts` for the same seed.
+    ``checkpoint_interval`` (checkpoint engine only) snapshots every K
+    sites instead of at every served site. ``processes > 1`` fans the
+    (independent) runs out over forked worker processes — sharded by
+    checkpoint region under the checkpoint engine, so each worker restores
+    from its region snapshot rather than replaying the prefix; results are
+    identical to the sequential order because every run derives its own RNG
+    stream from the seed. Where ``fork`` is unavailable the campaign runs
+    sequentially instead of crashing.
     """
+    if engine not in ENGINES:
+        raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
     golden = Machine(program).run(function=function, args=args)
     result = CampaignResult(
         samples=samples,
@@ -88,19 +245,46 @@ def run_campaign(
         FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
         for run_index in range(samples)
     ]
-    if processes > 1:
-        import multiprocessing
 
-        _PARALLEL_STATE.update(
-            program=program, golden=golden, function=function, args=args
+    context = _fork_context() if processes > 1 else None
+    if processes > 1 and context is not None:
+        if engine == "checkpoint":
+            machine = Machine(program)
+            regions = []
+            cursor = None
+            for site, region_plans in _checkpoint_schedule(
+                plans, checkpoint_interval
+            ):
+                cursor = machine.run_to_site(site, function=function,
+                                             args=args, resume_from=cursor)
+                regions.append((cursor, region_plans))
+            _PARALLEL_STATE.update(
+                program=program, golden=golden, function=function, args=args,
+                machine=machine, regions=regions,
+            )
+            per_region = _pooled(context, processes, _parallel_inject_region,
+                                 range(len(regions)), chunksize=1)
+            for outcomes in per_region:
+                for outcome in outcomes:
+                    result.outcomes.record(outcome)
+        else:
+            _PARALLEL_STATE.update(
+                program=program, golden=golden, function=function, args=args
+            )
+            outcomes = _pooled(context, processes, _parallel_inject, plans,
+                               chunksize=8)
+            for outcome in outcomes:
+                result.outcomes.record(outcome)
+        return result
+
+    if engine == "checkpoint":
+        outcomes = _checkpointed_asm_outcomes(
+            program, plans, golden, function, args, checkpoint_interval
         )
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes) as pool:
-            outcomes = pool.map(_parallel_inject, plans, chunksize=8)
-        _PARALLEL_STATE.clear()
         for outcome in outcomes:
             result.outcomes.record(outcome)
         return result
+
     machine = Machine(program)
     for plan in plans:
         outcome = inject_asm_fault(program, plan, golden,
@@ -116,8 +300,19 @@ def run_ir_campaign(
     seed: int = 0,
     function: str = "main",
     args: tuple[int, ...] = (),
+    processes: int = 1,
+    engine: str = "checkpoint",
+    checkpoint_interval: int | None = None,
 ) -> CampaignResult:
-    """Inject ``samples`` faults at IR level (LLFI-style)."""
+    """Inject ``samples`` faults at IR level (LLFI-style).
+
+    Supports the same ``engine``/``checkpoint_interval``/``processes``
+    controls as :func:`run_campaign`, with identical guarantees: both
+    engines and any process count yield bit-identical outcome counts for a
+    given seed.
+    """
+    if engine not in ENGINES:
+        raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
     golden = IRInterpreter(module).run(function=function, args=args)
     result = CampaignResult(
         samples=samples,
@@ -125,9 +320,55 @@ def run_ir_campaign(
         dynamic_instructions=golden.dynamic_instructions,
     )
     rng = DeterministicRng(seed)
-    for run_index in range(samples):
-        plan = FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+    plans = [
+        FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+        for run_index in range(samples)
+    ]
+
+    context = _fork_context() if processes > 1 else None
+    if processes > 1 and context is not None:
+        if engine == "checkpoint":
+            interp = IRInterpreter(module)
+            regions = []
+            cursor = None
+            for site, region_plans in _checkpoint_schedule(
+                plans, checkpoint_interval
+            ):
+                cursor = interp.run_to_site(site, function=function,
+                                            args=args, resume_from=cursor)
+                regions.append((cursor, region_plans))
+            _PARALLEL_STATE.update(
+                module=module, golden=golden, function=function, args=args,
+                interp=interp, regions=regions,
+            )
+            per_region = _pooled(context, processes,
+                                 _parallel_inject_ir_region,
+                                 range(len(regions)), chunksize=1)
+            for outcomes in per_region:
+                for outcome in outcomes:
+                    result.outcomes.record(outcome)
+        else:
+            _PARALLEL_STATE.update(
+                module=module, golden=golden, function=function, args=args
+            )
+            outcomes = _pooled(context, processes, _parallel_inject_ir,
+                               plans, chunksize=8)
+            for outcome in outcomes:
+                result.outcomes.record(outcome)
+        return result
+
+    if engine == "checkpoint":
+        outcomes = _checkpointed_ir_outcomes(
+            module, plans, golden, function, args, checkpoint_interval
+        )
+        for outcome in outcomes:
+            result.outcomes.record(outcome)
+        return result
+
+    interp = IRInterpreter(module)
+    for plan in plans:
         outcome = inject_ir_fault(module, plan, golden,
-                                  function=function, args=args)
+                                  function=function, args=args,
+                                  interp=interp)
         result.outcomes.record(outcome)
     return result

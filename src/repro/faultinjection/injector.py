@@ -27,9 +27,9 @@ from repro.errors import (
     MachineFault,
 )
 from repro.faultinjection.outcome import Outcome
-from repro.ir.interp import IRInterpreter, IRRunResult
+from repro.ir.interp import IRInterpreter, IRRunResult, IRSnapshot
 from repro.ir.module import IRModule
-from repro.machine.cpu import Machine, RunResult
+from repro.machine.cpu import Machine, MachineSnapshot, RunResult
 from repro.machine.flags import INJECTABLE_FLAG_BITS
 from repro.utils.rng import DeterministicRng
 
@@ -88,6 +88,7 @@ def inject_asm_fault(
     args: tuple[int, ...] = (),
     timeout_factor: int = 6,
     machine: Machine | None = None,
+    resume_from: MachineSnapshot | None = None,
 ) -> Outcome:
     """Run ``program`` once with ``plan``'s fault; classify the outcome.
 
@@ -95,6 +96,13 @@ def inject_asm_fault(
     dynamic length, so runaway loops classify as timeouts without hanging
     the campaign. Passing a pre-built ``machine`` (for the same program)
     skips per-run construction; ``run`` resets all architectural state.
+
+    ``resume_from`` switches to the checkpointed protocol: instead of
+    replaying the whole golden prefix, execution restores the snapshot (a
+    checkpoint at or before ``plan.site_index``) and runs forward with the
+    hook delivered only at the target site. Outcomes are bit-identical to
+    the replay protocol — the snapshot is, by construction, the exact state
+    a replay would have reached.
     """
     if machine is None:
         machine = Machine(program)
@@ -108,8 +116,19 @@ def inject_asm_fault(
 
     budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
     try:
-        result = machine.run(function=function, args=args, fault_hook=hook,
-                             max_instructions=budget)
+        if resume_from is not None:
+            if resume_from.sites > plan.site_index:
+                raise InjectionError(
+                    f"checkpoint at site {resume_from.sites} is past "
+                    f"fault site {plan.site_index}"
+                )
+            result = machine.run(function=function, args=args, fault_hook=hook,
+                                 max_instructions=budget,
+                                 fault_at=plan.site_index,
+                                 resume_from=resume_from)
+        else:
+            result = machine.run(function=function, args=args, fault_hook=hook,
+                                 max_instructions=budget)
     except DetectionExit:
         return Outcome.DETECTED
     except ExecutionLimitExceeded:
@@ -135,14 +154,21 @@ def inject_ir_fault(
     function: str = "main",
     args: tuple[int, ...] = (),
     timeout_factor: int = 10,
+    interp: IRInterpreter | None = None,
+    resume_from: IRSnapshot | None = None,
 ) -> Outcome:
     """IR-level injection (LLFI-style): flip a bit in an IR result value.
 
     Used by the cross-layer gap experiment: IR-level EDDI looks nearly
     perfect under IR-level injection; the gap only appears at assembly
     level.
+
+    ``resume_from`` enables the same checkpointed protocol as
+    :func:`inject_asm_fault`: restore a prefix snapshot (taken with the
+    passed ``interp``) instead of re-executing the golden prefix.
     """
-    interp = IRInterpreter(module)
+    if interp is None:
+        interp = IRInterpreter(module)
     interp.max_instructions = max(
         golden.dynamic_instructions * timeout_factor, 10_000
     )
@@ -160,7 +186,17 @@ def inject_ir_fault(
             fired = True
 
     try:
-        result = interp.run(function=function, args=args, fault_hook=hook)
+        if resume_from is not None:
+            if resume_from.sites > plan.site_index:
+                raise InjectionError(
+                    f"checkpoint at site {resume_from.sites} is past "
+                    f"fault site {plan.site_index}"
+                )
+            result = interp.run(function=function, args=args, fault_hook=hook,
+                                fault_at=plan.site_index,
+                                resume_from=resume_from)
+        else:
+            result = interp.run(function=function, args=args, fault_hook=hook)
     except DetectionExit:
         return Outcome.DETECTED
     except ExecutionLimitExceeded:

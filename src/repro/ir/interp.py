@@ -12,6 +12,13 @@ Two roles:
 
 The interpreter reuses the machine's memory/builtin behaviour (same bump
 allocator, same LCG) so raw outputs agree between layers.
+
+Calls run over an explicit frame stack rather than Python recursion, so the
+complete execution state is a plain data structure: :meth:`IRInterpreter.
+run_to_site` captures it as an :class:`IRSnapshot` and :meth:`IRInterpreter.
+run` resumes from one — the same checkpoint/restore protocol the
+:class:`repro.machine.cpu.Machine` offers, used by ``run_ir_campaign`` to
+share the golden prefix across sampled faults.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from repro.ir.instructions import (
 from repro.ir.module import IRFunction, IRModule
 from repro.ir.types import IntType, PointerType
 from repro.ir.values import Constant, Value
-from repro.machine.memory import Memory, MemoryLayout
+from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
 from repro.utils.bitops import flip_bit, to_signed, to_unsigned
 
 #: Hook invoked after each value-producing dynamic instruction:
@@ -59,11 +66,49 @@ class IRRunResult:
 
 
 class _Frame:
-    __slots__ = ("values", "stack_base")
+    __slots__ = ("func", "values", "stack_base", "block", "index", "call_site")
 
-    def __init__(self, stack_base: int) -> None:
+    def __init__(self, func: IRFunction, stack_base: int,
+                 call_site: Call | None) -> None:
+        self.func = func
         self.values: dict[Value, int] = {}
         self.stack_base = stack_base
+        self.block = func.entry
+        self.index = 0
+        self.call_site = call_site
+
+
+@dataclass(frozen=True)
+class _FrameSnapshot:
+    func: IRFunction
+    values: dict[Value, int]
+    stack_base: int
+    block: object
+    index: int
+    call_site: Call | None
+
+
+@dataclass(frozen=True)
+class IRSnapshot:
+    """Deep copy of the interpreter's complete execution state.
+
+    Captured at an instruction boundary, cumulative counters included, so a
+    restored run is bit-identical to one that executed straight through.
+    Frame values are plain ints keyed by the module's (immutable) IR value
+    objects; restoring requires the same :class:`IRModule` the snapshot was
+    taken against.
+    """
+
+    frames: tuple[_FrameSnapshot, ...]
+    memory: MemorySnapshot
+    output: tuple[str, ...]
+    heap_cursor: int
+    lcg_state: int
+    stack_cursor: int
+    executed: int
+    sites: int
+    exit_requested: bool
+    exit_code: int
 
 
 def _width_of(value: Value) -> int:
@@ -92,9 +137,11 @@ class IRInterpreter:
         self._executed = 0
         self._sites = 0
         self._fault_hook: IRFaultHook | None = None
+        self._fault_at = -1
         self._exit_requested = False
         self._exit_code = 0
-        self._current_frame = _Frame(self._stack_cursor)
+        self._frames: list[_Frame] = []
+        self._root_result = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -103,22 +150,26 @@ class IRInterpreter:
         function: str = "main",
         args: tuple[int, ...] = (),
         fault_hook: IRFaultHook | None = None,
+        fault_at: int | None = None,
+        resume_from: IRSnapshot | None = None,
     ) -> IRRunResult:
-        """Execute ``function(*args)`` and return the run outcome."""
-        self.memory = Memory(self.layout)
-        self.output = []
-        self.heap_cursor = self.layout.heap_base
-        self.lcg_state = 0x1234_5678
-        self._stack_cursor = self.layout.stack_top - 16
-        self._executed = 0
-        self._sites = 0
-        self._fault_hook = fault_hook
-        self._exit_requested = False
-        self._exit_code = 0
+        """Execute ``function(*args)`` and return the run outcome.
 
-        result = self._call(self.module.function(function), tuple(args))
+        ``fault_at`` restricts hook delivery to one site ordinal (skipping
+        the per-site Python call everywhere else); ``resume_from`` continues
+        from an :class:`IRSnapshot` instead of entry (``function``/``args``
+        are then ignored), with counters resuming cumulatively.
+        """
+        if resume_from is not None:
+            self._restore(resume_from)
+        else:
+            self._begin(function, args)
+        self._fault_hook = fault_hook
+        self._fault_at = -1 if fault_at is None else fault_at
+
+        self._run_loop(None)
         if not self._exit_requested:
-            self._exit_code = to_signed(result, 32)
+            self._exit_code = to_signed(self._root_result, 32)
         return IRRunResult(
             exit_code=self._exit_code,
             output=tuple(self.output),
@@ -126,10 +177,42 @@ class IRInterpreter:
             fault_sites=self._sites,
         )
 
+    def run_to_site(
+        self,
+        target_site: int,
+        function: str = "main",
+        args: tuple[int, ...] = (),
+        resume_from: IRSnapshot | None = None,
+    ) -> IRSnapshot:
+        """Execute fault-free up to site ``target_site`` and snapshot there.
+
+        Stops at the first instruction boundary where ``target_site`` sites
+        have completed; chaining calls through ``resume_from`` executes the
+        shared prefix exactly once overall.
+        """
+        if resume_from is not None:
+            if resume_from.sites > target_site:
+                raise IRInterpError(
+                    f"cannot run backwards: snapshot is at site "
+                    f"{resume_from.sites}, target is {target_site}"
+                )
+            self._restore(resume_from)
+        else:
+            self._begin(function, args)
+        self._fault_hook = None
+        self._fault_at = -1
+        stopped = self._run_loop(target_site)
+        if not stopped:
+            raise IRInterpError(
+                f"program ended after {self._sites} fault sites, "
+                f"before reaching site {target_site}"
+            )
+        return self._snapshot()
+
     @property
     def current_values(self) -> dict[Value, int]:
         """Value environment of the innermost active frame (for fault hooks)."""
-        return self._current_frame.values
+        return self._frames[-1].values
 
     def flip_value(self, instr: IRInstruction, bit: int) -> None:
         """Flip one bit of an instruction's just-computed result (fault)."""
@@ -137,25 +220,121 @@ class IRInterpreter:
         values = self.current_values
         values[instr] = flip_bit(values[instr], bit, width)
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def _snapshot(self) -> IRSnapshot:
+        return IRSnapshot(
+            frames=tuple(
+                _FrameSnapshot(
+                    func=frame.func,
+                    values=dict(frame.values),
+                    stack_base=frame.stack_base,
+                    block=frame.block,
+                    index=frame.index,
+                    call_site=frame.call_site,
+                )
+                for frame in self._frames
+            ),
+            memory=self.memory.snapshot(),
+            output=tuple(self.output),
+            heap_cursor=self.heap_cursor,
+            lcg_state=self.lcg_state,
+            stack_cursor=self._stack_cursor,
+            executed=self._executed,
+            sites=self._sites,
+            exit_requested=self._exit_requested,
+            exit_code=self._exit_code,
+        )
+
+    def _restore(self, snap: IRSnapshot) -> None:
+        self._frames = []
+        for shot in snap.frames:
+            frame = _Frame(shot.func, shot.stack_base, shot.call_site)
+            frame.values = dict(shot.values)
+            frame.block = shot.block
+            frame.index = shot.index
+            self._frames.append(frame)
+        self.memory.restore(snap.memory)
+        self.output = list(snap.output)
+        self.heap_cursor = snap.heap_cursor
+        self.lcg_state = snap.lcg_state
+        self._stack_cursor = snap.stack_cursor
+        self._executed = snap.executed
+        self._sites = snap.sites
+        self._exit_requested = snap.exit_requested
+        self._exit_code = snap.exit_code
+        self._root_result = 0
+
     # -- execution internals ---------------------------------------------
 
-    def _call(self, func: IRFunction, args: tuple[int, ...]) -> int:
+    def _begin(self, function: str, args: tuple[int, ...]) -> None:
+        self.memory = Memory(self.layout)
+        self.output = []
+        self.heap_cursor = self.layout.heap_base
+        self.lcg_state = 0x1234_5678
+        self._stack_cursor = self.layout.stack_top - 16
+        self._executed = 0
+        self._sites = 0
+        self._exit_requested = False
+        self._exit_code = 0
+        self._frames = []
+        self._root_result = 0
+        self._push_frame(self.module.function(function), tuple(args), None)
+
+    def _push_frame(self, func: IRFunction, args: tuple[int, ...],
+                    call_site: Call | None) -> None:
         if len(args) != len(func.args):
             raise IRInterpError(
                 f"{func.name} expects {len(func.args)} args, got {len(args)}"
             )
-        saved_stack = self._stack_cursor
-        frame = _Frame(self._stack_cursor)
-        self._current_frame = frame
+        frame = _Frame(func, self._stack_cursor, call_site)
         for formal, actual in zip(func.args, args):
             frame.values[formal] = to_unsigned(actual, 64)
+        self._frames.append(frame)
 
-        block = func.entry
-        index = 0
-        result = 0
+    def _pop_frame(self, result: int) -> None:
+        """Return ``result`` to the caller, mirroring the call protocol.
+
+        The pending ``call`` in the parent frame receives its value *and its
+        fault-site ordinal* now — a call instruction's site follows all of
+        its callee's sites, because its result materializes at return.
+        """
+        frame = self._frames.pop()
+        self._stack_cursor = frame.stack_base
+        call = frame.call_site
+        if call is None:
+            self._root_result = result
+            return
+        parent = self._frames[-1]
+        parent.values[call] = result
+        if call.has_result:
+            if self._fault_hook is not None and (
+                self._fault_at < 0 or self._sites == self._fault_at
+            ):
+                self._fault_hook(self, call, self._sites)
+            self._sites += 1
+        parent.index += 1
+
+    def _run_loop(self, stop_at_site: int | None) -> bool:
+        """Drive the frame stack; returns True iff ``stop_at_site`` was hit.
+
+        When an ``exit`` is requested the stack unwinds one frame per
+        iteration, every pending call resolving to 0 and receiving its site
+        ordinal — exactly the order the recursive formulation produced.
+        """
+        frames = self._frames
+        module = self.module
         while True:
+            if stop_at_site is not None and self._sites >= stop_at_site:
+                return True
+            if not frames:
+                return False
+            frame = frames[-1]
             if self._exit_requested:
-                break
+                self._pop_frame(0)
+                continue
+            block = frame.block
+            index = frame.index
             if index >= len(block.instructions):
                 raise IRInterpError(f"fell off block {block.label}")
             if self._executed >= self.max_instructions:
@@ -166,27 +345,34 @@ class IRInterpreter:
             self._executed += 1
 
             if isinstance(instr, Ret):
-                result = self._value(frame, instr.value) if instr.value else 0
-                break
+                self._pop_frame(
+                    self._value(frame, instr.value) if instr.value else 0
+                )
+                continue
             if isinstance(instr, Jump):
-                block = func.block(instr.target)
-                index = 0
+                frame.block = frame.func.block(instr.target)
+                frame.index = 0
                 continue
             if isinstance(instr, Br):
                 cond = self._value(frame, instr.cond)
-                block = func.block(instr.then_label if cond & 1 else instr.else_label)
-                index = 0
+                frame.block = frame.func.block(
+                    instr.then_label if cond & 1 else instr.else_label
+                )
+                frame.index = 0
+                continue
+            if isinstance(instr, Call) and module.has_function(instr.callee):
+                args = tuple(self._value(frame, a) for a in instr.args)
+                self._push_frame(module.function(instr.callee), args, instr)
                 continue
 
             self._execute(frame, instr)
             if instr.has_result:
-                if self._fault_hook is not None:
+                if self._fault_hook is not None and (
+                    self._fault_at < 0 or self._sites == self._fault_at
+                ):
                     self._fault_hook(self, instr, self._sites)
                 self._sites += 1
-            index += 1
-
-        self._stack_cursor = saved_stack
-        return result
+            frame.index = index + 1
 
     def _value(self, frame: _Frame, value: Value) -> int:
         if isinstance(value, Constant):
@@ -225,7 +411,7 @@ class IRInterpreter:
             stride = ptr_type.element_size if isinstance(ptr_type, PointerType) else 1
             frame.values[instr] = to_unsigned(base + index * stride, 64)
         elif isinstance(instr, Call):
-            frame.values[instr] = self._do_call(frame, instr)
+            frame.values[instr] = self._call_builtin(frame, instr)
         elif isinstance(instr, Check):
             if self._value(frame, instr.original) != self._value(
                 frame, instr.duplicate
@@ -294,14 +480,9 @@ class IRInterpreter:
             return to_unsigned(value, from_width)
         return to_unsigned(to_signed(value, from_width), to_width)
 
-    def _do_call(self, frame: _Frame, call: Call) -> int:
+    def _call_builtin(self, frame: _Frame, call: Call) -> int:
         args = tuple(self._value(frame, a) for a in call.args)
         name = call.callee
-        if self.module.has_function(name):
-            saved = self._current_frame
-            result = self._call(self.module.function(name), args)
-            self._current_frame = saved
-            return result
         if name == "malloc":
             aligned = (args[0] + 15) & ~15
             if self.heap_cursor + aligned > self.layout.heap_base + self.layout.heap_size:

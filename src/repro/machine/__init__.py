@@ -8,16 +8,19 @@ dependence stalls — the mechanism by which FERRUM's vector duplication is
 cheaper than scalar duplication.
 """
 
-from repro.machine.cpu import Machine, RunResult
-from repro.machine.memory import Memory, MemoryLayout
-from repro.machine.state import RegisterFile
+from repro.machine.cpu import Machine, MachineSnapshot, RunResult
+from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
+from repro.machine.state import RegisterFile, RegisterFileSnapshot
 from repro.machine.timing import TimingConfig, TimingModel
 
 __all__ = [
     "Machine",
+    "MachineSnapshot",
     "Memory",
     "MemoryLayout",
+    "MemorySnapshot",
     "RegisterFile",
+    "RegisterFileSnapshot",
     "RunResult",
     "TimingConfig",
     "TimingModel",

@@ -10,6 +10,14 @@ dynamically executed *fault site* (instruction with at least one register or
 FLAGS destination, the paper's fault model) and invokes the hook right after
 the instruction's writeback, which is where a transient fault in the
 destination register manifests.
+
+Execution is also *resumable*: :meth:`Machine.run_to_site` runs fault-free
+up to a chosen site ordinal and returns a :class:`MachineSnapshot` — a deep,
+O(touched pages) copy of all architectural state — and :meth:`Machine.run`
+accepts ``resume_from`` to continue from such a snapshot. The checkpointed
+fault-injection engine (``repro.faultinjection.campaign``) uses this to
+execute the shared golden prefix of a campaign once instead of once per
+sampled fault.
 """
 
 from __future__ import annotations
@@ -22,9 +30,9 @@ from repro.asm.program import AsmProgram, validate_program
 from repro.asm.registers import ARG_GPRS, get_register
 from repro.errors import ExecutionLimitExceeded, MachineFault
 from repro.machine.builtins import call_builtin, is_builtin
-from repro.machine.memory import Memory, MemoryLayout
+from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
 from repro.machine.semantics import Flow
-from repro.machine.state import RegisterFile
+from repro.machine.state import RegisterFile, RegisterFileSnapshot
 from repro.machine.timing import TimingConfig, TimingModel
 from repro.utils.bitops import to_signed
 
@@ -51,6 +59,27 @@ class RunResult:
     @property
     def output_text(self) -> str:
         return "\n".join(self.output)
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Deep copy of all architectural and runtime state at one loop point.
+
+    Snapshots are taken at an instruction boundary (never mid-instruction),
+    so restoring one and running forward is bit-identical to having run
+    straight through. ``executed`` and ``sites`` are cumulative from program
+    entry, which keeps instruction budgets and site ordinals of resumed runs
+    identical to a from-scratch execution.
+    """
+
+    pc: int
+    executed: int
+    sites: int
+    registers: RegisterFileSnapshot
+    memory: MemorySnapshot
+    output: tuple[str, ...]
+    heap_cursor: int
+    lcg_state: int
 
 
 class Machine:
@@ -121,21 +150,8 @@ class Machine:
         self._exit_requested = False
         self._exit_code = 0
 
-    def run(
-        self,
-        function: str = "main",
-        args: tuple[int, ...] = (),
-        fault_hook: FaultHook | None = None,
-        timing: TimingConfig | None = None,
-        max_instructions: int | None = None,
-    ) -> RunResult:
-        """Execute ``function(*args)`` to completion.
-
-        Raises:
-            MachineFault / SegmentationFault: on architectural faults (crash).
-            DetectionExit: when an EDDI checker fires.
-            ExecutionLimitExceeded: on instruction-budget exhaustion (hang).
-        """
+    def _prepare(self, function: str, args: tuple[int, ...]) -> int:
+        """Reset state and set up the sentinel frame; returns the entry pc."""
         self._reset()
         if function not in self._entry:
             raise MachineFault(f"no entry function {function!r}")
@@ -143,25 +159,168 @@ class Machine:
             raise MachineFault(f"too many arguments ({len(args)})")
         for value, reg_name in zip(args, ARG_GPRS):
             self.registers.write(get_register(reg_name), value & ((1 << 64) - 1))
-
-        timer = TimingModel(timing) if timing is not None else None
-        self._collect_mem = timer is not None
-
         rsp = self.layout.stack_top - 16
         self.registers.write(_RSP, rsp - 8)
         self.memory.write_uint(rsp - 8, _SENTINEL, 8)
+        return self._entry[function]
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def _capture(self, pc: int, executed: int, sites: int) -> MachineSnapshot:
+        return MachineSnapshot(
+            pc=pc,
+            executed=executed,
+            sites=sites,
+            registers=self.registers.snapshot_state(),
+            memory=self.memory.snapshot(),
+            output=tuple(self.output),
+            heap_cursor=self.heap_cursor,
+            lcg_state=self.lcg_state,
+        )
+
+    def restore_snapshot(self, snap: MachineSnapshot) -> None:
+        """Restore all mutable state captured by a :class:`MachineSnapshot`.
+
+        The program counter and the executed/site counters live in the run
+        loop, not on the instance; callers resume them by passing the
+        snapshot to :meth:`run`/:meth:`run_to_site` as ``resume_from``.
+        """
+        self.registers.restore_state(snap.registers)
+        self.memory.restore(snap.memory)
+        self.output = list(snap.output)
+        self.heap_cursor = snap.heap_cursor
+        self.lcg_state = snap.lcg_state
+        self._exit_requested = False
+        self._exit_code = 0
+        self._collect_mem = False
+
+    def run_to_site(
+        self,
+        target_site: int,
+        function: str = "main",
+        args: tuple[int, ...] = (),
+        resume_from: MachineSnapshot | None = None,
+        max_instructions: int | None = None,
+    ) -> MachineSnapshot:
+        """Execute fault-free up to site ``target_site`` and snapshot there.
+
+        The machine stops at the first instruction boundary where
+        ``target_site`` dynamic fault sites have completed — i.e. right
+        before the instruction that will become site ``target_site``
+        executes (modulo interleaved non-site instructions, which run after
+        the resume). ``resume_from`` lets checkpoint collection advance
+        incrementally: chaining calls executes the shared prefix exactly
+        once overall.
+        """
+        if resume_from is not None:
+            if resume_from.sites > target_site:
+                raise MachineFault(
+                    f"cannot run backwards: snapshot is at site "
+                    f"{resume_from.sites}, target is {target_site}"
+                )
+            self.restore_snapshot(resume_from)
+            pc = resume_from.pc
+            executed = resume_from.executed
+            sites = resume_from.sites
+        else:
+            pc = self._prepare(function, args)
+            executed = 0
+            sites = 0
+            self._collect_mem = False
+        budget = max_instructions if max_instructions is not None else self.max_instructions
+        pc, executed, sites, stopped = self._execute_from(
+            pc, executed, sites, budget,
+            fault_hook=None, fault_at=-1, timer=None, stop_at_site=target_site,
+        )
+        if not stopped:
+            raise MachineFault(
+                f"program ended after {sites} fault sites, "
+                f"before reaching site {target_site}"
+            )
+        return self._capture(pc, executed, sites)
+
+    def run(
+        self,
+        function: str = "main",
+        args: tuple[int, ...] = (),
+        fault_hook: FaultHook | None = None,
+        timing: TimingConfig | None = None,
+        max_instructions: int | None = None,
+        fault_at: int | None = None,
+        resume_from: MachineSnapshot | None = None,
+    ) -> RunResult:
+        """Execute ``function(*args)`` to completion.
+
+        ``fault_at`` restricts ``fault_hook`` delivery to that single site
+        ordinal, skipping the per-site Python call for every other site.
+        ``resume_from`` continues from a :class:`MachineSnapshot` instead of
+        program entry (``function``/``args`` are then ignored — they were
+        fixed when the snapshot's run began); counters resume cumulatively,
+        so results and budgets match a from-scratch run bit for bit.
+
+        Raises:
+            MachineFault / SegmentationFault: on architectural faults (crash).
+            DetectionExit: when an EDDI checker fires.
+            ExecutionLimitExceeded: on instruction-budget exhaustion (hang).
+        """
+        if resume_from is not None:
+            if timing is not None:
+                raise MachineFault("timing collection cannot resume a snapshot")
+            self.restore_snapshot(resume_from)
+            timer = None
+            pc = resume_from.pc
+            executed = resume_from.executed
+            sites = resume_from.sites
+        else:
+            pc = self._prepare(function, args)
+            timer = TimingModel(timing) if timing is not None else None
+            self._collect_mem = timer is not None
+            executed = 0
+            sites = 0
 
         budget = max_instructions if max_instructions is not None else self.max_instructions
+        pc, executed, sites, _ = self._execute_from(
+            pc, executed, sites, budget,
+            fault_hook=fault_hook,
+            fault_at=-1 if fault_at is None else fault_at,
+            timer=timer,
+            stop_at_site=None,
+        )
+        return RunResult(
+            exit_code=self._exit_code,
+            output=tuple(self.output),
+            dynamic_instructions=executed,
+            fault_sites=sites,
+            cycles=timer.cycles if timer is not None else None,
+        )
+
+    def _execute_from(
+        self,
+        pc: int,
+        executed: int,
+        sites: int,
+        budget: int,
+        fault_hook: FaultHook | None,
+        fault_at: int,
+        timer: TimingModel | None,
+        stop_at_site: int | None,
+    ) -> tuple[int, int, int, bool]:
+        """The fetch/execute loop; returns ``(pc, executed, sites, stopped)``.
+
+        ``stopped`` is True only when ``stop_at_site`` was reached; normal
+        termination (sentinel return or ``exit``) returns False with
+        ``self._exit_code`` set. ``fault_at == -1`` delivers the hook at
+        every site (the classic replay protocol).
+        """
         code = self._code
         handlers = self._handlers
         is_site = self._is_site
         collect_mem = self._collect_mem
         code_len = len(code)
-        pc = self._entry[function]
-        executed = 0
-        sites = 0
 
         while not self._exit_requested:
+            if stop_at_site is not None and sites >= stop_at_site:
+                return pc, executed, sites, True
             if pc >= code_len or pc < 0:
                 raise MachineFault(f"execution fell outside code at index {pc}")
             if executed >= budget:
@@ -185,7 +344,7 @@ class Machine:
                 timer.observe(instr, reads, writes, effect.taken)
 
             if is_site[pc]:
-                if fault_hook is not None:
+                if fault_hook is not None and (fault_at < 0 or sites == fault_at):
                     fault_hook(self, instr, sites)
                 sites += 1
 
@@ -227,10 +386,4 @@ class Machine:
                     )
                 pc = int(return_to)
 
-        return RunResult(
-            exit_code=self._exit_code,
-            output=tuple(self.output),
-            dynamic_instructions=executed,
-            fault_sites=sites,
-            cycles=timer.cycles if timer is not None else None,
-        )
+        return pc, executed, sites, False

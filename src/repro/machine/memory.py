@@ -5,6 +5,11 @@ Three segments cover what compiled workloads need: a heap served by the
 access outside a mapped segment raises :class:`SegmentationFault`, which the
 fault-injection campaign classifies as a crash — exactly how a wild pointer
 dereference behaves on the paper's real machine.
+
+Writes are tracked at page granularity (:data:`PAGE_SIZE`), which makes
+:meth:`Memory.snapshot` / :meth:`Memory.restore` cost O(touched pages)
+instead of O(address space) — the primitive under the checkpointed
+fault-injection engine (see ``docs/fault_model.md``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SegmentationFault
+
+#: Granularity of dirty tracking for memory snapshots (bytes).
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
 
 
 @dataclass(frozen=True)
@@ -30,13 +39,27 @@ class MemoryLayout:
         return self.stack_top - self.stack_size
 
 
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Dirty pages of every segment at one instant.
+
+    ``pages[i]`` maps page index -> immutable page contents for segment
+    ``i`` (in :class:`Memory`'s segment order); only pages written since the
+    memory was constructed appear, so snapshot size tracks the program's
+    working set, not the mapped address space.
+    """
+
+    pages: tuple[dict[int, bytes], ...]
+
+
 class _Segment:
-    __slots__ = ("name", "start", "data")
+    __slots__ = ("name", "start", "data", "dirty")
 
     def __init__(self, name: str, start: int, size: int) -> None:
         self.name = name
         self.start = start
         self.data = bytearray(size)
+        self.dirty: set[int] = set()
 
     @property
     def end(self) -> int:
@@ -44,6 +67,25 @@ class _Segment:
 
     def contains(self, addr: int, size: int) -> bool:
         return self.start <= addr and addr + size <= self.end
+
+    def snapshot_pages(self) -> dict[int, bytes]:
+        data = self.data
+        return {
+            page: bytes(data[page << _PAGE_SHIFT : (page + 1) << _PAGE_SHIFT])
+            for page in self.dirty
+        }
+
+    def restore_pages(self, pages: dict[int, bytes]) -> None:
+        data = self.data
+        # Pages written after the snapshot but untouched before it revert
+        # to their zero-fill state.
+        for page in self.dirty - pages.keys():
+            start = page << _PAGE_SHIFT
+            data[start : start + PAGE_SIZE] = bytes(PAGE_SIZE)
+        for page, contents in pages.items():
+            start = page << _PAGE_SHIFT
+            data[start : start + len(contents)] = contents
+        self.dirty = set(pages)
 
 
 class Memory:
@@ -80,6 +122,11 @@ class Memory:
         seg.data[off : off + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
             size, "little"
         )
+        first = off >> _PAGE_SHIFT
+        last = (off + size - 1) >> _PAGE_SHIFT
+        seg.dirty.add(first)
+        if last != first:
+            seg.dirty.add(last)
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         seg = self._segment_for(addr, size)
@@ -90,3 +137,24 @@ class Memory:
         seg = self._segment_for(addr, len(data))
         off = addr - seg.start
         seg.data[off : off + len(data)] = data
+        seg.dirty.update(
+            range(off >> _PAGE_SHIFT, ((off + len(data) - 1) >> _PAGE_SHIFT) + 1)
+        )
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def snapshot(self) -> MemorySnapshot:
+        """Capture every dirty page; cost is O(pages written so far)."""
+        return MemorySnapshot(
+            pages=tuple(seg.snapshot_pages() for seg in self._segments)
+        )
+
+    def restore(self, snap: MemorySnapshot) -> None:
+        """Return memory exactly to ``snap``'s contents.
+
+        Cost is O(pages dirty now ∪ pages dirty at snapshot time): dirtied
+        pages absent from the snapshot are zeroed, snapshotted pages are
+        copied back, everything else is untouched (still zero-fill).
+        """
+        for seg, pages in zip(self._segments, snap.pages):
+            seg.restore_pages(pages)

@@ -14,8 +14,24 @@ extract the view width; writes follow the hardware rules:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.asm.registers import GPR64, Register, RegisterKind
 from repro.utils.bitops import flip_bit, mask_for_width, to_unsigned
+
+
+@dataclass(frozen=True)
+class RegisterFileSnapshot:
+    """Immutable deep copy of one :class:`RegisterFile`'s state.
+
+    Values are plain ints, so the copy cost is two small dict copies; the
+    snapshot is safe to hold across arbitrary machine mutation and to share
+    between forked campaign workers.
+    """
+
+    gprs: dict[str, int]
+    vectors: dict[str, int]
+    rflags: int
 
 
 class RegisterFile:
@@ -90,3 +106,19 @@ class RegisterFile:
         state.update(self._vectors)
         state["rflags"] = self.rflags
         return state
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def snapshot_state(self) -> RegisterFileSnapshot:
+        """Deep snapshot for checkpoint/restore (see :mod:`repro.machine.cpu`)."""
+        return RegisterFileSnapshot(
+            gprs=dict(self._gprs),
+            vectors=dict(self._vectors),
+            rflags=self.rflags,
+        )
+
+    def restore_state(self, snap: RegisterFileSnapshot) -> None:
+        """Restore every register exactly as captured by ``snapshot_state``."""
+        self._gprs = dict(snap.gprs)
+        self._vectors = dict(snap.vectors)
+        self.rflags = snap.rflags

@@ -1,0 +1,142 @@
+"""Checkpointed campaign engine: bit-identical outcomes, parallel parity.
+
+The checkpoint engine is pure execution strategy — for any fixed seed its
+:class:`OutcomeCounts` must be indistinguishable from the replay engine's,
+across checkpoint intervals, process counts, and workloads (the ISSUE's
+acceptance bar: >= 3 workloads).
+"""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.errors import InjectionError
+from repro.faultinjection import campaign as campaign_mod
+from repro.faultinjection.campaign import (
+    _PARALLEL_STATE,
+    _checkpoint_schedule,
+    run_campaign,
+    run_ir_campaign,
+)
+from repro.faultinjection.injector import FaultPlan
+from repro.minic import compile_to_ir
+from repro.workloads import get_workload
+
+#: Three Rodinia workloads at the smallest scale (acceptance: >= 3).
+WORKLOADS = ("bfs", "knn", "pathfinder")
+SAMPLES = 12
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def built():
+    out = {}
+    for name in WORKLOADS:
+        ir = compile_to_ir(get_workload(name).source(1))
+        out[name] = (ir, compile_module(ir))
+    return out
+
+
+class TestBitIdenticalOutcomes:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_checkpoint_matches_replay(self, built, name):
+        _, program = built[name]
+        replay = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              engine="replay")
+        checkpointed = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                    engine="checkpoint")
+        assert checkpointed.outcomes.counts == replay.outcomes.counts
+        assert checkpointed.fault_sites == replay.fault_sites
+
+    @pytest.mark.parametrize("interval", (1, 7, 500, None))
+    def test_interval_does_not_change_outcomes(self, built, interval):
+        _, program = built["bfs"]
+        replay = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              engine="replay")
+        checkpointed = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                    engine="checkpoint",
+                                    checkpoint_interval=interval)
+        assert checkpointed.outcomes.counts == replay.outcomes.counts
+
+    def test_parallel_checkpoint_matches_sequential(self, built):
+        _, program = built["knn"]
+        sequential = run_campaign(program, samples=SAMPLES, seed=SEED)
+        parallel = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                processes=2)
+        assert parallel.outcomes.counts == sequential.outcomes.counts
+
+    def test_ir_checkpoint_matches_replay(self, built):
+        for name in WORKLOADS:
+            ir, _ = built[name]
+            replay = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                     engine="replay")
+            checkpointed = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                           engine="checkpoint")
+            assert checkpointed.outcomes.counts == replay.outcomes.counts
+
+    def test_ir_parallel_matches_sequential(self, built):
+        ir, _ = built["bfs"]
+        sequential = run_ir_campaign(ir, samples=SAMPLES, seed=SEED)
+        parallel = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                   processes=2)
+        assert parallel.outcomes.counts == sequential.outcomes.counts
+
+    def test_unknown_engine_rejected(self, built):
+        _, program = built["bfs"]
+        with pytest.raises(InjectionError):
+            run_campaign(program, samples=2, engine="warp")
+        ir, _ = built["bfs"]
+        with pytest.raises(InjectionError):
+            run_ir_campaign(ir, samples=2, engine="warp")
+
+
+class TestCheckpointSchedule:
+    def _plans(self, sites):
+        return [FaultPlan(site_index=s, register_pick=0.1, bit_pick=0.2)
+                for s in sites]
+
+    def test_exact_site_mode_groups_duplicates(self):
+        schedule = _checkpoint_schedule(self._plans([30, 5, 30, 12]), None)
+        assert [site for site, _ in schedule] == [5, 12, 30]
+        assert len(schedule[-1][1]) == 2
+
+    def test_interval_mode_floors_to_region(self):
+        schedule = _checkpoint_schedule(self._plans([3, 12, 19, 25]), 10)
+        assert [site for site, _ in schedule] == [0, 10, 20]
+        assert [len(plans) for _, plans in schedule] == [1, 2, 1]
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(InjectionError):
+            _checkpoint_schedule(self._plans([1]), 0)
+
+
+def _boom(_):
+    raise InjectionError("worker failure for the leak test")
+
+
+class TestParallelStateHygiene:
+    def test_state_cleared_after_success(self, built):
+        _, program = built["bfs"]
+        run_campaign(program, samples=4, seed=1, processes=2)
+        assert _PARALLEL_STATE == {}
+
+    def test_state_cleared_after_worker_failure(self):
+        context = campaign_mod._fork_context()
+        if context is None:
+            pytest.skip("fork start method unavailable")
+        _PARALLEL_STATE.update(marker=True)
+        with pytest.raises(InjectionError):
+            campaign_mod._pooled(context, 2, _boom, [1, 2, 3], chunksize=1)
+        assert _PARALLEL_STATE == {}
+
+    def test_sequential_fallback_without_fork(self, built, monkeypatch):
+        _, program = built["bfs"]
+        sequential = run_campaign(program, samples=SAMPLES, seed=SEED)
+        monkeypatch.setattr(campaign_mod, "_fork_context", lambda: None)
+        fallback = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                processes=4)
+        assert fallback.outcomes.counts == sequential.outcomes.counts
+        ir = compile_to_ir(get_workload("bfs").source(1))
+        ir_sequential = run_ir_campaign(ir, samples=SAMPLES, seed=SEED)
+        ir_fallback = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                      processes=4)
+        assert ir_fallback.outcomes.counts == ir_sequential.outcomes.counts

@@ -1,0 +1,100 @@
+"""Snapshot/resume determinism for the IR interpreter.
+
+Mirrors ``tests/machine/test_snapshot.py`` one layer up: the explicit
+frame-stack interpreter must checkpoint mid-call-stack and resume
+bit-identically, including cumulative instruction/site counters — the
+contract ``run_ir_campaign``'s checkpoint engine is built on.
+"""
+
+import pytest
+
+from repro.errors import IRInterpError
+from repro.ir.interp import IRInterpreter
+from repro.minic import compile_to_ir
+
+SOURCE = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+    int* buf = malloc(40);
+    srand(9);
+    for (int i = 0; i < 10; i++) { buf[i] = rand_next() % 9; }
+    int total = 0;
+    for (int i = 0; i < 10; i++) { total += fib(buf[i]); }
+    print_int(total);
+    print_long(total * 10);
+    return total % 5;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_to_ir(SOURCE)
+
+
+def _result_tuple(result):
+    return (result.exit_code, result.output, result.dynamic_instructions,
+            result.fault_sites)
+
+
+class TestIRSnapshotResume:
+    def test_resume_matches_uninterrupted_run(self, module):
+        golden = IRInterpreter(module).run()
+        interp = IRInterpreter(module)
+        for target in (0, 1, golden.fault_sites // 2, golden.fault_sites - 1):
+            snap = interp.run_to_site(target)
+            resumed = interp.run(resume_from=snap)
+            assert _result_tuple(resumed) == _result_tuple(golden)
+
+    def test_snapshot_mid_call_stack(self, module):
+        """Checkpoints taken while frames are live restore the whole stack."""
+        golden = IRInterpreter(module).run()
+        interp = IRInterpreter(module)
+        # Probe many sites; recursion in fib guarantees some of these land
+        # with several frames on the stack.
+        for target in range(10, golden.fault_sites - 1, golden.fault_sites // 7):
+            snap = interp.run_to_site(target)
+            assert snap.sites == target
+            resumed = interp.run(resume_from=snap)
+            assert _result_tuple(resumed) == _result_tuple(golden)
+
+    def test_chained_advance_equals_direct(self, module):
+        direct = IRInterpreter(module).run_to_site(120)
+        interp = IRInterpreter(module)
+        cursor = None
+        for target in (30, 60, 120):
+            cursor = interp.run_to_site(target, resume_from=cursor)
+        assert cursor == direct
+
+    def test_restore_is_repeatable(self, module):
+        interp = IRInterpreter(module)
+        snap = interp.run_to_site(40)
+        results = {_result_tuple(interp.run(resume_from=snap))
+                   for _ in range(3)}
+        assert len(results) == 1
+
+    def test_snapshot_values_immune_to_mutation(self, module):
+        interp = IRInterpreter(module)
+        snap = interp.run_to_site(40)
+        values_before = dict(snap.frames[-1].values)
+        interp.current_values[next(iter(values_before))] = 0xDEAD
+        interp.output.append("garbage")
+        interp.lcg_state = 1
+        assert snap.frames[-1].values == values_before
+        resumed = interp.run(resume_from=snap)
+        assert _result_tuple(resumed) == _result_tuple(IRInterpreter(module).run())
+
+    def test_cannot_run_backwards(self, module):
+        interp = IRInterpreter(module)
+        snap = interp.run_to_site(50)
+        with pytest.raises(IRInterpError):
+            interp.run_to_site(10, resume_from=snap)
+
+    def test_target_past_end_raises(self, module):
+        golden = IRInterpreter(module).run()
+        with pytest.raises(IRInterpError):
+            IRInterpreter(module).run_to_site(golden.fault_sites + 1)

@@ -1,0 +1,197 @@
+"""Snapshot/restore determinism for the machine layer.
+
+The checkpointed injection engine is only sound if a snapshot round-trip
+(snapshot -> arbitrary mutation -> restore) is *exact* and a resumed run is
+bit-identical to an uninterrupted one. These tests pin both properties for
+every piece of captured state: registers, flags, memory pages, output,
+heap cursor, and LCG state.
+"""
+
+import pytest
+
+from repro.asm.registers import get_register
+from repro.errors import MachineFault
+from repro.machine.cpu import Machine
+from repro.machine.memory import PAGE_SIZE, Memory
+from repro.machine.state import RegisterFile
+from repro.minic import compile_to_ir
+from repro.backend import compile_module
+
+#: Exercises calls, the heap allocator, the LCG, printing, and flags.
+SOURCE = """
+int mix(int a, int b) {
+    if (a % 2 == 0) { return a * b + 3; }
+    return a - b;
+}
+
+int main() {
+    int* data = malloc(64);
+    srand(42);
+    for (int i = 0; i < 16; i++) { data[i] = rand_next() % 100; }
+    int acc = 0;
+    for (int i = 0; i < 16; i++) { acc += mix(data[i], i); }
+    print_int(acc);
+    print_long(acc * 1000);
+    return acc % 7;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_module(compile_to_ir(SOURCE))
+
+
+class TestRegisterFileSnapshot:
+    def test_roundtrip_exact(self):
+        regs = RegisterFile()
+        regs.write(get_register("rax"), 0xDEAD_BEEF_CAFE_F00D)
+        regs.write(get_register("ymm3"), (1 << 200) | 0x55)
+        regs.write(get_register("rflags"), 0b1000_1101_0101)
+        snap = regs.snapshot_state()
+        before = regs.snapshot()
+
+        regs.write(get_register("rax"), 1)
+        regs.write(get_register("r15"), 99)
+        regs.write(get_register("xmm7"), 0xFFFF)
+        regs.write(get_register("rflags"), 0)
+        assert regs.snapshot() != before
+
+        regs.restore_state(snap)
+        assert regs.snapshot() == before
+
+    def test_snapshot_immune_to_later_writes(self):
+        regs = RegisterFile()
+        regs.write(get_register("rbx"), 7)
+        snap = regs.snapshot_state()
+        regs.write(get_register("rbx"), 8)
+        assert snap.gprs["rbx"] == 7
+
+
+class TestMemorySnapshot:
+    def test_roundtrip_exact(self):
+        mem = Memory()
+        heap = mem.layout.heap_base
+        mem.write_uint(heap, 0x1122334455667788, 8)
+        mem.write_bytes(heap + PAGE_SIZE * 3, b"spanning" * 600)
+        snap = mem.snapshot()
+
+        mem.write_uint(heap, 1, 8)
+        mem.write_uint(heap + PAGE_SIZE * 10, 0xAB, 1)  # new page post-snapshot
+        mem.restore(snap)
+
+        assert mem.read_uint(heap, 8) == 0x1122334455667788
+        assert mem.read_bytes(heap + PAGE_SIZE * 3, 8) == b"spanning"
+        # The page dirtied only after the snapshot reverts to zero fill.
+        assert mem.read_uint(heap + PAGE_SIZE * 10, 1) == 0
+
+    def test_snapshot_is_o_touched_pages(self):
+        mem = Memory()
+        mem.write_uint(mem.layout.heap_base, 5, 4)
+        mem.write_uint(mem.layout.stack_top - 32, 6, 8)
+        snap = mem.snapshot()
+        touched = sum(len(pages) for pages in snap.pages)
+        assert touched <= 3  # not the whole 2+ MiB address space
+
+    def test_page_straddling_write_tracked(self):
+        mem = Memory()
+        addr = mem.layout.heap_base + PAGE_SIZE - 2
+        mem.write_uint(addr, 0xAABBCCDD, 4)
+        snap = mem.snapshot()
+        mem.write_uint(addr, 0, 4)
+        mem.restore(snap)
+        assert mem.read_uint(addr, 4) == 0xAABBCCDD
+
+    def test_restore_is_repeatable(self):
+        mem = Memory()
+        mem.write_uint(mem.layout.heap_base, 77, 8)
+        snap = mem.snapshot()
+        for scribble in (1, 2, 3):
+            mem.write_uint(mem.layout.heap_base + scribble * PAGE_SIZE, 9, 8)
+            mem.restore(snap)
+            assert mem.read_uint(mem.layout.heap_base, 8) == 77
+            assert mem.read_uint(
+                mem.layout.heap_base + scribble * PAGE_SIZE, 8) == 0
+
+
+class TestMachineSnapshot:
+    def test_resume_matches_uninterrupted_run(self, program):
+        golden = Machine(program).run()
+        machine = Machine(program)
+        for target in (0, 1, golden.fault_sites // 3, golden.fault_sites - 1):
+            snap = machine.run_to_site(target)
+            resumed = machine.run(resume_from=snap)
+            assert resumed.exit_code == golden.exit_code
+            assert resumed.output == golden.output
+            assert resumed.dynamic_instructions == golden.dynamic_instructions
+            assert resumed.fault_sites == golden.fault_sites
+
+    def test_chained_run_to_site_equals_direct(self, program):
+        machine = Machine(program)
+        direct = machine.run_to_site(300)
+        other = Machine(program)
+        cursor = None
+        for target in (20, 150, 300):
+            cursor = other.run_to_site(target, resume_from=cursor)
+        assert cursor == direct
+
+    def test_snapshot_mutate_restore_exact(self, program):
+        machine = Machine(program)
+        snap = machine.run_to_site(200)
+        regs_before = machine.registers.snapshot()
+        heap_before = machine.heap_cursor
+        lcg_before = machine.lcg_state
+        output_before = list(machine.output)
+        probe = machine.memory.layout.heap_base
+
+        # Scribble over every category of state the snapshot covers.
+        machine.registers.write(get_register("rax"), 0xBAD)
+        machine.registers.write(get_register("rflags"), 0xFF)
+        machine.memory.write_uint(probe, 0xFFFF_FFFF, 4)
+        machine.output.append("garbage")
+        machine.heap_cursor += 4096
+        machine.lcg_state = 1
+        mem_snapshot_value = snap.memory.pages  # untouched by mutation
+
+        machine.restore_snapshot(snap)
+        assert machine.registers.snapshot() == regs_before
+        assert machine.heap_cursor == heap_before
+        assert machine.lcg_state == lcg_before
+        assert machine.output == output_before
+        assert snap.memory.pages == mem_snapshot_value
+        resumed = machine.run(resume_from=snap)
+        assert resumed.output == Machine(program).run().output
+
+    def test_restore_then_rerun_many_times(self, program):
+        machine = Machine(program)
+        snap = machine.run_to_site(100)
+        results = [machine.run(resume_from=snap) for _ in range(3)]
+        assert len({(r.exit_code, r.output, r.dynamic_instructions,
+                     r.fault_sites) for r in results}) == 1
+
+    def test_counters_resume_cumulatively(self, program):
+        machine = Machine(program)
+        snap = machine.run_to_site(50)
+        assert snap.sites == 50
+        assert snap.executed >= 50
+        resumed = machine.run(resume_from=snap)
+        assert resumed.fault_sites == Machine(program).run().fault_sites
+
+    def test_cannot_run_backwards(self, program):
+        machine = Machine(program)
+        snap = machine.run_to_site(100)
+        with pytest.raises(MachineFault):
+            machine.run_to_site(40, resume_from=snap)
+
+    def test_target_past_end_raises(self, program):
+        golden = Machine(program).run()
+        with pytest.raises(MachineFault):
+            Machine(program).run_to_site(golden.fault_sites + 1)
+
+    def test_timing_cannot_resume(self, program):
+        from repro.machine.timing import TimingConfig
+
+        machine = Machine(program)
+        snap = machine.run_to_site(10)
+        with pytest.raises(MachineFault):
+            machine.run(resume_from=snap, timing=TimingConfig())
