@@ -5,6 +5,8 @@
 * :func:`run_transform_time` — FERRUM transform wall-clock (Sec. IV-B3);
 * :func:`run_crosslayer_gap` — anticipated (IR-level) vs measured
   (assembly-level) IR-EDDI coverage (the Sec. I "28 % gap" claim);
+* :func:`run_telemetry` — per-fault observability campaign (provenance
+  breakdown, per-site outcome map, detection-latency histogram);
 * :func:`table1` / :func:`table2` — the capability matrix and the
   benchmark roster.
 """
@@ -18,14 +20,19 @@ from repro.evaluation.experiments import (
     run_crosslayer_gap,
     run_fig10,
     run_fig11,
+    run_telemetry,
     run_transform_time,
     table1,
     table2,
 )
 from repro.evaluation.report import (
+    render_checkpoint_stats,
     render_fig10,
     render_fig11,
     render_gap,
+    render_latency_table,
+    render_origin_breakdown,
+    render_site_map,
     render_table1,
     render_table2,
     render_transform_time,
@@ -37,15 +44,20 @@ __all__ = [
     "Fig11Result",
     "GapResult",
     "TransformTimeResult",
+    "render_checkpoint_stats",
     "render_fig10",
     "render_fig11",
     "render_gap",
+    "render_latency_table",
+    "render_origin_breakdown",
+    "render_site_map",
     "render_table1",
     "render_table2",
     "render_transform_time",
     "run_crosslayer_gap",
     "run_fig10",
     "run_fig11",
+    "run_telemetry",
     "run_transform_time",
     "table1",
     "table2",

@@ -6,6 +6,7 @@ Examples::
     ferrum-eval fig10 --samples 1000
     ferrum-eval fig11 --scale 2
     ferrum-eval gap --samples 300 --workloads knn needle
+    ferrum-eval telemetry --technique ferrum --jsonl faults.jsonl
     ferrum-eval all --samples 100
 """
 
@@ -38,7 +39,7 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "fig10", "fig11", "transform-time",
-                 "gap", "all"],
+                 "gap", "telemetry", "all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument("--samples", type=int, default=200,
@@ -51,6 +52,14 @@ def _parser() -> argparse.ArgumentParser:
                         default=None, help="subset of benchmarks")
     parser.add_argument("--outcomes", action="store_true",
                         help="with fig10: also print the outcome breakdown")
+    parser.add_argument("--technique",
+                        choices=["raw", "ir-eddi", "hybrid", "ferrum"],
+                        default="ferrum",
+                        help="with telemetry: which protection variant to "
+                             "inject into")
+    parser.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="with telemetry: stream one JSON record per "
+                             "fault to PATH")
     return parser
 
 
@@ -93,6 +102,39 @@ def main(argv: list[str] | None = None) -> int:
         result = run_crosslayer_gap(samples=args.samples, seed=args.seed,
                                     scale=args.scale, workloads=workloads)
         print(render_gap(result))
+        if args.experiment == "all":
+            print()
+    if args.experiment in ("telemetry", "all"):
+        from repro.evaluation.experiments import run_telemetry
+        from repro.evaluation.figures import render_latency_chart
+        from repro.evaluation.report import (
+            render_checkpoint_stats,
+            render_latency_table,
+            render_origin_breakdown,
+            render_site_map,
+        )
+
+        workload = workloads[0] if workloads else "kmeans"
+        campaign = run_telemetry(
+            workload=workload, technique=args.technique,
+            samples=args.samples, seed=args.seed, scale=args.scale,
+            jsonl_path=args.jsonl,
+        )
+        records = campaign.records or []
+        print(f"Telemetry campaign: {workload} / {args.technique} — "
+              + campaign.summary())
+        print()
+        print(render_origin_breakdown(records))
+        print()
+        print(render_site_map(records))
+        print()
+        print(render_latency_table(records))
+        print()
+        print(render_latency_chart(records))
+        print()
+        print(render_checkpoint_stats(campaign.checkpoint_stats))
+        if args.jsonl:
+            print(f"Wrote {len(records)} records to {args.jsonl}")
     return 0
 
 

@@ -257,3 +257,32 @@ def run_crosslayer_gap(
             "gap": anticipated - measured,
         })
     return result
+
+
+# -- telemetry: per-fault observability campaign -------------------------
+
+
+def run_telemetry(
+    workload: str = "kmeans",
+    technique: str = "ferrum",
+    samples: int = 200,
+    seed: int = 2024,
+    scale: int = 1,
+    engine: str = "checkpoint",
+    jsonl_path: str | None = None,
+    config: FerrumConfig | None = None,
+) -> CampaignResult:
+    """One telemetry-enabled campaign on one benchmark/technique binary.
+
+    The observability experiment behind ``ferrum-eval telemetry``: every
+    injected fault comes back as a :class:`FaultRecord`, so the evaluation
+    layer can render the per-origin breakdown, the per-site outcome map,
+    the detection-latency histogram, and the checkpoint-engine stats.
+    ``jsonl_path`` additionally streams the records to disk. Outcome counts
+    match a plain (telemetry-off) campaign with the same seed exactly.
+    """
+    variants = ("raw",) if technique == "raw" else ("raw", technique)
+    build = build_variants(get_workload(workload).source(scale),
+                           names=variants, config=config)
+    return run_campaign(build[technique].asm, samples, seed=seed,
+                        engine=engine, telemetry=True, jsonl_path=jsonl_path)

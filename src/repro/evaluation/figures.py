@@ -8,7 +8,10 @@ paper's plots, not just its data tables.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.evaluation.experiments import Fig10Result, Fig11Result, TECHNIQUES
+from repro.faultinjection.telemetry import FaultRecord, latency_histogram
 
 #: Bar glyph per technique, in the paper's series order.
 _GLYPHS = {"ir-eddi": "I", "hybrid": "H", "ferrum": "F"}
@@ -42,6 +45,34 @@ def render_fig10_chart(result: Fig10Result, width: int = 50) -> str:
             )
         lines.append("")
     return "\n".join(lines).rstrip()
+
+
+def render_latency_chart(
+    records: Iterable[FaultRecord], width: int = 50
+) -> str:
+    """Detection-latency histogram as horizontal bars.
+
+    One bar per power-of-two latency bucket (dynamic instructions from bit
+    flip to ``DetectionExit``); bar length is the detection count relative
+    to the fullest bucket. The shape is the point: FERRUM's checks cluster
+    in the first buckets (detection within a few instructions), deferred
+    IR-level checking smears right.
+    """
+    buckets = latency_histogram(records)
+    if not buckets:
+        return "Detection latency — no detected faults to plot."
+    peak = max(count for _, _, count in buckets)
+    label_width = max(len(f"[{lo}, {hi})") for lo, hi, _ in buckets)
+    lines = [
+        "Detection latency (dynamic instructions from flip to detection)",
+        "",
+    ]
+    for lo, hi, count in buckets:
+        bar = _bar(count, peak, width, "D")
+        lines.append(
+            f"{f'[{lo}, {hi})':<{label_width}} |{bar:<{width}}| {count}"
+        )
+    return "\n".join(lines)
 
 
 def render_fig11_chart(result: Fig11Result, width: int = 50) -> str:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.evaluation.experiments import (
     Fig10Result,
     Fig11Result,
@@ -12,6 +14,14 @@ from repro.evaluation.experiments import (
     table2,
 )
 from repro.faultinjection.outcome import Outcome
+from repro.faultinjection.telemetry import (
+    CheckpointStats,
+    FaultRecord,
+    detection_latencies,
+    latency_histogram,
+    outcomes_by_instruction,
+    outcomes_by_origin,
+)
 from repro.utils.text import format_table, percent
 
 
@@ -97,6 +107,80 @@ def render_transform_time(result: TransformTimeResult) -> str:
         ["benchmark", "static instrs", "protected instrs", "transform time"],
         rows, title="Sec. IV-B3: time to execute FERRUM",
     )
+
+
+def render_origin_breakdown(records: Iterable[FaultRecord]) -> str:
+    """Per-provenance outcome table: app code vs transform-inserted code.
+
+    The telemetry counterpart of the paper's Figs. 8/9 narrative — it shows
+    directly how faults that land in backend-inserted duplication/capture/
+    check instructions fare compared to application instructions.
+    """
+    by_origin = outcomes_by_origin(records)
+    headers = (["origin", "faults"] + [o.value for o in Outcome]
+               + ["SDC rate"])
+    rows = []
+    for origin in sorted(by_origin, key=lambda o: -by_origin[o].total):
+        counts = by_origin[origin]
+        rows.append([origin, str(counts.total)]
+                    + [str(counts[o]) for o in Outcome]
+                    + [percent(counts.sdc_probability)])
+    return format_table(headers, rows,
+                        title="Fault outcomes by instruction provenance")
+
+
+def render_site_map(records: Iterable[FaultRecord], top: int = 15) -> str:
+    """The ``top`` static instructions ranked by SDCs (then by faults).
+
+    A per-site outcome map in the FastFlip sense: which static instructions
+    soak up faults, and which of them leak SDCs.
+    """
+    summaries = sorted(
+        outcomes_by_instruction(records).values(),
+        key=lambda s: (-s.sdc, -s.outcomes.total),
+    )[:top]
+    rows = [
+        [s.instruction, s.origin, str(s.outcomes.total)]
+        + [str(s.outcomes[o]) for o in Outcome]
+        for s in summaries
+    ]
+    headers = ["instruction", "origin", "faults"] + [o.value for o in Outcome]
+    return format_table(headers, rows,
+                        title=f"Per-site outcomes (top {len(rows)} sites)")
+
+
+def render_latency_table(records: Iterable[FaultRecord]) -> str:
+    """Detection-latency histogram (power-of-two buckets) plus summary.
+
+    Latency is dynamic instructions from the bit flip to ``DetectionExit``
+    — the paper's "fast" claim, measured. Empty campaigns (no detections)
+    render an explicit note instead of an empty table.
+    """
+    records = list(records)
+    latencies = detection_latencies(records)
+    if not latencies:
+        return "Detection latency: no detected faults in this campaign."
+    buckets = latency_histogram(records)
+    peak = max(count for _, _, count in buckets)
+    rows = [
+        [f"[{lo}, {hi})", str(count), "#" * round(40 * count / peak)]
+        for lo, hi, count in buckets
+    ]
+    latencies.sort()
+    median = latencies[len(latencies) // 2]
+    title = (
+        f"Detection latency over {len(latencies)} detections "
+        f"(median {median}, max {latencies[-1]} dynamic instructions)"
+    )
+    return format_table(["latency (dyn. instrs)", "detections", ""], rows,
+                        title=title)
+
+
+def render_checkpoint_stats(stats: CheckpointStats | None) -> str:
+    """One-line checkpoint-engine economics (or a note when absent)."""
+    if stats is None:
+        return "Checkpoint stats: n/a (replay engine or telemetry off)."
+    return "Checkpoint engine: " + stats.summary()
 
 
 def render_gap(result: GapResult) -> str:

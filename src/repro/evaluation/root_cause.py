@@ -15,13 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Iterable
+
 from repro.asm.instructions import Instruction, InstrKind
 from repro.asm.operands import Imm, Reg
 from repro.asm.program import AsmProgram
-from repro.faultinjection.injector import FaultPlan, inject_asm_fault
+from repro.faultinjection.campaign import run_campaign
 from repro.faultinjection.outcome import Outcome
-from repro.machine.cpu import Machine
-from repro.utils.rng import DeterministicRng
+from repro.faultinjection.telemetry import FaultRecord
 from repro.utils.text import format_table
 
 
@@ -90,6 +91,38 @@ class RootCauseResult:
         )
 
 
+def root_causes_from_records(
+    program: AsmProgram,
+    records: Iterable[FaultRecord],
+    samples: int | None = None,
+) -> RootCauseResult:
+    """Attribute a telemetry campaign's SDCs to their static instructions.
+
+    Records carry the static-instruction ``uid`` of every fault they
+    describe; this resolves those back to ``program``'s instruction objects
+    (for kind-based classification and raw provenance tags) and folds every
+    SDC into a :class:`RootCauseResult`. Works on in-memory records or ones
+    re-loaded from a campaign's JSONL stream, as long as ``program`` is the
+    binary the campaign ran.
+    """
+    by_uid = {instr.uid: instr for instr in program.instructions()}
+    records = list(records)
+    result = RootCauseResult(
+        samples=len(records) if samples is None else samples
+    )
+    for record in records:
+        if record.outcome is not Outcome.SDC:
+            continue
+        instr = by_uid.get(record.instruction_uid)
+        if instr is None:
+            raise KeyError(
+                f"record uid {record.instruction_uid} not in program "
+                f"(records from a different binary?)"
+            )
+        result.record(instr)
+    return result
+
+
 def analyze_root_causes(
     program: AsmProgram,
     samples: int,
@@ -101,23 +134,12 @@ def analyze_root_causes(
 
     Run this on an IR-LEVEL-EDDI binary to regenerate the paper's
     Sec. IV-B1 findings; on a FERRUM binary the result should be empty.
+    A thin wrapper over a telemetry campaign: the checkpoint engine serves
+    the samples, and the per-fault records carry the attribution that the
+    pre-telemetry implementation had to recover with an extra full
+    recorder execution per program.
     """
-    machine = Machine(program)
-    golden = machine.run(function=function, args=args)
-    result = RootCauseResult(samples=samples)
-    rng = DeterministicRng(seed)
-
-    site_instr: dict[int, Instruction] = {}
-
-    def recorder(m: Machine, instr: Instruction, site: int) -> None:
-        site_instr[site] = instr
-
-    machine.run(function=function, args=args, fault_hook=recorder)
-
-    for run_index in range(samples):
-        plan = FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
-        outcome = inject_asm_fault(program, plan, golden, function=function,
-                                   args=args, machine=machine)
-        if outcome is Outcome.SDC:
-            result.record(site_instr[plan.site_index])
-    return result
+    campaign = run_campaign(program, samples, seed=seed, function=function,
+                            args=args, telemetry=True)
+    assert campaign.records is not None
+    return root_causes_from_records(program, campaign.records, samples=samples)

@@ -20,17 +20,35 @@ from repro.faultinjection.multibit import (
     inject_multibit_fault,
     run_multibit_campaign,
 )
+from repro.faultinjection.telemetry import (
+    CheckpointStats,
+    FaultRecord,
+    JsonlSink,
+    detection_latencies,
+    latency_histogram,
+    outcomes_by_instruction,
+    outcomes_by_origin,
+    read_jsonl,
+)
 
 __all__ = [
     "CampaignResult",
+    "CheckpointStats",
     "FaultPlan",
+    "FaultRecord",
+    "JsonlSink",
     "MultiBitPlan",
     "Outcome",
     "OutcomeCounts",
+    "detection_latencies",
     "inject_asm_fault",
     "inject_ir_fault",
     "inject_multibit_fault",
+    "latency_histogram",
+    "outcomes_by_instruction",
+    "outcomes_by_origin",
     "profile_fault_sites",
+    "read_jsonl",
     "run_campaign",
     "run_multibit_campaign",
     "run_ir_campaign",

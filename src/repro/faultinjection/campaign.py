@@ -20,6 +20,12 @@ Two execution engines serve the same sampled plans:
   bit-identical to the replay engine (plans are RNG-independent and
   snapshots capture complete architectural state); only the execution
   strategy changes. See ``docs/fault_model.md``.
+
+``telemetry=True`` (or a ``jsonl_path``) additionally collects one
+:class:`FaultRecord` per fault — attribution, register/bit, detection
+latency — plus :class:`CheckpointStats` under the checkpoint engine.
+Telemetry is purely observational: outcome counts are bit-identical with
+it on or off, and the default-off path adds no per-run work.
 """
 
 from __future__ import annotations
@@ -34,6 +40,11 @@ from repro.faultinjection.injector import (
     inject_ir_fault,
 )
 from repro.faultinjection.outcome import Outcome, OutcomeCounts
+from repro.faultinjection.telemetry import (
+    CheckpointStats,
+    FaultRecord,
+    JsonlSink,
+)
 from repro.ir.interp import IRInterpreter
 from repro.ir.module import IRModule
 from repro.machine.cpu import Machine
@@ -42,15 +53,28 @@ from repro.utils.rng import DeterministicRng
 #: Execution strategies accepted by ``run_campaign``/``run_ir_campaign``.
 ENGINES = ("checkpoint", "replay")
 
+#: An (run_index, plan) pair — campaigns thread run indices through every
+#: engine so telemetry records identify the RNG stream that drew them.
+IndexedPlan = tuple[int, FaultPlan]
+
 
 @dataclass
 class CampaignResult:
-    """Aggregated result of one injection campaign."""
+    """Aggregated result of one injection campaign.
+
+    ``records`` (telemetry campaigns only) holds one :class:`FaultRecord`
+    per sample, sorted by run index; ``checkpoint_stats`` reports the
+    checkpoint engine's snapshot/restore economics. Both are ``None`` when
+    telemetry is off — the default — and their presence never changes
+    ``outcomes``.
+    """
 
     samples: int
     outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
     fault_sites: int = 0
     dynamic_instructions: int = 0
+    records: list[FaultRecord] | None = None
+    checkpoint_stats: CheckpointStats | None = None
 
     @property
     def sdc_probability(self) -> float:
@@ -67,9 +91,9 @@ class CampaignResult:
 
 
 def _checkpoint_schedule(
-    plans: list[FaultPlan], interval: int | None
-) -> list[tuple[int, list[FaultPlan]]]:
-    """Group plans by the checkpoint that serves them, ascending by site.
+    plans: list[IndexedPlan], interval: int | None
+) -> list[tuple[int, list[IndexedPlan]]]:
+    """Group indexed plans by the checkpoint that serves them, by site.
 
     ``interval=None`` checkpoints at every distinct fault site (zero
     fast-forward per injection); ``interval=K`` snapshots only at multiples
@@ -79,103 +103,160 @@ def _checkpoint_schedule(
     """
     if interval is not None and interval < 1:
         raise InjectionError(f"checkpoint interval must be >= 1, got {interval}")
-    regions: dict[int, list[FaultPlan]] = {}
-    for plan in plans:
-        site = plan.site_index
+    regions: dict[int, list[IndexedPlan]] = {}
+    for indexed in plans:
+        site = indexed[1].site_index
         checkpoint = site if interval is None else site - site % interval
-        regions.setdefault(checkpoint, []).append(plan)
+        regions.setdefault(checkpoint, []).append(indexed)
     return sorted(regions.items())
 
 
-def _checkpointed_asm_outcomes(
+def _finish(
+    result: CampaignResult,
+    results,
+    telemetry: bool,
+    sink: JsonlSink | None,
+    streamed: bool,
+) -> CampaignResult:
+    """Fold per-run results into the campaign aggregate.
+
+    ``results`` is an iterable of (run_index, Outcome | FaultRecord); with
+    telemetry the records are kept sorted by run index and — unless the
+    sequential engine already ``streamed`` them — written to ``sink``.
+    """
+    if telemetry:
+        ordered = [record for _, record in sorted(results,
+                                                  key=lambda pair: pair[0])]
+        for record in ordered:
+            result.outcomes.record(record.outcome)
+            if sink is not None and not streamed:
+                sink.write(record)
+        result.records = ordered
+    else:
+        for _, outcome in results:
+            result.outcomes.record(outcome)
+    return result
+
+
+def _checkpointed_asm_results(
     program: AsmProgram,
-    plans: list[FaultPlan],
+    plans: list[IndexedPlan],
     golden,
     function: str,
     args: tuple[int, ...],
     interval: int | None,
-) -> list[Outcome]:
+    telemetry: bool = False,
+    stats: CheckpointStats | None = None,
+    sink: JsonlSink | None = None,
+) -> list:
     """Serve all plans off one incremental golden-prefix pass (sequential)."""
-    outcomes = []
+    results = []
     machine = Machine(program)
     cursor = None
     for checkpoint_site, region_plans in _checkpoint_schedule(plans, interval):
         cursor = machine.run_to_site(checkpoint_site, function=function,
                                      args=args, resume_from=cursor)
-        for plan in region_plans:
-            outcomes.append(
-                inject_asm_fault(program, plan, golden, function=function,
-                                 args=args, machine=machine,
-                                 resume_from=cursor)
-            )
-    return outcomes
+        if stats is not None:
+            stats.note_snapshot(cursor)
+        for run_index, plan in region_plans:
+            outcome = inject_asm_fault(program, plan, golden,
+                                       function=function, args=args,
+                                       machine=machine, resume_from=cursor,
+                                       telemetry=telemetry,
+                                       run_index=run_index)
+            if stats is not None:
+                stats.restores += 1
+                stats.fast_forward_sites += plan.site_index - checkpoint_site
+            if sink is not None and telemetry:
+                sink.write(outcome)
+            results.append((run_index, outcome))
+    return results
 
 
-def _checkpointed_ir_outcomes(
+def _checkpointed_ir_results(
     module: IRModule,
-    plans: list[FaultPlan],
+    plans: list[IndexedPlan],
     golden,
     function: str,
     args: tuple[int, ...],
     interval: int | None,
-) -> list[Outcome]:
-    """IR twin of :func:`_checkpointed_asm_outcomes`."""
-    outcomes = []
+    telemetry: bool = False,
+    stats: CheckpointStats | None = None,
+    sink: JsonlSink | None = None,
+) -> list:
+    """IR twin of :func:`_checkpointed_asm_results`."""
+    results = []
     interp = IRInterpreter(module)
     cursor = None
     for checkpoint_site, region_plans in _checkpoint_schedule(plans, interval):
         cursor = interp.run_to_site(checkpoint_site, function=function,
                                     args=args, resume_from=cursor)
-        for plan in region_plans:
-            outcomes.append(
-                inject_ir_fault(module, plan, golden, function=function,
-                                args=args, interp=interp, resume_from=cursor)
-            )
-    return outcomes
+        if stats is not None:
+            stats.note_snapshot(cursor)
+        for run_index, plan in region_plans:
+            outcome = inject_ir_fault(module, plan, golden, function=function,
+                                      args=args, interp=interp,
+                                      resume_from=cursor, telemetry=telemetry,
+                                      run_index=run_index)
+            if stats is not None:
+                stats.restores += 1
+                stats.fast_forward_sites += plan.site_index - checkpoint_site
+            if sink is not None and telemetry:
+                sink.write(outcome)
+            results.append((run_index, outcome))
+    return results
 
 
 #: State inherited by forked campaign workers (see ``run_campaign``).
 _PARALLEL_STATE: dict = {}
 
 
-def _parallel_inject(plan: FaultPlan) -> Outcome:
+def _parallel_inject(indexed: IndexedPlan):
     state = _PARALLEL_STATE
-    return inject_asm_fault(
+    run_index, plan = indexed
+    return run_index, inject_asm_fault(
         state["program"], plan, state["golden"],
         function=state["function"], args=state["args"],
+        telemetry=state["telemetry"], run_index=run_index,
     )
 
 
-def _parallel_inject_region(region_index: int) -> list[Outcome]:
+def _parallel_inject_region(region_index: int) -> list:
     """Worker for the checkpoint-aware pool: one restore-base per region."""
     state = _PARALLEL_STATE
     snapshot, region_plans = state["regions"][region_index]
     machine = state["machine"]
     return [
-        inject_asm_fault(state["program"], plan, state["golden"],
-                         function=state["function"], args=state["args"],
-                         machine=machine, resume_from=snapshot)
-        for plan in region_plans
+        (run_index,
+         inject_asm_fault(state["program"], plan, state["golden"],
+                          function=state["function"], args=state["args"],
+                          machine=machine, resume_from=snapshot,
+                          telemetry=state["telemetry"], run_index=run_index))
+        for run_index, plan in region_plans
     ]
 
 
-def _parallel_inject_ir(plan: FaultPlan) -> Outcome:
+def _parallel_inject_ir(indexed: IndexedPlan):
     state = _PARALLEL_STATE
-    return inject_ir_fault(
+    run_index, plan = indexed
+    return run_index, inject_ir_fault(
         state["module"], plan, state["golden"],
         function=state["function"], args=state["args"],
+        telemetry=state["telemetry"], run_index=run_index,
     )
 
 
-def _parallel_inject_ir_region(region_index: int) -> list[Outcome]:
+def _parallel_inject_ir_region(region_index: int) -> list:
     state = _PARALLEL_STATE
     snapshot, region_plans = state["regions"][region_index]
     interp = state["interp"]
     return [
-        inject_ir_fault(state["module"], plan, state["golden"],
-                        function=state["function"], args=state["args"],
-                        interp=interp, resume_from=snapshot)
-        for plan in region_plans
+        (run_index,
+         inject_ir_fault(state["module"], plan, state["golden"],
+                         function=state["function"], args=state["args"],
+                         interp=interp, resume_from=snapshot,
+                         telemetry=state["telemetry"], run_index=run_index))
+        for run_index, plan in region_plans
     ]
 
 
@@ -214,6 +295,8 @@ def run_campaign(
     processes: int = 1,
     engine: str = "checkpoint",
     checkpoint_interval: int | None = None,
+    telemetry: bool = False,
+    jsonl_path=None,
 ) -> CampaignResult:
     """Inject ``samples`` single-bit faults at assembly level.
 
@@ -231,9 +314,17 @@ def run_campaign(
     identical to the sequential order because every run derives its own RNG
     stream from the seed. Where ``fork`` is unavailable the campaign runs
     sequentially instead of crashing.
+
+    ``telemetry=True`` collects one :class:`FaultRecord` per fault into
+    ``result.records`` (and fills ``result.checkpoint_stats`` under the
+    checkpoint engine); ``jsonl_path`` implies telemetry and streams the
+    records to disk as JSONL — incrementally in sequential engines, after
+    collection in multiprocessing ones. Outcome counts are bit-identical
+    with telemetry on or off.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
+    telemetry = telemetry or jsonl_path is not None
     golden = Machine(program).run(function=function, args=args)
     result = CampaignResult(
         samples=samples,
@@ -241,57 +332,72 @@ def run_campaign(
         dynamic_instructions=golden.dynamic_instructions,
     )
     rng = DeterministicRng(seed)
-    plans = [
-        FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+    plans: list[IndexedPlan] = [
+        (run_index, FaultPlan.sample(rng.fork(run_index), golden.fault_sites))
         for run_index in range(samples)
     ]
+    stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
+    result.checkpoint_stats = stats
+    sink = JsonlSink(jsonl_path) if jsonl_path is not None else None
 
-    context = _fork_context() if processes > 1 else None
-    if processes > 1 and context is not None:
+    try:
+        context = _fork_context() if processes > 1 else None
+        if processes > 1 and context is not None:
+            if engine == "checkpoint":
+                machine = Machine(program)
+                regions = []
+                cursor = None
+                for site, region_plans in _checkpoint_schedule(
+                    plans, checkpoint_interval
+                ):
+                    cursor = machine.run_to_site(site, function=function,
+                                                 args=args, resume_from=cursor)
+                    if stats is not None:
+                        stats.note_snapshot(cursor)
+                        stats.restores += len(region_plans)
+                        stats.fast_forward_sites += sum(
+                            plan.site_index - site for _, plan in region_plans
+                        )
+                    regions.append((cursor, region_plans))
+                _PARALLEL_STATE.update(
+                    program=program, golden=golden, function=function,
+                    args=args, machine=machine, regions=regions,
+                    telemetry=telemetry,
+                )
+                per_region = _pooled(context, processes,
+                                     _parallel_inject_region,
+                                     range(len(regions)), chunksize=1)
+                results = [pair for region in per_region for pair in region]
+            else:
+                _PARALLEL_STATE.update(
+                    program=program, golden=golden, function=function,
+                    args=args, telemetry=telemetry,
+                )
+                results = _pooled(context, processes, _parallel_inject, plans,
+                                  chunksize=8)
+            return _finish(result, results, telemetry, sink, streamed=False)
+
         if engine == "checkpoint":
-            machine = Machine(program)
-            regions = []
-            cursor = None
-            for site, region_plans in _checkpoint_schedule(
-                plans, checkpoint_interval
-            ):
-                cursor = machine.run_to_site(site, function=function,
-                                             args=args, resume_from=cursor)
-                regions.append((cursor, region_plans))
-            _PARALLEL_STATE.update(
-                program=program, golden=golden, function=function, args=args,
-                machine=machine, regions=regions,
+            results = _checkpointed_asm_results(
+                program, plans, golden, function, args, checkpoint_interval,
+                telemetry=telemetry, stats=stats, sink=sink,
             )
-            per_region = _pooled(context, processes, _parallel_inject_region,
-                                 range(len(regions)), chunksize=1)
-            for outcomes in per_region:
-                for outcome in outcomes:
-                    result.outcomes.record(outcome)
-        else:
-            _PARALLEL_STATE.update(
-                program=program, golden=golden, function=function, args=args
-            )
-            outcomes = _pooled(context, processes, _parallel_inject, plans,
-                               chunksize=8)
-            for outcome in outcomes:
-                result.outcomes.record(outcome)
-        return result
+            return _finish(result, results, telemetry, sink, streamed=True)
 
-    if engine == "checkpoint":
-        outcomes = _checkpointed_asm_outcomes(
-            program, plans, golden, function, args, checkpoint_interval
-        )
-        for outcome in outcomes:
-            result.outcomes.record(outcome)
-        return result
-
-    machine = Machine(program)
-    for plan in plans:
-        outcome = inject_asm_fault(program, plan, golden,
-                                   function=function, args=args,
-                                   machine=machine)
-        result.outcomes.record(outcome)
-    return result
+        machine = Machine(program)
+        results = []
+        for run_index, plan in plans:
+            outcome = inject_asm_fault(program, plan, golden,
+                                       function=function, args=args,
+                                       machine=machine, telemetry=telemetry,
+                                       run_index=run_index)
+            if sink is not None and telemetry:
+                sink.write(outcome)
+            results.append((run_index, outcome))
+        return _finish(result, results, telemetry, sink, streamed=True)
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 def run_ir_campaign(
@@ -303,16 +409,19 @@ def run_ir_campaign(
     processes: int = 1,
     engine: str = "checkpoint",
     checkpoint_interval: int | None = None,
+    telemetry: bool = False,
+    jsonl_path=None,
 ) -> CampaignResult:
     """Inject ``samples`` faults at IR level (LLFI-style).
 
-    Supports the same ``engine``/``checkpoint_interval``/``processes``
-    controls as :func:`run_campaign`, with identical guarantees: both
-    engines and any process count yield bit-identical outcome counts for a
-    given seed.
+    Supports the same ``engine``/``checkpoint_interval``/``processes``/
+    ``telemetry``/``jsonl_path`` controls as :func:`run_campaign`, with
+    identical guarantees: both engines and any process count yield
+    bit-identical outcome counts for a given seed, telemetry on or off.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
+    telemetry = telemetry or jsonl_path is not None
     golden = IRInterpreter(module).run(function=function, args=args)
     result = CampaignResult(
         samples=samples,
@@ -320,55 +429,69 @@ def run_ir_campaign(
         dynamic_instructions=golden.dynamic_instructions,
     )
     rng = DeterministicRng(seed)
-    plans = [
-        FaultPlan.sample(rng.fork(run_index), golden.fault_sites)
+    plans: list[IndexedPlan] = [
+        (run_index, FaultPlan.sample(rng.fork(run_index), golden.fault_sites))
         for run_index in range(samples)
     ]
+    stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
+    result.checkpoint_stats = stats
+    sink = JsonlSink(jsonl_path) if jsonl_path is not None else None
 
-    context = _fork_context() if processes > 1 else None
-    if processes > 1 and context is not None:
+    try:
+        context = _fork_context() if processes > 1 else None
+        if processes > 1 and context is not None:
+            if engine == "checkpoint":
+                interp = IRInterpreter(module)
+                regions = []
+                cursor = None
+                for site, region_plans in _checkpoint_schedule(
+                    plans, checkpoint_interval
+                ):
+                    cursor = interp.run_to_site(site, function=function,
+                                                args=args, resume_from=cursor)
+                    if stats is not None:
+                        stats.note_snapshot(cursor)
+                        stats.restores += len(region_plans)
+                        stats.fast_forward_sites += sum(
+                            plan.site_index - site for _, plan in region_plans
+                        )
+                    regions.append((cursor, region_plans))
+                _PARALLEL_STATE.update(
+                    module=module, golden=golden, function=function,
+                    args=args, interp=interp, regions=regions,
+                    telemetry=telemetry,
+                )
+                per_region = _pooled(context, processes,
+                                     _parallel_inject_ir_region,
+                                     range(len(regions)), chunksize=1)
+                results = [pair for region in per_region for pair in region]
+            else:
+                _PARALLEL_STATE.update(
+                    module=module, golden=golden, function=function,
+                    args=args, telemetry=telemetry,
+                )
+                results = _pooled(context, processes, _parallel_inject_ir,
+                                  plans, chunksize=8)
+            return _finish(result, results, telemetry, sink, streamed=False)
+
         if engine == "checkpoint":
-            interp = IRInterpreter(module)
-            regions = []
-            cursor = None
-            for site, region_plans in _checkpoint_schedule(
-                plans, checkpoint_interval
-            ):
-                cursor = interp.run_to_site(site, function=function,
-                                            args=args, resume_from=cursor)
-                regions.append((cursor, region_plans))
-            _PARALLEL_STATE.update(
-                module=module, golden=golden, function=function, args=args,
-                interp=interp, regions=regions,
+            results = _checkpointed_ir_results(
+                module, plans, golden, function, args, checkpoint_interval,
+                telemetry=telemetry, stats=stats, sink=sink,
             )
-            per_region = _pooled(context, processes,
-                                 _parallel_inject_ir_region,
-                                 range(len(regions)), chunksize=1)
-            for outcomes in per_region:
-                for outcome in outcomes:
-                    result.outcomes.record(outcome)
-        else:
-            _PARALLEL_STATE.update(
-                module=module, golden=golden, function=function, args=args
-            )
-            outcomes = _pooled(context, processes, _parallel_inject_ir,
-                               plans, chunksize=8)
-            for outcome in outcomes:
-                result.outcomes.record(outcome)
-        return result
+            return _finish(result, results, telemetry, sink, streamed=True)
 
-    if engine == "checkpoint":
-        outcomes = _checkpointed_ir_outcomes(
-            module, plans, golden, function, args, checkpoint_interval
-        )
-        for outcome in outcomes:
-            result.outcomes.record(outcome)
-        return result
-
-    interp = IRInterpreter(module)
-    for plan in plans:
-        outcome = inject_ir_fault(module, plan, golden,
-                                  function=function, args=args,
-                                  interp=interp)
-        result.outcomes.record(outcome)
-    return result
+        interp = IRInterpreter(module)
+        results = []
+        for run_index, plan in plans:
+            outcome = inject_ir_fault(module, plan, golden,
+                                      function=function, args=args,
+                                      interp=interp, telemetry=telemetry,
+                                      run_index=run_index)
+            if sink is not None and telemetry:
+                sink.write(outcome)
+            results.append((run_index, outcome))
+        return _finish(result, results, telemetry, sink, streamed=True)
+    finally:
+        if sink is not None:
+            sink.close()

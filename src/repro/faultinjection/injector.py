@@ -10,6 +10,11 @@ writeback, and let the program run on.
 there target the five condition bits the modeled ISA consumes — flipping an
 unused RFLAGS bit would be trivially benign noise and is excluded, as in
 PINFI-style injectors.
+
+With ``telemetry=True`` an injection returns a :class:`FaultRecord`
+(static instruction, provenance, register/bit, outcome, detection latency)
+instead of the bare :class:`Outcome`; the classification logic is shared,
+so outcomes are identical either way.
 """
 
 from __future__ import annotations
@@ -17,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.asm.instructions import Instruction
+from repro.asm.printer import format_instruction
 from repro.asm.program import AsmProgram
-from repro.asm.registers import RegisterKind
+from repro.asm.registers import Register, RegisterKind
 from repro.errors import (
     DetectionExit,
     ExecutionLimitExceeded,
@@ -27,8 +33,15 @@ from repro.errors import (
     MachineFault,
 )
 from repro.faultinjection.outcome import Outcome
-from repro.ir.interp import IRInterpreter, IRRunResult, IRSnapshot
+from repro.faultinjection.telemetry import FaultRecord, normalize_origin
+from repro.ir.interp import (
+    IRInterpreter,
+    IRRunResult,
+    IRSnapshot,
+    _width_of,
+)
 from repro.ir.module import IRModule
+from repro.ir.printer import format_instruction as format_ir_instruction
 from repro.machine.cpu import Machine, MachineSnapshot, RunResult
 from repro.machine.flags import INJECTABLE_FLAG_BITS
 from repro.utils.rng import DeterministicRng
@@ -69,7 +82,8 @@ def profile_fault_sites(
                        max_instructions=max_instructions)
 
 
-def _apply_flip(machine: Machine, instr: Instruction, plan: FaultPlan) -> None:
+def _resolve_flip(instr: Instruction, plan: FaultPlan) -> tuple[Register, int]:
+    """Resolve a plan's uniform picks to a concrete (register, bit) pair."""
     dests = instr.dest_registers()
     register = dests[int(plan.register_pick * len(dests)) % len(dests)]
     if register.kind is RegisterKind.FLAGS:
@@ -77,7 +91,15 @@ def _apply_flip(machine: Machine, instr: Instruction, plan: FaultPlan) -> None:
         bit = bits[int(plan.bit_pick * len(bits)) % len(bits)]
     else:
         bit = int(plan.bit_pick * register.width) % register.width
+    return register, bit
+
+
+def _apply_flip(
+    machine: Machine, instr: Instruction, plan: FaultPlan
+) -> tuple[Register, int]:
+    register, bit = _resolve_flip(instr, plan)
     machine.registers.flip(register, bit)
+    return register, bit
 
 
 def inject_asm_fault(
@@ -89,7 +111,9 @@ def inject_asm_fault(
     timeout_factor: int = 6,
     machine: Machine | None = None,
     resume_from: MachineSnapshot | None = None,
-) -> Outcome:
+    telemetry: bool = False,
+    run_index: int = -1,
+) -> Outcome | FaultRecord:
     """Run ``program`` once with ``plan``'s fault; classify the outcome.
 
     The instruction budget is ``timeout_factor`` times the golden run's
@@ -103,18 +127,29 @@ def inject_asm_fault(
     hook delivered only at the target site. Outcomes are bit-identical to
     the replay protocol — the snapshot is, by construction, the exact state
     a replay would have reached.
+
+    ``telemetry=True`` returns a :class:`FaultRecord` (same classification,
+    plus attribution and detection latency); ``run_index`` stamps the
+    record with the campaign run that drew the plan.
     """
     if machine is None:
         machine = Machine(program)
     fired = False
+    hit: dict = {}
 
     def hook(m: Machine, instr: Instruction, site: int) -> None:
         nonlocal fired
         if site == plan.site_index:
-            _apply_flip(m, instr, plan)
+            register, bit = _apply_flip(m, instr, plan)
             fired = True
+            if telemetry:
+                hit["instr"] = instr
+                hit["register"] = register
+                hit["bit"] = bit
+                hit["flip_executed"] = m.executed_at_site
 
     budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
+    detect_executed: int | None = None
     try:
         if resume_from is not None:
             if resume_from.sites > plan.site_index:
@@ -130,21 +165,48 @@ def inject_asm_fault(
             result = machine.run(function=function, args=args, fault_hook=hook,
                                  max_instructions=budget)
     except DetectionExit:
-        return Outcome.DETECTED
+        outcome = Outcome.DETECTED
+        detect_executed = machine.halt_executed
     except ExecutionLimitExceeded:
-        return Outcome.TIMEOUT
+        outcome = Outcome.TIMEOUT
     except MachineFault:
-        return Outcome.CRASH
+        outcome = Outcome.CRASH
     except MachineError:
-        return Outcome.CRASH
-    if not fired:
+        outcome = Outcome.CRASH
+    else:
+        if not fired:
+            raise InjectionError(
+                f"fault site {plan.site_index} never executed "
+                f"(golden counted {golden.fault_sites})"
+            )
+        if (result.output == golden.output
+                and result.exit_code == golden.exit_code):
+            outcome = Outcome.BENIGN
+        else:
+            outcome = Outcome.SDC
+    if not telemetry:
+        return outcome
+    if not hit:
         raise InjectionError(
             f"fault site {plan.site_index} never executed "
             f"(golden counted {golden.fault_sites})"
         )
-    if result.output == golden.output and result.exit_code == golden.exit_code:
-        return Outcome.BENIGN
-    return Outcome.SDC
+    instr = hit["instr"]
+    latency = (detect_executed - hit["flip_executed"]
+               if detect_executed is not None else None)
+    return FaultRecord(
+        run_index=run_index,
+        level="asm",
+        site_index=plan.site_index,
+        instruction=format_instruction(instr),
+        mnemonic=instr.mnemonic,
+        origin=normalize_origin(instr.origin),
+        register=hit["register"].name,
+        bit=hit["bit"],
+        outcome=outcome,
+        detection_latency=latency,
+        instruction_uid=instr.uid,
+    )
 
 
 def inject_ir_fault(
@@ -156,7 +218,9 @@ def inject_ir_fault(
     timeout_factor: int = 10,
     interp: IRInterpreter | None = None,
     resume_from: IRSnapshot | None = None,
-) -> Outcome:
+    telemetry: bool = False,
+    run_index: int = -1,
+) -> Outcome | FaultRecord:
     """IR-level injection (LLFI-style): flip a bit in an IR result value.
 
     Used by the cross-layer gap experiment: IR-level EDDI looks nearly
@@ -165,26 +229,29 @@ def inject_ir_fault(
 
     ``resume_from`` enables the same checkpointed protocol as
     :func:`inject_asm_fault`: restore a prefix snapshot (taken with the
-    passed ``interp``) instead of re-executing the golden prefix.
+    passed ``interp``) instead of re-executing the golden prefix. The
+    instruction budget is passed per-run, so a shared ``interp`` is never
+    mutated. ``telemetry``/``run_index`` mirror :func:`inject_asm_fault`.
     """
     if interp is None:
         interp = IRInterpreter(module)
-    interp.max_instructions = max(
-        golden.dynamic_instructions * timeout_factor, 10_000
-    )
+    budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
     fired = False
+    hit: dict = {}
 
     def hook(ip: IRInterpreter, instr, site: int) -> None:
         nonlocal fired
         if site == plan.site_index:
-            width = 64
-            from repro.ir.interp import _width_of
-
             width = _width_of(instr)
             bit = int(plan.bit_pick * width) % width
             ip.flip_value(instr, bit)
             fired = True
+            if telemetry:
+                hit["instr"] = instr
+                hit["bit"] = bit
+                hit["flip_executed"] = ip.executed
 
+    detect_executed: int | None = None
     try:
         if resume_from is not None:
             if resume_from.sites > plan.site_index:
@@ -194,17 +261,45 @@ def inject_ir_fault(
                 )
             result = interp.run(function=function, args=args, fault_hook=hook,
                                 fault_at=plan.site_index,
-                                resume_from=resume_from)
+                                resume_from=resume_from,
+                                max_instructions=budget)
         else:
-            result = interp.run(function=function, args=args, fault_hook=hook)
+            result = interp.run(function=function, args=args, fault_hook=hook,
+                                max_instructions=budget)
     except DetectionExit:
-        return Outcome.DETECTED
+        outcome = Outcome.DETECTED
+        detect_executed = interp.executed
     except ExecutionLimitExceeded:
-        return Outcome.TIMEOUT
+        outcome = Outcome.TIMEOUT
     except MachineError:
-        return Outcome.CRASH
-    if not fired:
+        outcome = Outcome.CRASH
+    else:
+        if not fired:
+            raise InjectionError(
+                f"IR fault site {plan.site_index} never executed"
+            )
+        if (result.output == golden.output
+                and result.exit_code == golden.exit_code):
+            outcome = Outcome.BENIGN
+        else:
+            outcome = Outcome.SDC
+    if not telemetry:
+        return outcome
+    if not hit:
         raise InjectionError(f"IR fault site {plan.site_index} never executed")
-    if result.output == golden.output and result.exit_code == golden.exit_code:
-        return Outcome.BENIGN
-    return Outcome.SDC
+    instr = hit["instr"]
+    latency = (detect_executed - hit["flip_executed"]
+               if detect_executed is not None else None)
+    return FaultRecord(
+        run_index=run_index,
+        level="ir",
+        site_index=plan.site_index,
+        instruction=format_ir_instruction(instr),
+        mnemonic=instr.opcode,
+        origin="app",
+        register=None,
+        bit=hit["bit"],
+        outcome=outcome,
+        detection_latency=latency,
+        instruction_uid=None,
+    )

@@ -29,10 +29,12 @@ from repro.errors import (
     MachineError,
     MachineFault,
 )
+from repro.asm.registers import Register, RegisterKind
 from repro.faultinjection.campaign import CampaignResult
-from repro.faultinjection.injector import FaultPlan, _apply_flip
+from repro.faultinjection.injector import FaultPlan, _apply_flip, _resolve_flip
 from repro.faultinjection.outcome import Outcome
 from repro.machine.cpu import Machine, RunResult
+from repro.machine.flags import INJECTABLE_FLAG_BITS
 from repro.utils.rng import DeterministicRng
 
 
@@ -49,7 +51,15 @@ class MultiBitPlan:
 
     @staticmethod
     def sample_spatial(rng: DeterministicRng, fault_sites: int) -> "MultiBitPlan":
-        """Two distinct bits in the destination of one dynamic instruction."""
+        """Two distinct bits in the destination of one dynamic instruction.
+
+        The two bit picks are independent uniform floats that only resolve
+        to concrete bit indices at the site (where the destination width is
+        known), so distinctness cannot be guaranteed here; the injector
+        enforces it at apply time (see :func:`_distinct_bit`). Without that
+        enforcement ~1/width of "double" faults would collapse into two
+        flips of the same bit — a no-op run misreported as BENIGN.
+        """
         if fault_sites <= 0:
             raise InjectionError("program has no fault sites")
         site = rng.randint(0, fault_sites - 1)
@@ -72,6 +82,20 @@ class MultiBitPlan:
         )
 
 
+def _distinct_bit(register: Register, bit: int) -> int:
+    """The next injectable bit after ``bit`` in ``register`` (wrapping).
+
+    Used when a spatial plan's two uniform picks resolve to the same bit:
+    flipping one bit twice is a no-op, not a double fault, so the second
+    strike moves to the adjacent bit — deterministic, so plans stay
+    reproducible.
+    """
+    if register.kind is RegisterKind.FLAGS:
+        bits = INJECTABLE_FLAG_BITS
+        return bits[(bits.index(bit) + 1) % len(bits)]
+    return (bit + 1) % register.width
+
+
 def inject_multibit_fault(
     program: AsmProgram,
     plan: MultiBitPlan,
@@ -81,15 +105,33 @@ def inject_multibit_fault(
     timeout_factor: int = 6,
     machine: Machine | None = None,
 ) -> Outcome:
-    """Run once with both of ``plan``'s faults; classify the outcome."""
+    """Run once with both of ``plan``'s faults; classify the outcome.
+
+    Spatial plans always flip two *distinct* bits (see :func:`_distinct_bit`).
+    A normally completed run whose earliest fault site never executed means
+    the plan was sampled outside the program's dynamic site population —
+    that raises :class:`InjectionError` instead of silently classifying
+    (mirroring :func:`inject_asm_fault`). The *later* site of a temporal
+    plan is exempt: the first flip may legitimately divert control flow so
+    the second strike's moment never arrives.
+    """
     if machine is None:
         machine = Machine(program)
+    fired = [False, False]
+    first_hit: list = []
 
     def hook(m: Machine, instr, site: int) -> None:
         if site == plan.first.site_index:
-            _apply_flip(m, instr, plan.first)
+            register, bit = _apply_flip(m, instr, plan.first)
+            first_hit[:] = [register, bit]
+            fired[0] = True
         if site == plan.second.site_index:
-            _apply_flip(m, instr, plan.second)
+            register, bit = _resolve_flip(instr, plan.second)
+            if (site == plan.first.site_index and fired[0]
+                    and [register, bit] == first_hit):
+                bit = _distinct_bit(register, bit)
+            m.registers.flip(register, bit)
+            fired[1] = True
 
     budget = max(golden.dynamic_instructions * timeout_factor, 10_000)
     try:
@@ -101,6 +143,14 @@ def inject_multibit_fault(
         return Outcome.TIMEOUT
     except (MachineFault, MachineError):
         return Outcome.CRASH
+    earliest_fired = (fired[0]
+                      if plan.first.site_index <= plan.second.site_index
+                      else fired[1])
+    if not earliest_fired:
+        raise InjectionError(
+            f"fault site {min(plan.first.site_index, plan.second.site_index)} "
+            f"never executed (golden counted {golden.fault_sites})"
+        )
     if result.output == golden.output and result.exit_code == golden.exit_code:
         return Outcome.BENIGN
     return Outcome.SDC

@@ -1,0 +1,247 @@
+"""Per-fault campaign telemetry: records, aggregation, JSONL streaming.
+
+The paper's headline analysis is *attribution*: Figs. 8/9 trace every SDC
+escape back to the static instruction the fault hit and its provenance
+(application code vs backend-inserted duplication/capture/check code), and
+the "fast" in the title is about how quickly a checker catches a flipped
+bit. Outcome counters alone cannot reproduce that, so campaigns optionally
+emit one :class:`FaultRecord` per injected fault:
+
+* **where** — dynamic site ordinal, static instruction text, mnemonic,
+  provenance tag (``app`` for application code; ``dup``/``pre``/
+  ``capture``/``check`` for transform-inserted code), register and bit;
+* **what** — the classified :class:`Outcome`;
+* **how fast** — the detection latency: dynamic instructions executed from
+  the bit flip to the ``DetectionExit``, for detected faults.
+
+Records are plain data (JSON round-trippable) so large campaigns can
+stream them to a :class:`JsonlSink` instead of holding them in memory.
+Aggregation helpers build the per-origin / per-instruction outcome maps
+and the detection-latency histogram the evaluation layer renders.
+
+Telemetry is strictly observational: enabling it never changes which
+faults are sampled or how outcomes classify, so telemetry-on campaigns
+stay bit-identical in counts to telemetry-off ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, Iterable
+
+from repro.faultinjection.outcome import Outcome, OutcomeCounts
+
+
+def normalize_origin(origin: str) -> str:
+    """Map the transforms' ``"orig"`` tag to the report-facing ``"app"``.
+
+    Transform-inserted tags (``dup``, ``pre``, ``capture``, ``check``) pass
+    through unchanged; anything unknown does too, so new tags degrade to
+    honest labels instead of errors.
+    """
+    return "app" if origin == "orig" else origin
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """Everything known about one injected fault and its consequence.
+
+    ``detection_latency`` is the number of dynamic instructions executed
+    after the bit flip up to and including the instruction whose checker
+    raised :class:`repro.errors.DetectionExit`; ``None`` for every other
+    outcome. Counters are cumulative-from-entry on both sides of the
+    subtraction, so checkpointed and replayed executions report identical
+    latencies.
+    """
+
+    run_index: int           # campaign run (RNG stream) that drew the plan
+    level: str               # "asm" | "ir"
+    site_index: int          # dynamic fault-site ordinal of the flip
+    instruction: str         # static instruction, printed
+    mnemonic: str            # asm mnemonic or IR opcode
+    origin: str              # app | dup | pre | capture | check | ...
+    register: str | None     # destination register hit (None at IR level)
+    bit: int                 # resolved bit index within the destination
+    outcome: Outcome
+    detection_latency: int | None
+    instruction_uid: int | None = None  # asm static-instruction identity
+
+    def to_json(self) -> dict:
+        """Plain-dict form with the enum flattened (one JSONL line)."""
+        data = asdict(self)
+        data["outcome"] = self.outcome.value
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "FaultRecord":
+        fields = dict(data)
+        fields["outcome"] = Outcome(fields["outcome"])
+        return FaultRecord(**fields)
+
+
+@dataclass
+class CheckpointStats:
+    """Execution-strategy counters for one checkpointed campaign.
+
+    ``snapshot_bytes`` is the payload estimate of every cursor snapshot
+    taken (dirty memory pages plus register/frame words), not process RSS;
+    ``fast_forward_sites`` totals the sites each injection replayed between
+    its region checkpoint and its own fault site.
+    """
+
+    snapshots: int = 0
+    snapshot_bytes: int = 0
+    restores: int = 0
+    fast_forward_sites: int = 0
+
+    def note_snapshot(self, snap: object) -> None:
+        self.snapshots += 1
+        self.snapshot_bytes += snapshot_nbytes(snap)
+
+    def summary(self) -> str:
+        return (
+            f"{self.snapshots} snapshots ({self.snapshot_bytes} bytes), "
+            f"{self.restores} restores, "
+            f"{self.fast_forward_sites} sites fast-forwarded"
+        )
+
+
+def snapshot_nbytes(snap: object) -> int:
+    """Estimated payload bytes of a Machine/IR snapshot.
+
+    Duck-typed over both snapshot flavours: dirty memory pages are counted
+    exactly; register files and IR frame environments as 8 bytes per value.
+    """
+    total = sum(
+        len(page)
+        for segment in snap.memory.pages  # type: ignore[attr-defined]
+        for page in segment.values()
+    )
+    registers = getattr(snap, "registers", None)
+    if registers is not None:
+        total += 8 * (len(registers.gprs) + len(registers.vectors) + 1)
+    frames = getattr(snap, "frames", None)
+    if frames is not None:
+        total += sum(8 * len(frame.values) for frame in frames)
+    return total
+
+
+class JsonlSink:
+    """Streaming JSONL writer: one :class:`FaultRecord` object per line.
+
+    Context-manager friendly; ``write`` flushes nothing itself (the OS
+    buffer is plenty for campaign rates), ``close`` finalizes the file.
+    Incremental campaigns append to an existing file with ``mode="a"``.
+    """
+
+    def __init__(self, path, mode: str = "w") -> None:
+        self.path = path
+        self._handle: IO[str] | None = open(path, mode, encoding="utf-8")
+        self.written = 0
+
+    def write(self, record: FaultRecord) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink {self.path} is closed")
+        self._handle.write(json.dumps(record.to_json(), sort_keys=True))
+        self._handle.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path) -> list[FaultRecord]:
+    """Load every record from a JSONL file written by :class:`JsonlSink`."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(FaultRecord.from_json(json.loads(line)))
+    return records
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def outcomes_by_origin(records: Iterable[FaultRecord]) -> dict[str, OutcomeCounts]:
+    """Outcome histogram per provenance tag (the Fig. 8/9 attribution)."""
+    by: dict[str, OutcomeCounts] = {}
+    for record in records:
+        by.setdefault(record.origin, OutcomeCounts()).record(record.outcome)
+    return by
+
+
+@dataclass
+class SiteSummary:
+    """Aggregated outcomes of every fault that hit one static instruction."""
+
+    instruction: str
+    origin: str
+    outcomes: OutcomeCounts = field(default_factory=OutcomeCounts)
+
+    @property
+    def sdc(self) -> int:
+        return self.outcomes[Outcome.SDC]
+
+
+def outcomes_by_instruction(
+    records: Iterable[FaultRecord],
+) -> dict[tuple, SiteSummary]:
+    """Per-static-instruction outcome map (FastFlip-style substrate).
+
+    Keyed by ``instruction_uid`` where available (assembly level — distinct
+    static instructions can print identically), falling back to the printed
+    text (IR level).
+    """
+    by: dict[tuple, SiteSummary] = {}
+    for record in records:
+        key = (record.level, record.instruction_uid
+               if record.instruction_uid is not None else record.instruction)
+        summary = by.get(key)
+        if summary is None:
+            summary = by[key] = SiteSummary(record.instruction, record.origin)
+        summary.outcomes.record(record.outcome)
+    return by
+
+
+def detection_latencies(records: Iterable[FaultRecord]) -> list[int]:
+    """Latencies of every detected fault, in record order."""
+    return [
+        record.detection_latency
+        for record in records
+        if record.outcome is Outcome.DETECTED
+        and record.detection_latency is not None
+    ]
+
+
+def latency_histogram(
+    records: Iterable[FaultRecord],
+) -> list[tuple[int, int, int]]:
+    """Detection-latency histogram over power-of-two buckets.
+
+    Returns ``(lo, hi, count)`` rows covering ``lo <= latency < hi``; empty
+    when nothing was detected. Buckets grow geometrically because latencies
+    span "next instruction" (a FERRUM check right after the flip) to whole
+    loop bodies (deferred IR-level checks).
+    """
+    latencies = detection_latencies(records)
+    if not latencies:
+        return []
+    peak = max(latencies)
+    buckets: list[tuple[int, int, int]] = []
+    lo, hi = 0, 1
+    while lo <= peak:
+        count = sum(1 for latency in latencies if lo <= latency < hi)
+        buckets.append((lo, hi, count))
+        lo, hi = hi, hi * 2
+    return buckets

@@ -40,7 +40,7 @@ from repro.ir.module import IRFunction, IRModule
 from repro.ir.types import IntType, PointerType
 from repro.ir.values import Constant, Value
 from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
-from repro.utils.bitops import flip_bit, to_signed, to_unsigned
+from repro.utils.bitops import flip_bit, to_signed, to_unsigned, trunc_div
 
 #: Hook invoked after each value-producing dynamic instruction:
 #: (interpreter, instruction, site_ordinal) -> replacement value or None.
@@ -152,6 +152,7 @@ class IRInterpreter:
         fault_hook: IRFaultHook | None = None,
         fault_at: int | None = None,
         resume_from: IRSnapshot | None = None,
+        max_instructions: int | None = None,
     ) -> IRRunResult:
         """Execute ``function(*args)`` and return the run outcome.
 
@@ -159,6 +160,9 @@ class IRInterpreter:
         the per-site Python call everywhere else); ``resume_from`` continues
         from an :class:`IRSnapshot` instead of entry (``function``/``args``
         are then ignored), with counters resuming cumulatively.
+        ``max_instructions`` overrides the interpreter-wide budget for this
+        run only — injection timeouts use it so a shared interpreter is
+        never mutated.
         """
         if resume_from is not None:
             self._restore(resume_from)
@@ -167,7 +171,7 @@ class IRInterpreter:
         self._fault_hook = fault_hook
         self._fault_at = -1 if fault_at is None else fault_at
 
-        self._run_loop(None)
+        self._run_loop(None, budget=max_instructions)
         if not self._exit_requested:
             self._exit_code = to_signed(self._root_result, 32)
         return IRRunResult(
@@ -208,6 +212,16 @@ class IRInterpreter:
                 f"before reaching site {target_site}"
             )
         return self._snapshot()
+
+    @property
+    def executed(self) -> int:
+        """Dynamic IR instructions executed so far in the current run.
+
+        Read by fault hooks (flip time) and by injectors after a
+        :class:`DetectionExit` (detection time); the difference is the
+        detection latency in dynamic IR instructions.
+        """
+        return self._executed
 
     @property
     def current_values(self) -> dict[Value, int]:
@@ -315,15 +329,19 @@ class IRInterpreter:
             self._sites += 1
         parent.index += 1
 
-    def _run_loop(self, stop_at_site: int | None) -> bool:
+    def _run_loop(self, stop_at_site: int | None,
+                  budget: int | None = None) -> bool:
         """Drive the frame stack; returns True iff ``stop_at_site`` was hit.
 
         When an ``exit`` is requested the stack unwinds one frame per
         iteration, every pending call resolving to 0 and receiving its site
         ordinal — exactly the order the recursive formulation produced.
+        ``budget`` caps this run's dynamic instructions; None falls back to
+        the interpreter-wide ``max_instructions``.
         """
         frames = self._frames
         module = self.module
+        limit = budget if budget is not None else self.max_instructions
         while True:
             if stop_at_site is not None and self._sites >= stop_at_site:
                 return True
@@ -337,9 +355,9 @@ class IRInterpreter:
             index = frame.index
             if index >= len(block.instructions):
                 raise IRInterpError(f"fell off block {block.label}")
-            if self._executed >= self.max_instructions:
+            if self._executed >= limit:
                 raise ExecutionLimitExceeded(
-                    f"exceeded {self.max_instructions} IR instructions"
+                    f"exceeded {limit} IR instructions"
                 )
             instr = block.instructions[index]
             self._executed += 1
@@ -435,11 +453,11 @@ class IRInterpreter:
         if op == "sdiv":
             if sb == 0:
                 raise MachineFault("IR division by zero")
-            return to_unsigned(int(sa / sb), width)
+            return to_unsigned(trunc_div(sa, sb), width)
         if op == "srem":
             if sb == 0:
                 raise MachineFault("IR remainder by zero")
-            return to_unsigned(sa - int(sa / sb) * sb, width)
+            return to_unsigned(sa - trunc_div(sa, sb) * sb, width)
         if op == "and":
             return a & b
         if op == "or":

@@ -28,7 +28,7 @@ from typing import Callable
 from repro.asm.instructions import Instruction
 from repro.asm.program import AsmProgram, validate_program
 from repro.asm.registers import ARG_GPRS, get_register
-from repro.errors import ExecutionLimitExceeded, MachineFault
+from repro.errors import ExecutionLimitExceeded, MachineError, MachineFault
 from repro.machine.builtins import call_builtin, is_builtin
 from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
 from repro.machine.semantics import Flow
@@ -124,6 +124,13 @@ class Machine:
         self._mem_reads: list[tuple[int, int]] = []
         self._mem_writes: list[tuple[int, int]] = []
         self._collect_mem = False
+        # Telemetry bookkeeping (see repro.faultinjection.telemetry):
+        # executed count at the most recent fault-hook delivery, and at the
+        # point a MachineError aborted the run. Their difference is the
+        # detection latency in dynamic instructions when a checker fires.
+        self.executed_at_site = 0
+        self.halt_executed = 0
+        self.halt_sites = 0
 
     # -- helpers used by semantics/builtins ---------------------------------
 
@@ -318,72 +325,80 @@ class Machine:
         collect_mem = self._collect_mem
         code_len = len(code)
 
-        while not self._exit_requested:
-            if stop_at_site is not None and sites >= stop_at_site:
-                return pc, executed, sites, True
-            if pc >= code_len or pc < 0:
-                raise MachineFault(f"execution fell outside code at index {pc}")
-            if executed >= budget:
-                raise ExecutionLimitExceeded(
-                    f"exceeded {budget} dynamic instructions"
-                )
-            instr = code[pc]
-            if collect_mem:
-                self._mem_reads.clear()
-                self._mem_writes.clear()
-            effect = handlers[pc](self, instr)
-            executed += 1
-
-            if timer is not None:
-                reads: list[int] = []
-                for addr, size in self._mem_reads:
-                    reads.extend(TimingModel.granules(addr, size))
-                writes: list[int] = []
-                for addr, size in self._mem_writes:
-                    writes.extend(TimingModel.granules(addr, size))
-                timer.observe(instr, reads, writes, effect.taken)
-
-            if is_site[pc]:
-                if fault_hook is not None and (fault_at < 0 or sites == fault_at):
-                    fault_hook(self, instr, sites)
-                sites += 1
-
-            flow = effect.flow
-            if flow is Flow.NEXT:
-                pc += 1
-            elif flow is Flow.JUMP:
-                key = (self._func_of[pc], effect.target or "")
-                try:
-                    pc = self._label_index[key]
-                except KeyError:
-                    raise MachineFault(f"jump to unknown label {key}") from None
-            elif flow is Flow.CALL:
-                target = effect.target or ""
-                if is_builtin(target):
-                    result = call_builtin(self, target)
-                    self.registers.write(_RAX, result & ((1 << 64) - 1))
-                    pc += 1
-                else:
-                    new_rsp = self.registers.read(_RSP) - 8
-                    self.registers.write(_RSP, new_rsp)
-                    self.memory.write_uint(new_rsp, pc + 1, 8)
-                    try:
-                        pc = self._entry[target]
-                    except KeyError:
-                        raise MachineFault(
-                            f"call to unknown function {target!r}"
-                        ) from None
-            elif flow is Flow.RET:
-                cur_rsp = self.registers.read(_RSP)
-                return_to = self.memory.read_uint(cur_rsp, 8)
-                self.registers.write(_RSP, cur_rsp + 8)
-                if return_to == _SENTINEL:
-                    self._exit_code = to_signed(self.registers.read(_EAX), 32)
-                    break
-                if return_to >= len(code):
-                    raise MachineFault(
-                        f"return to corrupted address {return_to:#x}"
+        try:
+            while not self._exit_requested:
+                if stop_at_site is not None and sites >= stop_at_site:
+                    return pc, executed, sites, True
+                if pc >= code_len or pc < 0:
+                    raise MachineFault(f"execution fell outside code at index {pc}")
+                if executed >= budget:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {budget} dynamic instructions"
                     )
-                pc = int(return_to)
+                instr = code[pc]
+                if collect_mem:
+                    self._mem_reads.clear()
+                    self._mem_writes.clear()
+                effect = handlers[pc](self, instr)
+                executed += 1
 
+                if timer is not None:
+                    reads: list[int] = []
+                    for addr, size in self._mem_reads:
+                        reads.extend(TimingModel.granules(addr, size))
+                    writes: list[int] = []
+                    for addr, size in self._mem_writes:
+                        writes.extend(TimingModel.granules(addr, size))
+                    timer.observe(instr, reads, writes, effect.taken)
+
+                if is_site[pc]:
+                    if fault_hook is not None and (fault_at < 0 or sites == fault_at):
+                        self.executed_at_site = executed
+                        fault_hook(self, instr, sites)
+                    sites += 1
+
+                flow = effect.flow
+                if flow is Flow.NEXT:
+                    pc += 1
+                elif flow is Flow.JUMP:
+                    key = (self._func_of[pc], effect.target or "")
+                    try:
+                        pc = self._label_index[key]
+                    except KeyError:
+                        raise MachineFault(f"jump to unknown label {key}") from None
+                elif flow is Flow.CALL:
+                    target = effect.target or ""
+                    if is_builtin(target):
+                        result = call_builtin(self, target)
+                        self.registers.write(_RAX, result & ((1 << 64) - 1))
+                        pc += 1
+                    else:
+                        new_rsp = self.registers.read(_RSP) - 8
+                        self.registers.write(_RSP, new_rsp)
+                        self.memory.write_uint(new_rsp, pc + 1, 8)
+                        try:
+                            pc = self._entry[target]
+                        except KeyError:
+                            raise MachineFault(
+                                f"call to unknown function {target!r}"
+                            ) from None
+                elif flow is Flow.RET:
+                    cur_rsp = self.registers.read(_RSP)
+                    return_to = self.memory.read_uint(cur_rsp, 8)
+                    self.registers.write(_RSP, cur_rsp + 8)
+                    if return_to == _SENTINEL:
+                        self._exit_code = to_signed(self.registers.read(_EAX), 32)
+                        break
+                    if return_to >= len(code):
+                        raise MachineFault(
+                            f"return to corrupted address {return_to:#x}"
+                        )
+                    pc = int(return_to)
+
+        except MachineError:
+            # Stamp where the run halted so injectors can compute
+            # flip-to-detection latency without any per-instruction cost.
+            self.halt_executed = executed
+            self.halt_sites = sites
+            raise
         return pc, executed, sites, False

@@ -18,7 +18,13 @@ from repro.asm.operands import Imm, Mem, Operand, Reg
 from repro.asm.registers import Register, RegisterKind, get_register
 from repro.errors import IllegalInstructionError, MachineFault
 from repro.machine import flags as flg
-from repro.utils.bitops import mask_for_width, sign_extend, to_signed, to_unsigned
+from repro.utils.bitops import (
+    mask_for_width,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    trunc_div,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.machine.cpu import Machine
@@ -296,7 +302,7 @@ def _exec_idiv(machine: "Machine", instr: Instruction) -> ControlEffect:
         hi = machine.registers.read(_RDX)
         lo = machine.registers.read(_RAX)
     dividend = to_signed((hi << width) | lo, width * 2)
-    quotient = int(dividend / divisor)  # x86 truncates toward zero
+    quotient = trunc_div(dividend, divisor)
     remainder = dividend - quotient * divisor
     if not -(1 << (width - 1)) <= quotient < (1 << (width - 1)):
         raise MachineFault("idiv quotient overflow")

@@ -66,6 +66,21 @@ def zero_extend(value: int, from_width: int) -> int:
     return to_unsigned(value, from_width)
 
 
+def trunc_div(dividend: int, divisor: int) -> int:
+    """Integer division truncating toward zero (x86 ``idiv`` rounding).
+
+    Computed entirely in integer arithmetic: ``int(a / b)`` goes through a
+    float and silently loses precision once ``a`` exceeds 2**53.
+
+    >>> trunc_div(7, 2), trunc_div(-7, 2), trunc_div(7, -2)
+    (3, -3, -3)
+    >>> trunc_div((1 << 62) + 12345, 7)
+    658812288346771464
+    """
+    quotient = abs(dividend) // abs(divisor)
+    return -quotient if (dividend < 0) != (divisor < 0) else quotient
+
+
 def flip_bit(value: int, bit: int, width: int) -> int:
     """Return ``value`` with bit index ``bit`` flipped, masked to ``width``.
 

@@ -7,16 +7,22 @@ from repro.evaluation.experiments import (
     GapResult,
     TransformTimeResult,
 )
+from repro.evaluation.figures import render_latency_chart
 from repro.evaluation.report import (
+    render_checkpoint_stats,
     render_fig10,
     render_fig11,
     render_gap,
+    render_latency_table,
+    render_origin_breakdown,
+    render_site_map,
     render_table1,
     render_table2,
     render_transform_time,
 )
 from repro.faultinjection.campaign import CampaignResult
 from repro.faultinjection.outcome import Outcome
+from repro.faultinjection.telemetry import CheckpointStats, FaultRecord
 
 
 def _campaign(sdc: int, total: int = 10) -> CampaignResult:
@@ -71,3 +77,59 @@ class TestFigureRendering:
         }])
         text = render_gap(result)
         assert "knn" in text and "28.0%" in text
+
+
+def _fault(run_index, origin, outcome, latency=None, uid=None,
+           instruction="addl %ecx, %eax"):
+    return FaultRecord(
+        run_index=run_index, level="asm", site_index=run_index,
+        instruction=instruction, mnemonic=instruction.split()[0],
+        origin=origin, register="eax", bit=0, outcome=outcome,
+        detection_latency=latency, instruction_uid=uid,
+    )
+
+
+class TestTelemetryRendering:
+    RECORDS = [
+        _fault(0, "app", Outcome.SDC, uid=1),
+        _fault(1, "app", Outcome.BENIGN, uid=1),
+        _fault(2, "dup", Outcome.DETECTED, latency=3, uid=2,
+               instruction="addl %r10d, %r11d"),
+        _fault(3, "check", Outcome.DETECTED, latency=40, uid=3,
+               instruction="cmpl %r11d, %eax"),
+    ]
+
+    def test_origin_breakdown(self):
+        text = render_origin_breakdown(self.RECORDS)
+        assert "app" in text and "dup" in text and "check" in text
+        assert "50.0%" in text  # app SDC rate: 1 of 2
+
+    def test_site_map_ranks_sdc_first(self):
+        text = render_site_map(self.RECORDS, top=2)
+        lines = text.splitlines()
+        assert "top 2" in text
+        # The SDC-bearing app instruction outranks the detected ones.
+        assert lines.index(next(l for l in lines if "ecx" in l)) \
+            < lines.index(next(l for l in lines if "r10d" in l))
+
+    def test_latency_table(self):
+        text = render_latency_table(self.RECORDS)
+        assert "2 detections" in text and "[2, 4)" in text
+
+    def test_latency_table_empty(self):
+        text = render_latency_table([_fault(0, "app", Outcome.BENIGN)])
+        assert "no detected faults" in text
+
+    def test_latency_chart(self):
+        text = render_latency_chart(self.RECORDS)
+        assert "[32, 64)" in text and "D" in text
+
+    def test_latency_chart_empty(self):
+        assert "no detected faults" in render_latency_chart([])
+
+    def test_checkpoint_stats(self):
+        stats = CheckpointStats(snapshots=4, snapshot_bytes=4096, restores=9,
+                                fast_forward_sites=17)
+        text = render_checkpoint_stats(stats)
+        assert "4 snapshots" in text and "9 restores" in text
+        assert "n/a" in render_checkpoint_stats(None)

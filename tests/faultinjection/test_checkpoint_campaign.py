@@ -91,8 +91,8 @@ class TestBitIdenticalOutcomes:
 
 class TestCheckpointSchedule:
     def _plans(self, sites):
-        return [FaultPlan(site_index=s, register_pick=0.1, bit_pick=0.2)
-                for s in sites]
+        return [(i, FaultPlan(site_index=s, register_pick=0.1, bit_pick=0.2))
+                for i, s in enumerate(sites)]
 
     def test_exact_site_mode_groups_duplicates(self):
         schedule = _checkpoint_schedule(self._plans([30, 5, 30, 12]), None)

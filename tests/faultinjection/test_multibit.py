@@ -2,11 +2,14 @@
 
 import pytest
 
+from repro.asm.registers import get_register
 from repro.faultinjection.multibit import (
     MultiBitPlan,
+    _distinct_bit,
     inject_multibit_fault,
     run_multibit_campaign,
 )
+from repro.machine.flags import INJECTABLE_FLAG_BITS
 from repro.faultinjection.injector import FaultPlan
 from repro.faultinjection.outcome import Outcome
 from repro.machine.cpu import Machine
@@ -64,6 +67,55 @@ class TestInjection:
                                 FaultPlan(site, 0.0, 0.6))
             outcomes.add(inject_multibit_fault(program, plan, golden))
         assert Outcome.SDC in outcomes
+
+    def test_spatial_same_bit_picks_do_not_cancel(self, build):
+        # Regression: two picks resolving to the same bit used to flip it
+        # twice — a no-op run misclassified as BENIGN 100% of the time.
+        # With apply-time distinctness the pair is a real double fault, so
+        # sweeping sites must disturb *some* run.
+        program = build["raw"].asm
+        golden = Machine(program).run()
+        outcomes = set()
+        for site in range(0, golden.fault_sites, 3):
+            plan = MultiBitPlan(FaultPlan(site, 0.0, 0.42),
+                                FaultPlan(site, 0.0, 0.42))
+            outcomes.add(inject_multibit_fault(program, plan, golden))
+        assert outcomes != {Outcome.BENIGN}
+
+    def test_distinct_bit_wraps_register_width(self):
+        eax = get_register("eax")
+        assert _distinct_bit(eax, 3) == 4
+        assert _distinct_bit(eax, eax.width - 1) == 0
+
+    def test_distinct_bit_stays_in_injectable_flags(self):
+        flags = get_register("rflags")
+        for bit in INJECTABLE_FLAG_BITS:
+            bumped = _distinct_bit(flags, bit)
+            assert bumped in INJECTABLE_FLAG_BITS and bumped != bit
+
+    def test_unreachable_site_raises(self, build):
+        # Regression: a plan outside the dynamic site population used to
+        # complete normally and classify as BENIGN; inject_asm_fault raises
+        # for this, and the multi-bit injector must too.
+        program = build["raw"].asm
+        golden = Machine(program).run()
+        bogus = golden.fault_sites + 5
+        plan = MultiBitPlan(FaultPlan(bogus, 0.0, 0.3),
+                            FaultPlan(bogus, 0.0, 0.6))
+        with pytest.raises(InjectionError):
+            inject_multibit_fault(program, plan, golden)
+
+    def test_temporal_later_site_exempt_from_fired_check(self, build):
+        # The second strike of a temporal pair may never arrive (the first
+        # flip can divert control flow); only the earliest site is
+        # asserted. A valid first site with an out-of-population second
+        # site must classify, not raise.
+        program = build["raw"].asm
+        golden = Machine(program).run()
+        plan = MultiBitPlan(FaultPlan(2, 0.0, 0.3),
+                            FaultPlan(golden.fault_sites + 5, 0.0, 0.6))
+        outcome = inject_multibit_fault(program, plan, golden)
+        assert isinstance(outcome, Outcome)
 
 
 class TestCampaigns:

@@ -1,0 +1,245 @@
+"""Campaign telemetry tests: records, aggregation, streaming, invariance.
+
+The load-bearing property is *observational purity*: telemetry may never
+change which faults a campaign samples or how they classify. Several tests
+here pin that down by comparing telemetry-on and telemetry-off campaigns
+(and checkpoint vs replay engines) record by record and count by count.
+"""
+
+import pytest
+
+from repro.faultinjection.campaign import run_campaign, run_ir_campaign
+from repro.faultinjection.injector import FaultPlan, inject_asm_fault
+from repro.faultinjection.outcome import Outcome, OutcomeCounts
+from repro.faultinjection.telemetry import (
+    CheckpointStats,
+    FaultRecord,
+    JsonlSink,
+    detection_latencies,
+    latency_histogram,
+    normalize_origin,
+    outcomes_by_instruction,
+    outcomes_by_origin,
+    read_jsonl,
+)
+from repro.machine.cpu import Machine
+from repro.pipeline import build_variants
+
+SOURCE = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 12; i++) { acc += i * 5 + 2; }
+    print_int(acc);
+    return 0;
+}
+"""
+
+SAMPLES = 60
+
+
+@pytest.fixture(scope="module")
+def build():
+    return build_variants(SOURCE, names=("raw", "ir-eddi", "ferrum"))
+
+
+def _record(run_index=0, origin="app", outcome=Outcome.BENIGN, latency=None,
+            instruction="addl $1, %eax", uid=None):
+    return FaultRecord(
+        run_index=run_index, level="asm", site_index=run_index,
+        instruction=instruction, mnemonic=instruction.split()[0],
+        origin=origin, register="eax", bit=3, outcome=outcome,
+        detection_latency=latency, instruction_uid=uid,
+    )
+
+
+class TestFaultRecord:
+    def test_json_roundtrip(self):
+        record = _record(origin="dup", outcome=Outcome.DETECTED, latency=7,
+                         uid=99)
+        data = record.to_json()
+        assert data["outcome"] == "detected"
+        assert FaultRecord.from_json(data) == record
+
+    def test_normalize_origin(self):
+        assert normalize_origin("orig") == "app"
+        for tag in ("dup", "pre", "capture", "check", "instrumentation"):
+            assert normalize_origin(tag) == tag
+
+
+class TestAggregation:
+    def test_outcomes_by_origin(self):
+        records = [
+            _record(0, "app", Outcome.SDC),
+            _record(1, "app", Outcome.BENIGN),
+            _record(2, "dup", Outcome.DETECTED, latency=3),
+        ]
+        by = outcomes_by_origin(records)
+        assert by["app"][Outcome.SDC] == 1
+        assert by["app"].total == 2
+        assert by["dup"][Outcome.DETECTED] == 1
+
+    def test_outcomes_by_instruction_prefers_uid(self):
+        # Same printed text, different uids: distinct static instructions.
+        records = [
+            _record(0, uid=1), _record(1, uid=2), _record(2, uid=1),
+        ]
+        by = outcomes_by_instruction(records)
+        assert len(by) == 2
+        assert by[("asm", 1)].outcomes.total == 2
+
+    def test_latency_histogram_buckets(self):
+        records = [
+            _record(i, outcome=Outcome.DETECTED, latency=lat)
+            for i, lat in enumerate([0, 1, 1, 5, 9])
+        ] + [_record(9, outcome=Outcome.BENIGN)]
+        assert detection_latencies(records) == [0, 1, 1, 5, 9]
+        buckets = latency_histogram(records)
+        assert buckets[0] == (0, 1, 1)
+        assert buckets[1] == (1, 2, 2)
+        assert buckets[-1] == (8, 16, 1)
+
+    def test_empty_histogram(self):
+        assert latency_histogram([_record(0)]) == []
+
+
+class TestJsonl:
+    def test_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        records = [_record(i, outcome=Outcome.DETECTED, latency=i)
+                   for i in range(5)]
+        with JsonlSink(path) as sink:
+            for record in records:
+                sink.write(record)
+        assert sink.written == 5
+        assert read_jsonl(path) == records
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(_record(0))
+        with JsonlSink(path, mode="a") as sink:
+            sink.write(_record(1))
+        assert [r.run_index for r in read_jsonl(path)] == [0, 1]
+
+    def test_write_after_close_rejected(self, tmp_path):
+        sink = JsonlSink(tmp_path / "faults.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write(_record(0))
+
+
+class TestInjectorTelemetry:
+    def test_record_matches_plain_outcome(self, build):
+        program = build["ferrum"].asm
+        golden = Machine(program).run()
+        for site in range(0, golden.fault_sites, 7):
+            plan = FaultPlan(site, 0.5, 0.5)
+            plain = inject_asm_fault(program, plan, golden)
+            record = inject_asm_fault(program, plan, golden, telemetry=True,
+                                      run_index=site)
+            assert isinstance(record, FaultRecord)
+            assert record.outcome is plain
+            assert record.run_index == site
+            assert record.site_index == site
+            if record.outcome is Outcome.DETECTED:
+                assert record.detection_latency >= 1
+            else:
+                assert record.detection_latency is None
+
+    def test_origin_attribution(self, build):
+        program = build["ferrum"].asm
+        golden = Machine(program).run()
+        origins = {
+            inject_asm_fault(program, FaultPlan(site, 0.5, 0.5), golden,
+                             telemetry=True).origin
+            for site in range(0, golden.fault_sites, 5)
+        }
+        # FERRUM binaries interleave app code with transform-inserted
+        # instructions; telemetry must see both sides.
+        assert "app" in origins
+        assert origins - {"app"}
+
+
+class TestCampaignTelemetry:
+    def test_counts_bit_identical_with_telemetry(self, build):
+        program = build["ferrum"].asm
+        plain = run_campaign(program, SAMPLES, seed=7)
+        traced = run_campaign(program, SAMPLES, seed=7, telemetry=True)
+        assert plain.outcomes.counts == traced.outcomes.counts
+        assert plain.records is None
+        assert len(traced.records) == SAMPLES
+        assert [r.run_index for r in traced.records] == list(range(SAMPLES))
+
+    def test_checkpoint_and_replay_records_identical(self, build):
+        program = build["ferrum"].asm
+        checkpointed = run_campaign(program, SAMPLES, seed=7, telemetry=True)
+        replayed = run_campaign(program, SAMPLES, seed=7, telemetry=True,
+                                engine="replay")
+        assert checkpointed.records == replayed.records
+
+    def test_checkpoint_stats_populated(self, build):
+        result = run_campaign(build["ferrum"].asm, SAMPLES, seed=7,
+                              telemetry=True)
+        stats = result.checkpoint_stats
+        assert isinstance(stats, CheckpointStats)
+        assert 0 < stats.snapshots <= SAMPLES
+        assert stats.restores == SAMPLES
+        assert stats.snapshot_bytes > 0
+        assert stats.fast_forward_sites == 0  # exact-site checkpoints
+        assert "snapshots" in stats.summary()
+
+    def test_interval_checkpoints_fast_forward(self, build):
+        result = run_campaign(build["ferrum"].asm, SAMPLES, seed=7,
+                              telemetry=True, checkpoint_interval=64)
+        assert result.checkpoint_stats.fast_forward_sites > 0
+
+    def test_replay_engine_has_no_checkpoint_stats(self, build):
+        result = run_campaign(build["ferrum"].asm, 10, seed=7,
+                              telemetry=True, engine="replay")
+        assert result.checkpoint_stats is None
+
+    def test_jsonl_stream_matches_memory(self, build, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        result = run_campaign(build["ferrum"].asm, SAMPLES, seed=7,
+                              jsonl_path=path)
+        assert result.records is not None  # jsonl_path implies telemetry
+        assert sorted(read_jsonl(path), key=lambda r: r.run_index) \
+            == result.records
+
+    def test_parallel_telemetry_identical(self, build):
+        program = build["ferrum"].asm
+        sequential = run_campaign(program, SAMPLES, seed=7, telemetry=True)
+        parallel = run_campaign(program, SAMPLES, seed=7, telemetry=True,
+                                processes=2)
+        assert parallel.records == sequential.records
+        assert parallel.outcomes.counts == sequential.outcomes.counts
+
+    def test_detected_faults_have_latency(self, build):
+        result = run_campaign(build["ferrum"].asm, SAMPLES, seed=7,
+                              telemetry=True)
+        detected = [r for r in result.records
+                    if r.outcome is Outcome.DETECTED]
+        assert detected
+        assert all(r.detection_latency >= 1 for r in detected)
+
+    def test_record_counts_rebuild_outcome_counts(self, build):
+        result = run_campaign(build["ferrum"].asm, SAMPLES, seed=7,
+                              telemetry=True)
+        rebuilt = OutcomeCounts()
+        for record in result.records:
+            rebuilt.record(record.outcome)
+        assert rebuilt.counts == result.outcomes.counts
+
+
+class TestIRCampaignTelemetry:
+    def test_ir_records(self, build):
+        module = build["ir-eddi"].ir
+        plain = run_ir_campaign(module, 30, seed=3)
+        traced = run_ir_campaign(module, 30, seed=3, telemetry=True)
+        assert plain.outcomes.counts == traced.outcomes.counts
+        assert len(traced.records) == 30
+        assert all(r.level == "ir" for r in traced.records)
+        assert all(r.register is None for r in traced.records)
+        detected = [r for r in traced.records
+                    if r.outcome is Outcome.DETECTED]
+        assert all(r.detection_latency >= 1 for r in detected)

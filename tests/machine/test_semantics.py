@@ -142,6 +142,50 @@ class TestDivision:
         with pytest.raises(MachineFault):
             run_snippet("movl $1, %eax\n movl $0, %ecx\n cltd\n idivl %ecx")
 
+    def test_idivq_beyond_double_precision(self):
+        # (1 << 62) + 12345 is not exactly representable as a float; a
+        # float-division implementation (int(dividend / divisor)) returns
+        # 658812288346771456 here — off by 8 from the exact quotient.
+        assert result_of("""
+            movq $4611686018427400249, %rax
+            movq $7, %rcx
+            cqto
+            idivq %rcx
+        """) == 658812288346771464
+
+    def test_idivq_negative_beyond_double_precision(self):
+        # -((1 << 61) + 991) / 3 truncates toward zero; the float path
+        # lands on a different (and floor-rounded) quotient entirely.
+        assert result_of("""
+            movq $-2305843009213694943, %rax
+            movq $3, %rcx
+            cqto
+            idivq %rcx
+        """) == -768614336404564981
+
+    def test_idivl_widened_dividend_beyond_double_precision(self):
+        # edx:eax forms a 64-bit dividend (268435457 << 32, beyond 2^53)
+        # whose exact 32-bit quotient is 1073741824; float division rounds
+        # the ratio up to 1073741825.
+        assert result_of("""
+            movl $0, %eax
+            movl $268435457, %edx
+            movl $1073741827, %ecx
+            idivl %ecx
+            movslq %eax, %rax
+        """) == 1073741824
+
+    def test_idivl_quotient_overflow_faults(self):
+        # The same widened dividend over a tiny divisor cannot fit its
+        # quotient in 32 bits — x86 raises #DE, the machine must too.
+        with pytest.raises(MachineFault):
+            run_snippet("""
+                movl $0, %eax
+                movl $268435457, %edx
+                movl $3, %ecx
+                idivl %ecx
+            """)
+
 
 class TestBranches:
     def test_branch_full_program(self):
