@@ -24,4 +24,10 @@ fi
 echo "== tier-1 tests (perf marker deselected) =="
 PYTHONPATH=src python -m pytest tests -q -m "not perf" || status=$?
 
+echo "== fuzz smoke (fixed seeds, bounded) =="
+# Mirrors the CI fuzz-smoke job: a deterministic seed range under a time
+# budget. Findings land in fuzz-artifacts/ with per-seed repro commands.
+PYTHONPATH=src python -m repro.fuzz --seed-start 0 --count 40 \
+    --time-budget 60 --artifact-dir fuzz-artifacts --quiet || status=$?
+
 exit "$status"

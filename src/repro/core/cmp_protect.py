@@ -118,11 +118,20 @@ class CompareProtector:
         assert isinstance(dest, Reg)
         scratch_b = Reg(gpr_with_width(scratch_root, 8))
         self.protected_setcc += 1
+        # The scratch capture must come *before* the original ``set<cc>``:
+        # when ``dest`` overlaps a register the comparison reads (e.g.
+        # ``cmpl $0, %eax`` + ``setle %al``), running the original setcc
+        # first would clobber the duplicate comparison's operand and the
+        # checker would fire on fault-free runs. Capturing the original
+        # flags into the (reserved, never-overlapping) scratch register and
+        # letting the program's setcc consume the duplicate flags keeps both
+        # captures independent with identical coverage.
         return [
             cmp_instr,
-            setcc,
+            ins(f"set{cc}", scratch_b, origin="dup",
+                comment="capture original flags"),
             cmp_instr.copy(origin="dup", comment="duplicate comparison"),
-            ins(f"set{cc}", scratch_b, origin="dup"),
+            setcc,
             ins("cmpb", scratch_b, dest, origin="check"),
             ins("jne", LabelRef(self.detect_label), origin="check"),
         ]

@@ -1,0 +1,45 @@
+"""Differential fuzzing for the FERRUM pipeline.
+
+Seeded grammar-based program generation (:mod:`repro.fuzz.generator`),
+composable differential oracles (:mod:`repro.fuzz.oracles`), a
+delta-debugging reducer (:mod:`repro.fuzz.reducer`) and the campaign
+driver behind the ``ferrum-fuzz`` CLI (:mod:`repro.fuzz.runner`).
+"""
+
+from repro.fuzz.generator import GeneratorConfig, generate_ast, generate_program
+from repro.fuzz.oracles import (
+    CrossLayerOracle,
+    ExecOutcome,
+    FaultSoundnessOracle,
+    OracleVerdict,
+    StaticDisciplineOracle,
+    Subject,
+    VariantAgreementOracle,
+    default_oracles,
+    run_oracles,
+)
+from repro.fuzz.reducer import reduce_ast, reduce_source
+from repro.fuzz.runner import FuzzReport, FuzzResult, check_seed, run_fuzz
+from repro.fuzz.unparse import unparse
+
+__all__ = [
+    "CrossLayerOracle",
+    "ExecOutcome",
+    "FaultSoundnessOracle",
+    "FuzzReport",
+    "FuzzResult",
+    "GeneratorConfig",
+    "OracleVerdict",
+    "StaticDisciplineOracle",
+    "Subject",
+    "VariantAgreementOracle",
+    "check_seed",
+    "default_oracles",
+    "generate_ast",
+    "generate_program",
+    "reduce_ast",
+    "reduce_source",
+    "run_fuzz",
+    "run_oracles",
+    "unparse",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — same entry point as the ``ferrum-fuzz`` CLI."""
+
+import sys
+
+from repro.fuzz.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,411 @@
+"""Seeded grammar-based mini-C program generator.
+
+``generate_program(seed)`` maps an integer seed deterministically to a
+well-formed, *terminating*, output-producing mini-C program — the adversarial
+input source for the differential oracles. Every random decision flows
+through :class:`~repro.utils.rng.DeterministicRng` (seed -> source is a pure
+function, stable across runs and processes), and the grammar guarantees by
+construction the properties the oracles rely on:
+
+* **termination** — ``for`` loops count a fresh variable to a literal bound
+  and ``while`` loops burn a dedicated fuel variable; neither is assignable
+  by generated body statements, so every loop is structurally bounded;
+* **definedness** — every scalar is initialized at declaration, every array
+  is filled by an init loop before any read, division/modulo denominators
+  are rendered as ``e % K + K`` (always in ``[1, 2K-1]``), shift counts are
+  small literals, and array indexes are either an in-bounds loop counter or
+  the safe form ``((e % N) + N) % N``;
+* **observability** — programs print intermediate values and ``main`` ends
+  by printing every live top-level scalar and array, so silent corruption
+  has somewhere to show up.
+
+The generator emits :mod:`repro.minic.ast` trees and renders them through
+:mod:`repro.fuzz.unparse`, so generated programs re-parse to the same tree
+the reducer operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.unparse import unparse
+from repro.minic import ast
+from repro.utils.rng import DeterministicRng
+
+_INT = ast.TypeName("int")
+_LONG = ast.TypeName("long")
+
+#: Operators safe in any value context (no guards needed).
+_SAFE_BINOPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs; the defaults target fast whole-pipeline runs."""
+
+    max_helpers: int = 2          # helper functions besides main
+    main_statements: tuple[int, int] = (3, 8)
+    block_statements: tuple[int, int] = (1, 4)
+    max_control_depth: int = 2    # nesting of if/while/for
+    max_expr_depth: int = 3
+    max_array_length: int = 6
+    max_loop_trip: int = 6
+    literal_magnitude: int = 60
+
+
+@dataclass(frozen=True)
+class _Scalar:
+    name: str
+    type: ast.TypeName
+    mutable: bool
+
+
+@dataclass(frozen=True)
+class _Array:
+    name: str
+    elem: ast.TypeName
+    length: int
+
+
+@dataclass(frozen=True)
+class _Helper:
+    name: str
+    params: tuple[ast.TypeName, ...]
+    returns: ast.TypeName
+
+
+def _lit(value: int) -> ast.Expr:
+    if value < 0:
+        return ast.Unary(0, "-", ast.IntLiteral(0, -value))
+    return ast.IntLiteral(0, value)
+
+
+class _Gen:
+    def __init__(self, rng: DeterministicRng, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.counter = 0
+        self.helpers: list[_Helper] = []
+        # Scope stack: each frame is (scalars, arrays) visible lists.
+        self.scopes: list[tuple[list[_Scalar], list[_Array]]] = []
+        # Loop counters currently in scope, with their literal bound.
+        self.loop_counters: list[tuple[str, int]] = []
+
+    # -- naming / scope ------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def _push(self) -> None:
+        self.scopes.append(([], []))
+
+    def _pop(self) -> None:
+        self.scopes.pop()
+
+    def _scalars(self, mutable_only: bool = False) -> list[_Scalar]:
+        found = [
+            var for frame in self.scopes for var in frame[0]
+            if var.mutable or not mutable_only
+        ]
+        return found
+
+    def _arrays(self) -> list[_Array]:
+        return [arr for frame in self.scopes for arr in frame[1]]
+
+    # -- expressions ---------------------------------------------------------
+
+    def _literal(self) -> ast.Expr:
+        return _lit(self.rng.randint(-self.config.literal_magnitude,
+                                     self.config.literal_magnitude))
+
+    def _atom(self, depth: int = 0) -> ast.Expr:
+        """A leaf-ish expression; ``depth`` bounds nested cell/call atoms."""
+        choices = ["literal", "literal"]
+        if self._scalars():
+            choices += ["var", "var", "var"]
+        if depth > 0 and self._arrays():
+            choices += ["cell", "cell"]
+        if depth > 0 and self.helpers:
+            choices.append("call")
+        kind = self.rng.choice(choices)
+        if kind == "var":
+            return ast.VarRef(0, self.rng.choice(self._scalars()).name)
+        if kind == "cell":
+            arr = self.rng.choice(self._arrays())
+            return ast.Index(0, ast.VarRef(0, arr.name),
+                             self._index(arr, depth - 1))
+        if kind == "call":
+            return self._call(depth - 1)
+        return self._literal()
+
+    def _call(self, depth: int) -> ast.Expr:
+        helper = self.rng.choice(self.helpers)
+        args = tuple(self._expr(depth) for _ in helper.params)
+        return ast.CallExpr(0, helper.name, args)
+
+    def _index(self, arr: _Array, depth: int) -> ast.Expr:
+        """An index expression guaranteed to land in ``[0, len)``."""
+        usable = [
+            (name, bound) for name, bound in self.loop_counters
+            if bound <= arr.length
+        ]
+        if usable and self.rng.random() < 0.6:
+            return ast.VarRef(0, self.rng.choice(usable)[0])
+        n = _lit(arr.length)
+        inner = ast.Binary(0, "%", self._expr(depth), n)
+        return ast.Binary(0, "%", ast.Binary(0, "+", inner, n), n)
+
+    def _guarded_divisor(self, depth: int) -> ast.Expr:
+        """``e % K + K`` — always in ``[1, 2K-1]``, never 0 or -1."""
+        k = self.rng.randint(2, 7)
+        return ast.Binary(0, "+",
+                          ast.Binary(0, "%", self._expr(depth), _lit(k)),
+                          _lit(k))
+
+    def _expr(self, depth: int | None = None) -> ast.Expr:
+        if depth is None:
+            depth = self.rng.randint(1, self.config.max_expr_depth)
+        if depth <= 0 or self.rng.random() < 0.25:
+            return self._atom(depth)
+        roll = self.rng.random()
+        if roll < 0.62:
+            op = self.rng.choice(_SAFE_BINOPS)
+            return ast.Binary(0, op, self._expr(depth - 1),
+                              self._expr(depth - 1))
+        if roll < 0.74:
+            op = self.rng.choice(("/", "%"))
+            return ast.Binary(0, op, self._expr(depth - 1),
+                              self._guarded_divisor(depth - 1))
+        if roll < 0.84:
+            op = self.rng.choice(("<<", ">>"))
+            return ast.Binary(0, op, self._expr(depth - 1),
+                              _lit(self.rng.randint(0, 7)))
+        if roll < 0.94:
+            return ast.Unary(0, "-", self._expr(depth - 1))
+        return ast.Binary(0, "^", self._expr(depth - 1),
+                          self._atom(depth - 1))
+
+    def _cond(self, depth: int = 2) -> ast.Expr:
+        roll = self.rng.random()
+        if depth > 0 and roll < 0.25:
+            op = self.rng.choice(("&&", "||"))
+            return ast.Binary(0, op, self._cond(depth - 1),
+                              self._cond(depth - 1))
+        if depth > 0 and roll < 0.33:
+            return ast.Unary(0, "!", self._cond(depth - 1))
+        op = self.rng.choice(_CMP_OPS)
+        return ast.Binary(0, op, self._expr(2), self._expr(2))
+
+    # -- statements ----------------------------------------------------------
+
+    def _declare_scalar(self) -> ast.Stmt:
+        type_name = self.rng.choice((_INT, _INT, _LONG))
+        name = self._name("v")
+        # Build the initializer before registering the name: a
+        # self-referencing initializer would read uninitialized memory,
+        # which is exactly the kind of undefined behaviour the differential
+        # oracles must never see from a clean program.
+        init = self._expr()
+        self.scopes[-1][0].append(_Scalar(name, type_name, True))
+        return ast.Declaration(0, type_name, name, None, init)
+
+    def _declare_array(self) -> list[ast.Stmt]:
+        elem = self.rng.choice((_INT, _LONG))
+        name = self._name("a")
+        length = self.rng.randint(2, self.config.max_array_length)
+        decl = ast.Declaration(0, elem, name, length, None)
+        counter = self._name("i")
+        fill = ast.Assign(
+            0,
+            ast.Index(0, ast.VarRef(0, name), ast.VarRef(0, counter)),
+            ast.Binary(0, "+",
+                       ast.Binary(0, "*", ast.VarRef(0, counter),
+                                  self._literal()),
+                       self._literal()),
+        )
+        loop = self._counted_for(counter, length, ast.Block(0, (fill,)))
+        # Register only after the fill loop is built so the initializer
+        # cannot read the array it is defining.
+        self.scopes[-1][1].append(_Array(name, elem, length))
+        return [decl, loop]
+
+    def _counted_for(self, counter: str, bound: int,
+                     body: ast.Block) -> ast.Stmt:
+        init = ast.Declaration(0, _INT, counter, None, _lit(0))
+        cond = ast.Binary(0, "<", ast.VarRef(0, counter), _lit(bound))
+        step = ast.Assign(0, ast.VarRef(0, counter),
+                          ast.Binary(0, "+", ast.VarRef(0, counter), _lit(1)))
+        return ast.For(0, init, cond, step, body)
+
+    def _assign(self) -> ast.Stmt | None:
+        targets: list[str] = []
+        if self._scalars(mutable_only=True):
+            targets.append("scalar")
+        if self._arrays():
+            targets.append("cell")
+        if not targets:
+            return None
+        if self.rng.choice(targets) == "scalar":
+            var = self.rng.choice(self._scalars(mutable_only=True))
+            return ast.Assign(0, ast.VarRef(0, var.name), self._expr())
+        arr = self.rng.choice(self._arrays())
+        target = ast.Index(0, ast.VarRef(0, arr.name),
+                           self._index(arr, depth=1))
+        return ast.Assign(0, target, self._expr())
+
+    def _print(self) -> ast.Stmt:
+        builtin = self.rng.choice(("print_int", "print_long"))
+        return ast.ExprStmt(0, ast.CallExpr(0, builtin, (self._expr(),)))
+
+    def _if(self, depth: int, in_loop: bool) -> ast.Stmt:
+        then_body = self._block(depth + 1, in_loop)
+        else_body = None
+        if self.rng.random() < 0.4:
+            else_body = self._block(depth + 1, in_loop)
+        return ast.If(0, self._cond(), then_body, else_body)
+
+    def _for(self, depth: int) -> ast.Stmt:
+        counter = self._name("i")
+        bound = self.rng.randint(1, self.config.max_loop_trip)
+        self.loop_counters.append((counter, bound))
+        self._push()
+        self.scopes[-1][0].append(_Scalar(counter, _INT, False))
+        statements = self._statements(depth + 1, in_loop=True)
+        self._pop()
+        self.loop_counters.pop()
+        return self._counted_for(counter, bound,
+                                 ast.Block(0, tuple(statements)))
+
+    def _while(self, depth: int) -> list[ast.Stmt]:
+        fuel = self._name("fuel")
+        budget = self.rng.randint(1, self.config.max_loop_trip)
+        decl = ast.Declaration(0, _INT, fuel, None, _lit(budget))
+        self.scopes[-1][0].append(_Scalar(fuel, _INT, False))
+        burn = ast.Assign(0, ast.VarRef(0, fuel),
+                          ast.Binary(0, "-", ast.VarRef(0, fuel), _lit(1)))
+        self._push()
+        statements = self._statements(depth + 1, in_loop=True)
+        self._pop()
+        cond = ast.Binary(0, ">", ast.VarRef(0, fuel), _lit(0))
+        # The fuel burn comes first so a generated ``continue`` can never
+        # skip it and loop forever. The declaration stays a sibling of the
+        # loop (not wrapped in a block) so the fuel variable's lexical scope
+        # matches the enclosing scope it was registered in.
+        body = ast.Block(0, (burn, *statements))
+        return [decl, ast.While(0, cond, body)]
+
+    def _statements(self, depth: int, in_loop: bool) -> list[ast.Stmt]:
+        low, high = self.config.block_statements
+        budget = self.rng.randint(low, high)
+        out: list[ast.Stmt] = []
+        for _ in range(budget):
+            out.extend(self._statement(depth, in_loop))
+        if in_loop and self.rng.random() < 0.15:
+            out.append(
+                ast.Break(0) if self.rng.random() < 0.5 else ast.Continue(0)
+            )
+        return out
+
+    def _statement(self, depth: int, in_loop: bool) -> list[ast.Stmt]:
+        choices = ["declare", "assign", "assign", "print"]
+        if depth == 0:
+            choices.append("array")
+        if depth < self.config.max_control_depth:
+            choices += ["if", "for", "while"]
+        kind = self.rng.choice(choices)
+        if kind == "declare":
+            return [self._declare_scalar()]
+        if kind == "array":
+            return self._declare_array()
+        if kind == "assign":
+            assign = self._assign()
+            return [assign] if assign is not None else [self._declare_scalar()]
+        if kind == "print":
+            return [self._print()]
+        if kind == "if":
+            return [self._if(depth, in_loop)]
+        if kind == "for":
+            return [self._for(depth)]
+        return self._while(depth)
+
+    def _block(self, depth: int, in_loop: bool) -> ast.Block:
+        self._push()
+        statements = self._statements(depth, in_loop)
+        self._pop()
+        return ast.Block(0, tuple(statements))
+
+    # -- functions -----------------------------------------------------------
+
+    def _helper(self) -> ast.FunctionDef:
+        name = self._name("f")
+        returns = self.rng.choice((_INT, _LONG))
+        params = tuple(
+            self.rng.choice((_INT, _LONG))
+            for _ in range(self.rng.randint(1, 2))
+        )
+        self._push()
+        param_nodes = []
+        for ptype in params:
+            pname = self._name("p")
+            param_nodes.append(ast.Param(ptype, pname))
+            self.scopes[-1][0].append(_Scalar(pname, ptype, True))
+        body: list[ast.Stmt] = []
+        for _ in range(self.rng.randint(1, 3)):
+            body.extend(self._statement(depth=1, in_loop=False))
+        if self.rng.random() < 0.3:
+            body.append(ast.If(0, self._cond(),
+                               ast.Block(0, (ast.Return(0, self._expr()),))))
+        body.append(ast.Return(0, self._expr()))
+        self._pop()
+        func = ast.FunctionDef(0, returns, name, tuple(param_nodes),
+                               ast.Block(0, tuple(body)))
+        self.helpers.append(_Helper(name, params, returns))
+        return func
+
+    def _main(self) -> ast.FunctionDef:
+        self._push()
+        body: list[ast.Stmt] = []
+        if self.rng.random() < 0.3:
+            body.append(ast.ExprStmt(0, ast.CallExpr(
+                0, "srand", (_lit(self.rng.randint(0, 99)),))))
+        low, high = self.config.main_statements
+        for _ in range(self.rng.randint(low, high)):
+            body.extend(self._statement(depth=0, in_loop=False))
+        # Epilogue: print every top-level scalar and array so any silent
+        # corruption of surviving state is observable.
+        for var in self.scopes[-1][0]:
+            builtin = "print_long" if var.type == _LONG else "print_int"
+            body.append(ast.ExprStmt(0, ast.CallExpr(
+                0, builtin, (ast.VarRef(0, var.name),))))
+        for arr in self.scopes[-1][1]:
+            counter = self._name("i")
+            builtin = "print_long" if arr.elem == _LONG else "print_int"
+            cell = ast.Index(0, ast.VarRef(0, arr.name),
+                             ast.VarRef(0, counter))
+            emit = ast.ExprStmt(0, ast.CallExpr(0, builtin, (cell,)))
+            body.append(self._counted_for(counter, arr.length,
+                                          ast.Block(0, (emit,))))
+        body.append(ast.Return(0, _lit(0)))
+        self._pop()
+        return ast.FunctionDef(0, _INT, "main", (), ast.Block(0, tuple(body)))
+
+    def program(self) -> ast.Program:
+        functions = [
+            self._helper()
+            for _ in range(self.rng.randint(0, self.config.max_helpers))
+        ]
+        functions.append(self._main())
+        return ast.Program(tuple(functions))
+
+
+def generate_ast(seed: int, config: GeneratorConfig | None = None) \
+        -> ast.Program:
+    """The AST of the program for ``seed`` (deterministic)."""
+    return _Gen(DeterministicRng(seed), config or GeneratorConfig()).program()
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> str:
+    """Mini-C source text for ``seed``: a pure, deterministic mapping."""
+    return unparse(generate_ast(seed, config))

@@ -1,0 +1,300 @@
+"""Delta-debugging reducer: shrink a failing mini-C program.
+
+Given a program and a predicate ("this source still fails the same way"),
+:func:`reduce_source` repeatedly applies shrinking passes and keeps every
+candidate the predicate accepts, until a fixed point:
+
+* **function removal** — drop helper functions outright;
+* **statement ddmin** — remove chunks of statements from every block,
+  halving the chunk size classically (Zeller's ddmin at statement
+  granularity);
+* **structure collapse** — replace an ``if`` by its then/else body, a loop
+  by its body, a block by its statements;
+* **expression simplification** — replace any expression by ``0``, ``1``,
+  or one of its own subexpressions.
+
+The reducer is completely deterministic: passes run in a fixed order, the
+candidate space is enumerated in a fixed order, and no randomness is
+involved — the same (program, predicate) pair always reduces to the same
+result. Candidates that fail to re-compile are rejected by the predicate
+(any :class:`~repro.errors.ReproError` counts as "does not fail the same
+way"), so the reducer never needs its own validity checks beyond re-parsing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.fuzz.unparse import unparse
+from repro.minic import ast, parse
+
+#: Predicate contract: True when the candidate still fails the same way.
+Predicate = Callable[[str], bool]
+
+_AST_NODES = (ast.Expr, ast.Stmt, ast.FunctionDef, ast.Program)
+
+
+def _map(node, fn):
+    """Rebuild ``node`` pre-order: ``fn`` may return a replacement for any
+    AST node (or None to keep descending). Replaced subtrees are not
+    re-visited."""
+    replacement = fn(node)
+    if replacement is not None:
+        return replacement
+    changes = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, _AST_NODES):
+            rebuilt = _map(value, fn)
+            if rebuilt is not value:
+                changes[field.name] = rebuilt
+        elif isinstance(value, tuple) and any(
+            isinstance(item, _AST_NODES) for item in value
+        ):
+            rebuilt_tuple = tuple(
+                _map(item, fn) if isinstance(item, _AST_NODES) else item
+                for item in value
+            )
+            if any(a is not b for a, b in zip(rebuilt_tuple, value)):
+                changes[field.name] = rebuilt_tuple
+    if changes:
+        return dataclasses.replace(node, **changes)
+    return node
+
+
+def _collect(program: ast.Program, node_type) -> int:
+    """How many nodes of ``node_type`` a pre-order walk visits."""
+    count = 0
+
+    def fn(node):
+        nonlocal count
+        if isinstance(node, node_type):
+            count += 1
+        return None
+
+    _map(program, fn)
+    return count
+
+
+def _replace_nth(program: ast.Program, node_type, index: int,
+                 make) -> ast.Program:
+    """Replace the ``index``-th pre-order node of ``node_type`` with
+    ``make(node)``; ``make`` returning None keeps the node."""
+    seen = -1
+
+    def fn(node):
+        nonlocal seen
+        if isinstance(node, node_type):
+            seen += 1
+            if seen == index:
+                return make(node)
+        return None
+
+    return _map(program, fn)
+
+
+class _Reduction:
+    def __init__(self, program: ast.Program, predicate: Predicate,
+                 max_checks: int) -> None:
+        self.best = program
+        self.predicate = predicate
+        self.checks_left = max_checks
+        self.cache: dict[str, bool] = {}
+
+    def _fails(self, source: str) -> bool:
+        if source in self.cache:
+            return self.cache[source]
+        if self.checks_left <= 0:
+            return False
+        self.checks_left -= 1
+        try:
+            verdict = bool(self.predicate(source))
+        except ReproError:
+            verdict = False
+        self.cache[source] = verdict
+        return verdict
+
+    def try_candidate(self, candidate: ast.Program) -> bool:
+        if candidate is self.best:
+            return False
+        try:
+            source = unparse(candidate)
+        except ReproError:
+            return False
+        if self._fails(source):
+            # Re-parse so later passes walk the tree the artifact's source
+            # actually describes (unparse/parse is the canonical form).
+            self.best = parse(source)
+            return True
+        return False
+
+    # -- passes --------------------------------------------------------------
+
+    def drop_functions(self) -> bool:
+        shrunk = False
+        changed = True
+        while changed:
+            changed = False
+            names = [f.name for f in self.best.functions if f.name != "main"]
+            for name in names:
+                candidate = ast.Program(tuple(
+                    f for f in self.best.functions if f.name != name
+                ))
+                if self.try_candidate(candidate):
+                    shrunk = changed = True
+                    break
+        return shrunk
+
+    def ddmin_blocks(self) -> bool:
+        shrunk = False
+        index = 0
+        while index < _collect(self.best, ast.Block):
+            if self._ddmin_one_block(index):
+                shrunk = True
+                # The tree changed; block indices shifted, restart this one.
+                continue
+            index += 1
+        return shrunk
+
+    def _ddmin_one_block(self, block_index: int) -> bool:
+        shrunk = False
+        while True:
+            current = None
+
+            def grab(node):
+                nonlocal current
+                current = node
+                return None
+
+            _replace_nth(self.best, ast.Block, block_index, grab)
+            if current is None or not current.statements:
+                return shrunk
+            statements = current.statements
+            chunk = max(1, len(statements) // 2)
+            removed = False
+            while chunk >= 1 and not removed:
+                for start in range(0, len(statements), chunk):
+                    kept = statements[:start] + statements[start + chunk:]
+                    candidate = _replace_nth(
+                        self.best, ast.Block, block_index,
+                        lambda node: dataclasses.replace(
+                            node, statements=kept),
+                    )
+                    if self.try_candidate(candidate):
+                        removed = True
+                        shrunk = True
+                        break
+                if not removed:
+                    chunk //= 2
+            if not removed:
+                return shrunk
+
+    def collapse_structure(self) -> bool:
+        shrunk = False
+        index = 0
+        while index < _collect(self.best, ast.Stmt):
+            candidates = self._structure_candidates(index)
+            advanced = True
+            for candidate in candidates:
+                if self.try_candidate(candidate):
+                    shrunk = True
+                    advanced = False
+                    break
+            if advanced:
+                index += 1
+        return shrunk
+
+    def _structure_candidates(self, index: int) -> list[ast.Program]:
+        out: list[ast.Program] = []
+
+        def make(node):
+            if isinstance(node, ast.If):
+                out.append(_replace_nth(self.best, ast.Stmt, index,
+                                        lambda n: n.then_body))
+                if node.else_body is not None:
+                    out.append(_replace_nth(self.best, ast.Stmt, index,
+                                            lambda n: n.else_body))
+                    out.append(_replace_nth(
+                        self.best, ast.Stmt, index,
+                        lambda n: dataclasses.replace(n, else_body=None)))
+            elif isinstance(node, (ast.While, ast.For)):
+                out.append(_replace_nth(self.best, ast.Stmt, index,
+                                        lambda n: n.body))
+            return None
+
+        _replace_nth(self.best, ast.Stmt, index, make)
+        return out
+
+    def simplify_expressions(self) -> bool:
+        shrunk = False
+        index = 0
+        while index < _collect(self.best, ast.Expr):
+            replaced = False
+            for candidate in self._expr_candidates(index):
+                if self.try_candidate(candidate):
+                    shrunk = True
+                    replaced = True
+                    break
+            if not replaced:
+                index += 1
+        return shrunk
+
+    def _expr_candidates(self, index: int) -> list[ast.Program]:
+        target = None
+
+        def grab(node):
+            nonlocal target
+            target = node
+            return None
+
+        _replace_nth(self.best, ast.Expr, index, grab)
+        if target is None or isinstance(target, (ast.IntLiteral, ast.VarRef)):
+            return []
+        replacements: list[ast.Expr] = [ast.IntLiteral(0, 0),
+                                        ast.IntLiteral(0, 1)]
+        if isinstance(target, ast.Binary):
+            replacements += [target.lhs, target.rhs]
+        elif isinstance(target, ast.Unary):
+            replacements.append(target.operand)
+        elif isinstance(target, ast.Index):
+            replacements.append(target.index)
+        elif isinstance(target, ast.CallExpr):
+            replacements += list(target.args)
+        return [
+            _replace_nth(self.best, ast.Expr, index, lambda _n, r=repl: r)
+            for repl in replacements
+        ]
+
+
+def reduce_ast(program: ast.Program, predicate: Predicate,
+               max_rounds: int = 10, max_checks: int = 2000) -> ast.Program:
+    """Shrink ``program`` while ``predicate(unparse(candidate))`` holds.
+
+    The input program itself must satisfy the predicate; otherwise it is
+    returned unchanged.
+    """
+    state = _Reduction(program, predicate, max_checks)
+    if not state._fails(unparse(program)):
+        return program
+    for _ in range(max_rounds):
+        any_shrink = False
+        any_shrink |= state.drop_functions()
+        any_shrink |= state.ddmin_blocks()
+        any_shrink |= state.collapse_structure()
+        any_shrink |= state.simplify_expressions()
+        if not any_shrink or state.checks_left <= 0:
+            break
+    return state.best
+
+
+def reduce_source(source: str, predicate: Predicate,
+                  max_rounds: int = 10, max_checks: int = 2000) -> str:
+    """Shrink mini-C ``source`` while ``predicate`` keeps accepting it."""
+    try:
+        program = parse(source)
+    except ReproError:
+        return source
+    return unparse(reduce_ast(program, predicate,
+                              max_rounds=max_rounds, max_checks=max_checks))

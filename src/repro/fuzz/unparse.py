@@ -1,0 +1,139 @@
+"""Render a mini-C AST back to parseable source text.
+
+The generator builds :mod:`repro.minic.ast` trees and the reducer rewrites
+them; both need one canonical printer so that ``parse(unparse(tree))``
+round-trips structurally. Binary expressions are printed with the parser's
+own precedence table — parentheses appear only where re-parsing would
+otherwise associate differently — and statements print one per line, which
+is what makes the reducer's "shrunk to N lines" metric meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.minic import ast
+from repro.minic.parser import _PRECEDENCE
+
+#: Operator -> precedence tier (weakest = 0), from the parser's table.
+_PREC: dict[str, int] = {
+    op: tier for tier, ops in enumerate(_PRECEDENCE) for op in ops
+}
+_MAX_PREC = len(_PRECEDENCE)
+
+_INDENT = "    "
+
+
+def _expr(node: ast.Expr) -> str:
+    return _expr_prec(node, 0)
+
+
+def _expr_prec(node: ast.Expr, context: int) -> str:
+    """Render ``node``, parenthesizing when ``context`` binds tighter."""
+    if isinstance(node, ast.IntLiteral):
+        if node.value < 0:
+            return f"({node.value})"
+        return str(node.value)
+    if isinstance(node, ast.VarRef):
+        return node.name
+    if isinstance(node, ast.Unary):
+        operand = node.operand
+        if isinstance(operand, (ast.Unary, ast.Binary)):
+            return f"{node.op}({_expr(operand)})"
+        return f"{node.op}{_expr_prec(operand, _MAX_PREC)}"
+    if isinstance(node, ast.Binary):
+        tier = _PREC[node.op]
+        lhs = _expr_prec(node.lhs, tier)
+        # All binary operators are left-associative: an rhs at the same
+        # tier must keep its parentheses or re-parsing re-associates.
+        rhs = _expr_prec(node.rhs, tier + 1)
+        text = f"{lhs} {node.op} {rhs}"
+        if tier < context:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Index):
+        return f"{_expr_prec(node.base, _MAX_PREC)}[{_expr(node.index)}]"
+    if isinstance(node, ast.CallExpr):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{node.callee}({args})"
+    raise ReproError(f"cannot unparse expression {node!r}")
+
+
+def _simple_stmt(node: ast.Stmt) -> str:
+    """Render an assignment/expression statement without a trailing ';'."""
+    if isinstance(node, ast.Assign):
+        return f"{_expr(node.target)} = {_expr(node.value)}"
+    if isinstance(node, ast.ExprStmt):
+        return _expr(node.expr)
+    raise ReproError(f"cannot unparse simple statement {node!r}")
+
+
+def _declaration(node: ast.Declaration) -> str:
+    text = f"{node.type} {node.name}"
+    if node.array_size is not None:
+        text += f"[{node.array_size}]"
+    if node.init is not None:
+        text += f" = {_expr(node.init)}"
+    return text + ";"
+
+
+def _stmt(node: ast.Stmt, lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, ast.Block):
+        lines.append(pad + "{")
+        for inner in node.statements:
+            _stmt(inner, lines, depth + 1)
+        lines.append(pad + "}")
+    elif isinstance(node, ast.Declaration):
+        lines.append(pad + _declaration(node))
+    elif isinstance(node, (ast.Assign, ast.ExprStmt)):
+        lines.append(pad + _simple_stmt(node) + ";")
+    elif isinstance(node, ast.If):
+        lines.append(pad + f"if ({_expr(node.cond)})")
+        _body(node.then_body, lines, depth)
+        if node.else_body is not None:
+            lines.append(pad + "else")
+            _body(node.else_body, lines, depth)
+    elif isinstance(node, ast.While):
+        lines.append(pad + f"while ({_expr(node.cond)})")
+        _body(node.body, lines, depth)
+    elif isinstance(node, ast.For):
+        init = ""
+        if isinstance(node.init, ast.Declaration):
+            init = _declaration(node.init)[:-1]  # header ';' added below
+        elif node.init is not None:
+            init = _simple_stmt(node.init)
+        cond = _expr(node.cond) if node.cond is not None else ""
+        step = _simple_stmt(node.step) if node.step is not None else ""
+        lines.append(pad + f"for ({init}; {cond}; {step})")
+        _body(node.body, lines, depth)
+    elif isinstance(node, ast.Return):
+        if node.value is None:
+            lines.append(pad + "return;")
+        else:
+            lines.append(pad + f"return {_expr(node.value)};")
+    elif isinstance(node, ast.Break):
+        lines.append(pad + "break;")
+    elif isinstance(node, ast.Continue):
+        lines.append(pad + "continue;")
+    else:
+        raise ReproError(f"cannot unparse statement {node!r}")
+
+
+def _body(node: ast.Stmt, lines: list[str], depth: int) -> None:
+    """Render a control-flow body, always braced for re-parse stability."""
+    if isinstance(node, ast.Block):
+        _stmt(node, lines, depth)
+    else:
+        _stmt(ast.Block(node.line, (node,)), lines, depth)
+
+
+def unparse_function(func: ast.FunctionDef) -> str:
+    params = ", ".join(f"{p.type} {p.name}" for p in func.params)
+    lines = [f"{func.return_type} {func.name}({params})"]
+    _stmt(func.body, lines, 0)
+    return "\n".join(lines)
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a full mini-C program; output ends with a newline."""
+    return "\n\n".join(unparse_function(f) for f in program.functions) + "\n"

@@ -26,6 +26,7 @@ from repro.asm.program import AsmProgram, validate_program
 from repro.backend import compile_module
 from repro.core.config import FerrumConfig
 from repro.core.ferrum import protect_program
+from repro.core.validate import check_protection_invariants
 from repro.core.hybrid import protect_program_hybrid
 from repro.eddi.ir_eddi import protect_module
 from repro.eddi.signatures import protect_branches_with_signatures
@@ -126,5 +127,12 @@ def build_variants(
         else:
             raise ReproError(f"unknown variant {name!r}")
         validate_program(variant.asm)
+        if name in ("hybrid", "ferrum"):
+            # Structural validation alone accepts a transform that silently
+            # breaks protection discipline (clobbered flags between capture
+            # and consumer, unbatched checks, unbalanced brackets); the
+            # invariant check makes such a build fail loudly instead of
+            # shipping a variant with degraded coverage.
+            check_protection_invariants(variant.asm)
         result.variants[name] = variant
     return result

@@ -91,8 +91,31 @@ class TestSetccPair:
         assert [i.mnemonic for i in out] == [
             "cmpl", "setl", "cmpl", "setl", "cmpb", "jne",
         ]
-        assert out[3].operands == (Reg(get_register("r10b")),)
+        # Scratch capture first, original setcc after the duplicate compare:
+        # the original destination (%al) overlaps %eax, so running it before
+        # the duplicate ``cmpl $5, %eax`` would clobber the re-read operand.
+        assert out[1].operands == (Reg(get_register("r10b")),)
+        assert out[3] is setcc
         assert out[-1].target_label == DETECT
+
+    def test_overlapping_dest_does_not_false_detect(self):
+        """Regression (found by the fuzzer): ``set<cc>`` into a byte of a
+        compared register must not poison the duplicate comparison."""
+        from repro.machine.cpu import Machine
+        from repro.pipeline import build_variants
+
+        source = """
+int main() {
+    int flag = 0;
+    if (flag || 60 <= 0) { flag = 1; }
+    print_int(flag);
+    return 0;
+}
+"""
+        build = build_variants(source, names=("raw", "ferrum"))
+        raw = Machine(build["raw"].asm).run()
+        protected = Machine(build["ferrum"].asm).run()  # must not detect
+        assert protected.output == raw.output
 
 
 class TestEntryCheck:

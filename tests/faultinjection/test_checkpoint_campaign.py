@@ -89,6 +89,54 @@ class TestBitIdenticalOutcomes:
             run_ir_campaign(ir, samples=2, engine="warp")
 
 
+class TestGeneratedProgramEngineEquivalence:
+    """Engine parity must hold for arbitrary generated programs, not just
+    the three curated workloads — the fuzz generator exercises control-flow
+    and protection shapes the workloads never produce."""
+
+    FUZZ_SEEDS = (3, 17, 58)
+
+    @pytest.fixture(scope="class")
+    def generated(self):
+        from repro.fuzz.generator import generate_program
+        from repro.pipeline import build_variants
+
+        out = {}
+        for fuzz_seed in self.FUZZ_SEEDS:
+            build = build_variants(generate_program(fuzz_seed),
+                                   names=("raw", "ferrum"))
+            out[fuzz_seed] = build
+        return out
+
+    @pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+    def test_asm_engines_bit_identical(self, generated, fuzz_seed):
+        program = generated[fuzz_seed]["ferrum"].asm
+        replay = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              engine="replay", telemetry=True)
+        checkpointed = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                    engine="checkpoint", telemetry=True)
+        assert checkpointed.outcomes.counts == replay.outcomes.counts
+        assert checkpointed.fault_sites == replay.fault_sites
+        assert checkpointed.records == replay.records
+
+    @pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
+    def test_ir_engines_bit_identical(self, generated, fuzz_seed):
+        ir = generated[fuzz_seed]["raw"].ir
+        replay = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                 engine="replay", telemetry=True)
+        checkpointed = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
+                                       engine="checkpoint", telemetry=True)
+        assert checkpointed.outcomes.counts == replay.outcomes.counts
+        assert checkpointed.records == replay.records
+
+    def test_parallel_matches_sequential_on_generated(self, generated):
+        program = generated[self.FUZZ_SEEDS[0]]["ferrum"].asm
+        sequential = run_campaign(program, samples=SAMPLES, seed=SEED)
+        parallel = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                processes=2)
+        assert parallel.outcomes.counts == sequential.outcomes.counts
+
+
 class TestCheckpointSchedule:
     def _plans(self, sites):
         return [(i, FaultPlan(site_index=s, register_pick=0.1, bit_pick=0.2))

@@ -1,0 +1,111 @@
+"""Reducer behaviour: planted failures shrink, deterministically."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz.generator import generate_program
+from repro.fuzz.reducer import reduce_source
+from repro.machine.cpu import Machine
+from repro.minic import parse
+from repro.pipeline import build_variants
+
+pytestmark = pytest.mark.fuzz
+
+
+def _compiles(source: str) -> bool:
+    build_variants(source, names=("raw",))
+    return True
+
+
+class TestShrinking:
+    def test_planted_marker_shrinks_to_minimal(self):
+        """A predicate keyed on one statement survives reduction with
+        everything else stripped away."""
+        source = generate_program(3)
+        assert "while" in source  # seed chosen to contain a loop
+
+        def predicate(candidate: str) -> bool:
+            return "while" in candidate and _compiles(candidate)
+
+        reduced = reduce_source(source, predicate)
+        assert "while" in reduced
+        assert _compiles(reduced)
+        assert len(reduced.splitlines()) < len(source.splitlines())
+        assert len(reduced.splitlines()) <= 15
+
+    def test_semantic_predicate_shrinks(self):
+        """Reduction against an execution predicate (raw output mentions a
+        planted value) keeps the print reachable and drops the rest."""
+        source = """
+int main() {
+    int a = 5;
+    int b = 9;
+    long acc = 0;
+    for (int i0 = 0; i0 < 4; i0 = i0 + 1) {
+        acc = acc + a * b;
+    }
+    if (acc > 100) { acc = acc - 3; }
+    print_long(acc);
+    print_int(77);
+    print_int(a + b);
+    return 0;
+}
+"""
+
+        def predicate(candidate: str) -> bool:
+            build = build_variants(candidate, names=("raw",))
+            result = Machine(build["raw"].asm).run(max_instructions=200_000)
+            return "77" in result.output
+
+        reduced = reduce_source(source, predicate)
+        assert "77" in reduced
+        assert len(reduced.splitlines()) <= 4
+        assert "for" not in reduced and "if" not in reduced
+
+    def test_non_failing_input_returned_unchanged(self):
+        source = generate_program(0)
+        assert reduce_source(source, lambda _s: False) == source
+
+    def test_unparsable_input_returned_unchanged(self):
+        assert reduce_source("not a program", lambda _s: True) \
+            == "not a program"
+
+
+class TestRobustness:
+    def test_predicate_repro_errors_count_as_pass(self):
+        """Candidates the predicate cannot even evaluate (compile errors
+        surfacing as ReproError) must be rejected, not crash the pass."""
+        source = generate_program(4)
+        calls = []
+
+        def fragile(candidate: str) -> bool:
+            calls.append(candidate)
+            if len(calls) % 3 == 0:
+                raise ReproError("flaky tooling")
+            return "main" in candidate and _compiles(candidate)
+
+        reduced = reduce_source(source, fragile)
+        parse(reduced)  # still a valid program
+
+    def test_check_budget_is_respected(self):
+        source = generate_program(5)
+        calls = []
+
+        def predicate(candidate: str) -> bool:
+            calls.append(candidate)
+            return _compiles(candidate)
+
+        reduce_source(source, predicate, max_checks=10)
+        # +1: the initial "does the input itself fail" probe.
+        assert len(calls) <= 11
+
+
+class TestDeterminism:
+    def test_same_input_same_reduction(self):
+        source = generate_program(6)
+
+        def predicate(candidate: str) -> bool:
+            return "print_" in candidate and _compiles(candidate)
+
+        assert reduce_source(source, predicate) \
+            == reduce_source(source, predicate)

@@ -1,0 +1,125 @@
+"""Fuzz driver: artifacts, planted-bug acceptance, parallel determinism."""
+
+import json
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.runner import check_seed, main, run_fuzz
+from repro.minic import parse
+from tests.fuzz.test_oracles import plant_orig_imm_bug
+
+pytestmark = pytest.mark.fuzz
+
+#: Seeds whose generated programs contain an original ALU-immediate the
+#: planted transform bug corrupts (verified by construction in the tests).
+PLANTED_HIT_SEEDS = (0, 1, 2)
+CLEAN_SEED = 3
+
+
+@pytest.fixture
+def planted_bug(monkeypatch):
+    import repro.pipeline as pipeline_mod
+
+    monkeypatch.setattr(
+        pipeline_mod, "protect_program",
+        plant_orig_imm_bug(pipeline_mod.protect_program))
+
+
+class TestCheckSeed:
+    def test_clean_seed_passes(self):
+        result = check_seed(CLEAN_SEED)
+        assert result.passed
+        assert result.failing_oracle is None
+
+    def test_deterministic(self):
+        assert check_seed(5) == check_seed(5)
+
+
+class TestRunFuzz:
+    def test_clean_range_reports_clean(self):
+        report = run_fuzz(seed_start=CLEAN_SEED, count=1)
+        assert report.clean
+        assert report.completed == 1
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(seed_start=0, count=50, time_budget=0.0)
+        assert report.completed < 50
+
+    def test_findings_are_reported(self, planted_bug):
+        report = run_fuzz(seed_start=0, count=3, reduce=False)
+        assert not report.clean
+        assert [f.seed for f in report.findings] == list(PLANTED_HIT_SEEDS)
+        assert all(f.failing_oracle == "variant-agreement"
+                   for f in report.findings)
+
+
+class TestArtifacts:
+    def test_planted_bug_caught_and_reduced(self, planted_bug, tmp_path):
+        """The ISSUE acceptance bar: a planted transform bug is caught by
+        an oracle and reduced to <= 15 source lines, with a replayable
+        seed artifact."""
+        report = run_fuzz(seed_start=0, count=1, artifact_dir=tmp_path,
+                          reduce=True)
+        assert [f.seed for f in report.findings] == [0]
+
+        seed_dir = tmp_path / "seed-0"
+        program = (seed_dir / "program.c").read_text()
+        assert program == generate_program(0)
+
+        verdict = json.loads((seed_dir / "verdict.json").read_text())
+        assert verdict["seed"] == 0
+        assert verdict["failing_oracle"] == "variant-agreement"
+        assert verdict["repro"] == "ferrum-fuzz --seed-start 0 --count 1"
+        assert verdict["reduced"] is True
+        assert any(not v["passed"] for v in verdict["verdicts"])
+
+        reduced = (seed_dir / "reduced.c").read_text()
+        parse(reduced)  # the reproducer is itself a valid program
+        assert len(reduced.strip().splitlines()) <= 15
+        assert len(reduced.splitlines()) < len(program.splitlines())
+
+    def test_no_artifacts_for_clean_seeds(self, tmp_path):
+        report = run_fuzz(seed_start=CLEAN_SEED, count=1,
+                          artifact_dir=tmp_path)
+        assert report.clean
+        assert not list(tmp_path.glob("seed-*"))
+
+
+class TestParallelDeterminism:
+    def test_processes_do_not_change_findings(self, planted_bug, tmp_path):
+        """Acceptance: identical findings and artifacts for processes=1
+        and processes>1 (workers are pure per-seed functions)."""
+        seq_dir = tmp_path / "seq"
+        par_dir = tmp_path / "par"
+        sequential = run_fuzz(seed_start=0, count=4, processes=1,
+                              artifact_dir=seq_dir, reduce=False)
+        parallel = run_fuzz(seed_start=0, count=4, processes=2,
+                            artifact_dir=par_dir, reduce=False)
+        assert sequential.findings == parallel.findings
+        assert sequential.completed == parallel.completed
+
+        seq_files = sorted(p.relative_to(seq_dir)
+                           for p in seq_dir.rglob("*") if p.is_file())
+        par_files = sorted(p.relative_to(par_dir)
+                           for p in par_dir.rglob("*") if p.is_file())
+        assert seq_files == par_files
+        for rel in seq_files:
+            assert (seq_dir / rel).read_text() == (par_dir / rel).read_text()
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(["--seed-start", str(CLEAN_SEED), "--count", "1",
+                     "--artifact-dir", str(tmp_path)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_repro_line(self, planted_bug, tmp_path,
+                                               capsys):
+        code = main(["--seed-start", "0", "--count", "1", "--no-reduce",
+                     "--artifact-dir", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ferrum-fuzz --seed-start 0 --count 1" in out
+        assert (tmp_path / "seed-0" / "verdict.json").exists()

@@ -61,3 +61,42 @@ class TestMetadata:
         assert small_build["ferrum"].asm.metadata["protection"] == "ferrum"
         assert small_build["hybrid"].asm.metadata["protection"] == \
             "hybrid-assembly-eddi"
+
+
+class TestBuildInvariantEnforcement:
+    """``build_variants`` must reject transforms that silently break
+    protection discipline (regression: it used to run only structural
+    validation, so a discipline-violating transform shipped quietly)."""
+
+    SOURCE = "int main() { int x = 3; if (x > 1) { x = x + 1; } " \
+             "print_int(x); return 0; }"
+
+    def test_flags_discipline_violation_fails_the_build(self, monkeypatch):
+        from repro.asm.instructions import InstrKind, ins
+        from repro.asm.operands import LabelRef
+        from repro.errors import TransformError
+        from repro.machine.builtins import DETECT_FUNCTION
+        import repro.pipeline as pipeline_mod
+
+        real = pipeline_mod.protect_program
+
+        def sabotaged(asm, config=None):
+            program, stats = real(asm, config)
+            # Clobber live flags: a call between a producer and its j<cc>.
+            for func in program.functions:
+                for block in func.blocks:
+                    for index, instr in enumerate(block.instructions):
+                        if instr.kind is InstrKind.JCC and index > 0:
+                            block.instructions.insert(
+                                index,
+                                ins("call", LabelRef(DETECT_FUNCTION)))
+                            return program, stats
+            return program, stats
+
+        monkeypatch.setattr(pipeline_mod, "protect_program", sabotaged)
+        with pytest.raises(TransformError):
+            build_variants(self.SOURCE, names=("raw", "ferrum"))
+
+    def test_clean_build_still_passes(self):
+        build = build_variants(self.SOURCE)
+        assert tuple(build.variants) == VARIANTS
