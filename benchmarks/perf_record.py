@@ -1,15 +1,22 @@
-"""Campaign-throughput measurement and its cross-PR perf trail.
+"""Throughput measurement and its cross-PR perf trail.
 
-Measures faults/sec for the checkpointed vs. replay injection engines and
-appends each measurement to ``BENCH_campaign_throughput.json`` at the repo
-root, so regressions in the injection engine stay visible from PR to PR.
+Two measurements, each with its own JSON trail at the repo root so
+regressions stay visible from PR to PR:
+
+* campaign throughput — faults/sec for the checkpointed vs. replay
+  injection engines (``BENCH_campaign_throughput.json``);
+* execution throughput — instructions/sec and campaign faults/sec for the
+  translated vs. reference machine engines
+  (``BENCH_exec_throughput.json``).
 
 Used two ways:
 
-* imported by ``benchmarks/test_campaign_throughput.py`` (the tier-2 perf
-  smoke target);
+* imported by ``benchmarks/test_campaign_throughput.py`` and
+  ``benchmarks/test_exec_throughput.py`` (the tier-2 perf smoke targets);
 * standalone: ``PYTHONPATH=src python benchmarks/perf_record.py
-  [--workloads kmeans,lud] [--samples 40] [--seed 11]``.
+  [--workloads kmeans,lud] [--samples 40] [--seed 11]`` for the campaign
+  trail, plus ``--exec [--exec-workloads bfs,knn,pathfinder]`` for the
+  execution trail.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
 from pathlib import Path
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign_throughput.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = _REPO_ROOT / "BENCH_campaign_throughput.json"
+EXEC_BENCH_PATH = _REPO_ROOT / "BENCH_exec_throughput.json"
 
 
 @dataclass(frozen=True)
@@ -89,6 +98,124 @@ def append_record(record: ThroughputRecord, path: Path = BENCH_PATH) -> None:
     path.write_text(json.dumps(history, indent=2) + "\n")
 
 
+@dataclass(frozen=True)
+class ExecThroughputRecord:
+    """Translated vs. reference machine engine on one workload."""
+
+    timestamp: str
+    workload: str
+    dynamic_instructions: int
+    fault_sites: int
+    reference_seconds: float
+    translated_seconds: float
+    reference_instr_per_sec: float
+    translated_instr_per_sec: float
+    instr_speedup: float
+    campaign_samples: int
+    campaign_seed: int
+    reference_faults_per_sec: float
+    translated_faults_per_sec: float
+    campaign_speedup: float
+
+
+def _time_engine(program, engine: str, repeats: int):
+    """Best-of-``repeats`` wall time for one clean run under ``engine``."""
+    from repro.machine.cpu import Machine
+
+    machine = Machine(program, engine=engine)
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = machine.run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _time_campaign(program, engine: str, samples: int, seed: int):
+    """Campaign wall time with the machine engine forced via the env knob."""
+    import os
+
+    from repro.faultinjection.campaign import run_campaign
+    from repro.machine.cpu import ENGINE_ENV_VAR
+
+    saved = os.environ.get(ENGINE_ENV_VAR)
+    os.environ[ENGINE_ENV_VAR] = engine
+    try:
+        start = time.perf_counter()
+        result = run_campaign(program, samples=samples, seed=seed)
+        return result, time.perf_counter() - start
+    finally:
+        if saved is None:
+            del os.environ[ENGINE_ENV_VAR]
+        else:
+            os.environ[ENGINE_ENV_VAR] = saved
+
+
+def measure_exec_throughput(program, workload: str, samples: int = 24,
+                            seed: int = 11,
+                            repeats: int = 3) -> ExecThroughputRecord:
+    """Time both machine engines on ``program``, clean-run and in-campaign.
+
+    Asserts bit-identical clean-run results and campaign outcomes between
+    the engines before reporting any number.
+    """
+    ref_result, ref_seconds = _time_engine(program, "reference", repeats)
+    tr_result, tr_seconds = _time_engine(program, "translated", repeats)
+    if tr_result != ref_result:
+        raise AssertionError(
+            f"{workload}: machine engines disagree: "
+            f"{tr_result} != {ref_result}"
+        )
+
+    ref_campaign, ref_campaign_seconds = _time_campaign(
+        program, "reference", samples, seed)
+    tr_campaign, tr_campaign_seconds = _time_campaign(
+        program, "translated", samples, seed)
+    if tr_campaign.outcomes.counts != ref_campaign.outcomes.counts:
+        raise AssertionError(
+            f"{workload}: campaign outcomes diverge across machine engines: "
+            f"{tr_campaign.outcomes.counts} != {ref_campaign.outcomes.counts}"
+        )
+
+    instructions = ref_result.dynamic_instructions
+    return ExecThroughputRecord(
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        workload=workload,
+        dynamic_instructions=instructions,
+        fault_sites=ref_result.fault_sites,
+        reference_seconds=round(ref_seconds, 4),
+        translated_seconds=round(tr_seconds, 4),
+        reference_instr_per_sec=round(instructions / ref_seconds, 1),
+        translated_instr_per_sec=round(instructions / tr_seconds, 1),
+        instr_speedup=round(ref_seconds / tr_seconds, 3),
+        campaign_samples=samples,
+        campaign_seed=seed,
+        reference_faults_per_sec=round(samples / ref_campaign_seconds, 3),
+        translated_faults_per_sec=round(samples / tr_campaign_seconds, 3),
+        campaign_speedup=round(ref_campaign_seconds / tr_campaign_seconds, 3),
+    )
+
+
+def render_exec_table(records: list["ExecThroughputRecord"]) -> str:
+    lines = [
+        "Execution throughput: translated vs. reference engine",
+        f"{'workload':<14} {'instrs':>8} {'ref i/s':>10} {'trans i/s':>10} "
+        f"{'speedup':>8} {'ref f/s':>8} {'trans f/s':>9}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec.workload:<14} {rec.dynamic_instructions:>8} "
+            f"{rec.reference_instr_per_sec:>10.0f} "
+            f"{rec.translated_instr_per_sec:>10.0f} "
+            f"{rec.instr_speedup:>7.2f}x "
+            f"{rec.reference_faults_per_sec:>8.2f} "
+            f"{rec.translated_faults_per_sec:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 def render_table(records: list[ThroughputRecord]) -> str:
     lines = [
         "Campaign throughput: checkpointed vs. replay engine",
@@ -112,19 +239,39 @@ def main() -> int:
     parser.add_argument("--samples", type=int, default=40)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--exec", dest="exec_bench", action="store_true",
+                        help="measure the execution-engine trail instead")
+    parser.add_argument("--exec-workloads", default="bfs,knn,pathfinder",
+                        help="workloads for the execution-engine trail")
     args = parser.parse_args()
 
     from repro.backend import compile_module
     from repro.minic import compile_to_ir
     from repro.workloads import get_workload
 
+    def built(name):
+        return compile_module(
+            compile_to_ir(get_workload(name).source(args.scale))
+        )
+
+    if args.exec_bench:
+        records = []
+        for name in args.exec_workloads.split(","):
+            name = name.strip()
+            record = measure_exec_throughput(built(name), name,
+                                             samples=args.samples,
+                                             seed=args.seed)
+            append_record(record, path=EXEC_BENCH_PATH)
+            records.append(record)
+        print(render_exec_table(records))
+        print(f"appended {len(records)} record(s) to {EXEC_BENCH_PATH}")
+        return 0
+
     records = []
     for name in args.workloads.split(","):
         name = name.strip()
-        program = compile_module(
-            compile_to_ir(get_workload(name).source(args.scale))
-        )
-        record = measure_throughput(program, name, args.samples, args.seed)
+        record = measure_throughput(built(name), name, args.samples,
+                                    args.seed)
         append_record(record)
         records.append(record)
     print(render_table(records))

@@ -1,0 +1,79 @@
+"""Tier-2 perf smoke: step throughput, translated vs. reference engine.
+
+The translated engine pre-compiles every static instruction into a
+specialized closure (operands resolved to register slots, immediates
+folded, flags inlined — see ``docs/performance.md``), so its
+instructions/sec must beat the reference handler loop by >= 3x on at
+least two workloads. Each run also appends its measurements to
+``BENCH_exec_throughput.json`` so the engine's perf trajectory is tracked
+across PRs.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/test_exec_throughput.py -q``
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import build_for, emit
+from perf_record import (
+    EXEC_BENCH_PATH,
+    append_record,
+    measure_exec_throughput,
+    render_exec_table,
+)
+
+pytestmark = pytest.mark.perf
+
+WORKLOADS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_EXEC_WORKLOADS", "bfs,knn,pathfinder"
+    ).split(",")
+    if name.strip()
+)
+SAMPLES = int(os.environ.get("REPRO_EXEC_SAMPLES", "24"))
+SEED = 11
+#: The tentpole gate: >= 3x instructions/sec on at least MIN_WORKLOADS_AT_GATE.
+MIN_SPEEDUP = 3.0
+MIN_WORKLOADS_AT_GATE = 2
+
+_records = []
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_translated_engine_faster(name):
+    program = build_for(name)["raw"].asm
+    record = measure_exec_throughput(program, name, samples=SAMPLES,
+                                     seed=SEED)
+    append_record(record, path=EXEC_BENCH_PATH)
+    _records.append(record)
+    assert record.translated_instr_per_sec > record.reference_instr_per_sec, (
+        f"{name}: translated engine slower than reference "
+        f"({record.translated_instr_per_sec:.0f} vs "
+        f"{record.reference_instr_per_sec:.0f} instr/sec)"
+    )
+    assert record.translated_faults_per_sec > record.reference_faults_per_sec, (
+        f"{name}: campaigns gained nothing from the translated engine "
+        f"({record.translated_faults_per_sec:.2f} vs "
+        f"{record.reference_faults_per_sec:.2f} faults/sec)"
+    )
+
+
+def test_speedup_gate():
+    if len(_records) < MIN_WORKLOADS_AT_GATE:
+        pytest.skip("not enough throughput measurements collected")
+    at_gate = [r for r in _records if r.instr_speedup >= MIN_SPEEDUP]
+    assert len(at_gate) >= MIN_WORKLOADS_AT_GATE, (
+        f"only {len(at_gate)}/{len(_records)} workloads reach "
+        f"{MIN_SPEEDUP:.0f}x instr/sec: "
+        + ", ".join(f"{r.workload}={r.instr_speedup:.2f}x" for r in _records)
+    )
+
+
+def test_report(capsys):
+    if not _records:
+        pytest.skip("no throughput measurements collected")
+    emit(capsys, render_exec_table(_records))

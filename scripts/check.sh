@@ -2,9 +2,11 @@
 # Repository check gate: lint (when available) + tier-1 tests.
 #
 # Mirrors .github/workflows/ci.yml so the same command works locally and
-# in CI. The perf smoke (benchmarks/, marker `perf`) is tier-2 and NOT part
-# of this gate — run it explicitly:
+# in CI. The campaign-throughput perf smoke (tier-2, marker `perf`) is NOT
+# part of this gate — run it explicitly:
 #   PYTHONPATH=src python -m pytest benchmarks/test_campaign_throughput.py -q
+# The exec-throughput smoke runs at the end in advisory mode (reported,
+# never fails the gate) — wall-clock gates are too noisy to block on.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,5 +31,11 @@ echo "== fuzz smoke (fixed seeds, bounded) =="
 # budget. Findings land in fuzz-artifacts/ with per-seed repro commands.
 PYTHONPATH=src python -m repro.fuzz --seed-start 0 --count 40 \
     --time-budget 60 --artifact-dir fuzz-artifacts --quiet || status=$?
+
+echo "== exec throughput smoke (advisory) =="
+# Translated-vs-reference engine gate (>= 3x instr/sec; see
+# docs/performance.md). Advisory: reported but never fails this gate.
+PYTHONPATH=src python -m pytest benchmarks/test_exec_throughput.py -q \
+    || echo "WARNING: exec throughput smoke failed (advisory only)"
 
 exit "$status"

@@ -13,6 +13,14 @@ Two roles:
 The interpreter reuses the machine's memory/builtin behaviour (same bump
 allocator, same LCG) so raw outputs agree between layers.
 
+Like the machine's translated engine (:mod:`repro.machine.translate`), the
+interpreter pre-binds per instruction instead of re-resolving per dynamic
+step: each block lazily compiles into a list of step entries with constants
+folded, operand slots and successor blocks pre-resolved, opcode dispatch
+reduced to a precompiled closure, and builtin calls bound to their handler.
+Compilation is cached per block, so the cost is paid once per static
+instruction regardless of trip counts.
+
 Calls run over an explicit frame stack rather than Python recursion, so the
 complete execution state is a plain data structure: :meth:`IRInterpreter.
 run_to_site` captures it as an :class:`IRSnapshot` and :meth:`IRInterpreter.
@@ -142,6 +150,10 @@ class IRInterpreter:
         self._exit_code = 0
         self._frames: list[_Frame] = []
         self._root_result = 0
+        # Per-block compiled step lists (see _steps_for), keyed by block id;
+        # blocks are owned by the module, which the interpreter holds, so
+        # the ids are stable for the interpreter's lifetime.
+        self._block_steps: dict[int, list[tuple]] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -282,7 +294,9 @@ class IRInterpreter:
     # -- execution internals ---------------------------------------------
 
     def _begin(self, function: str, args: tuple[int, ...]) -> None:
-        self.memory = Memory(self.layout)
+        # In place (O(working set)): compiled block steps capture the memory
+        # accessors once, so the object's identity must survive resets.
+        self.memory.reset()
         self.output = []
         self.heap_cursor = self.layout.heap_base
         self.lcg_state = 0x1234_5678
@@ -340,8 +354,8 @@ class IRInterpreter:
         the interpreter-wide ``max_instructions``.
         """
         frames = self._frames
-        module = self.module
         limit = budget if budget is not None else self.max_instructions
+        block_steps = self._block_steps
         while True:
             if stop_at_site is not None and self._sites >= stop_at_site:
                 return True
@@ -353,179 +367,370 @@ class IRInterpreter:
                 continue
             block = frame.block
             index = frame.index
-            if index >= len(block.instructions):
+            steps = block_steps.get(id(block))
+            if steps is None:
+                steps = [
+                    self._compile_instr(instr, frame.func)
+                    for instr in block.instructions
+                ]
+                block_steps[id(block)] = steps
+            if index >= len(steps):
                 raise IRInterpError(f"fell off block {block.label}")
             if self._executed >= limit:
                 raise ExecutionLimitExceeded(
                     f"exceeded {limit} IR instructions"
                 )
-            instr = block.instructions[index]
+            kind, payload, instr, has_result = steps[index]
             self._executed += 1
 
-            if isinstance(instr, Ret):
-                self._pop_frame(
-                    self._value(frame, instr.value) if instr.value else 0
-                )
-                continue
-            if isinstance(instr, Jump):
-                frame.block = frame.func.block(instr.target)
+            if kind == _K_EXEC:
+                payload(frame)
+                if has_result:
+                    if self._fault_hook is not None and (
+                        self._fault_at < 0 or self._sites == self._fault_at
+                    ):
+                        self._fault_hook(self, instr, self._sites)
+                    self._sites += 1
+                frame.index = index + 1
+            elif kind == _K_BR:
+                cond_get, then_block, else_block = payload
+                frame.block = then_block if cond_get(frame) & 1 else else_block
                 frame.index = 0
-                continue
-            if isinstance(instr, Br):
-                cond = self._value(frame, instr.cond)
-                frame.block = frame.func.block(
-                    instr.then_label if cond & 1 else instr.else_label
-                )
+            elif kind == _K_JUMP:
+                frame.block = payload
                 frame.index = 0
-                continue
-            if isinstance(instr, Call) and module.has_function(instr.callee):
-                args = tuple(self._value(frame, a) for a in instr.args)
-                self._push_frame(module.function(instr.callee), args, instr)
-                continue
+            elif kind == _K_RET:
+                self._pop_frame(payload(frame) if payload is not None else 0)
+            else:  # _K_CALLFN
+                func, arg_gets = payload
+                args = tuple(get(frame) for get in arg_gets)
+                self._push_frame(func, args, instr)
 
-            self._execute(frame, instr)
-            if instr.has_result:
-                if self._fault_hook is not None and (
-                    self._fault_at < 0 or self._sites == self._fault_at
-                ):
-                    self._fault_hook(self, instr, self._sites)
-                self._sites += 1
-            frame.index = index + 1
+    # -- per-instruction compilation ---------------------------------------
+    #
+    # Each IR instruction compiles once into a (kind, payload, instr,
+    # has_result) step entry: operand slots become pre-bound getters
+    # (constants folded to ints), successor blocks and callee functions are
+    # resolved ahead of time, and opcode dispatch is a closure built here
+    # rather than an isinstance chain walked per dynamic instruction.
 
-    def _value(self, frame: _Frame, value: Value) -> int:
+    @staticmethod
+    def _getter(value: Value):
+        """Pre-bound operand accessor matching the old ``_value`` semantics."""
         if isinstance(value, Constant):
-            return to_unsigned(value.value, _width_of(value))
-        try:
-            return frame.values[value]
-        except KeyError:
-            raise IRInterpError(f"use of undefined value %{value.name}") from None
+            const = to_unsigned(value.value, _width_of(value))
+            return lambda frame: const
 
-    def _execute(self, frame: _Frame, instr: IRInstruction) -> None:
+        def get(frame: _Frame) -> int:
+            try:
+                return frame.values[value]
+            except KeyError:
+                raise IRInterpError(
+                    f"use of undefined value %{value.name}"
+                ) from None
+        return get
+
+    def _compile_instr(self, instr: IRInstruction, func: IRFunction) -> tuple:
+        if isinstance(instr, Ret):
+            getter = self._getter(instr.value) if instr.value else None
+            return (_K_RET, getter, instr, False)
+        if isinstance(instr, Jump):
+            try:
+                target = func.block(instr.target)
+            except Exception:
+                return (_K_EXEC, self._raiser(instr, func), instr, False)
+            return (_K_JUMP, target, instr, False)
+        if isinstance(instr, Br):
+            try:
+                then_block = func.block(instr.then_label)
+                else_block = func.block(instr.else_label)
+            except Exception:
+                return (_K_EXEC, self._raiser(instr, func), instr, False)
+            payload = (self._getter(instr.cond), then_block, else_block)
+            return (_K_BR, payload, instr, False)
+        if isinstance(instr, Call) and self.module.has_function(instr.callee):
+            callee = self.module.function(instr.callee)
+            arg_gets = tuple(self._getter(a) for a in instr.args)
+            return (_K_CALLFN, (callee, arg_gets), instr, False)
+        return (_K_EXEC, self._compile_exec(instr), instr, instr.has_result)
+
+    @staticmethod
+    def _raiser(instr, func: IRFunction):
+        """Defer an unresolvable branch target to execution time, matching
+        the error the uncompiled interpreter raised mid-run."""
+        def do(frame: _Frame) -> None:
+            if isinstance(instr, Br):
+                func.block(instr.then_label)
+                func.block(instr.else_label)
+            else:
+                func.block(instr.target)
+        return do
+
+    def _compile_exec(self, instr: IRInstruction):
+        """Closure performing one non-control instruction's effect."""
         if isinstance(instr, Alloca):
-            size = instr.allocated.size_bytes * instr.count
-            self._stack_cursor -= (size + 15) & ~15
-            if self._stack_cursor < self.layout.stack_base:
-                raise MachineFault("IR stack overflow")
-            frame.values[instr] = self._stack_cursor
-        elif isinstance(instr, Load):
-            addr = self._value(frame, instr.pointer)
+            size16 = (instr.allocated.size_bytes * instr.count + 15) & ~15
+            stack_floor = self.layout.stack_base
+
+            def do(frame: _Frame) -> None:
+                self._stack_cursor -= size16
+                if self._stack_cursor < stack_floor:
+                    raise MachineFault("IR stack overflow")
+                frame.values[instr] = self._stack_cursor
+            return do
+        if isinstance(instr, Load):
+            ptr_get = self._getter(instr.pointer)
             size = instr.type.size_bytes
-            frame.values[instr] = self.memory.read_uint(addr, size)
-        elif isinstance(instr, Store):
-            addr = self._value(frame, instr.pointer)
+            read_uint = self.memory.read_uint
+
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = read_uint(ptr_get(frame), size)
+            return do
+        if isinstance(instr, Store):
+            ptr_get = self._getter(instr.pointer)
+            val_get = self._getter(instr.value)
             size = instr.value.type.size_bytes
-            self.memory.write_uint(addr, self._value(frame, instr.value), size)
-        elif isinstance(instr, BinOp):
-            frame.values[instr] = self._binop(frame, instr)
-        elif isinstance(instr, ICmp):
-            frame.values[instr] = self._icmp(frame, instr)
-        elif isinstance(instr, Cast):
-            frame.values[instr] = self._cast(frame, instr)
-        elif isinstance(instr, PtrAdd):
-            base = self._value(frame, instr.base)
-            index = to_signed(self._value(frame, instr.index),
-                              _width_of(instr.index))
+            write_uint = self.memory.write_uint
+
+            def do(frame: _Frame) -> None:
+                addr = ptr_get(frame)  # pointer resolves before the value
+                write_uint(addr, val_get(frame), size)
+            return do
+        if isinstance(instr, BinOp):
+            return self._compile_binop(instr)
+        if isinstance(instr, ICmp):
+            return self._compile_icmp(instr)
+        if isinstance(instr, Cast):
+            return self._compile_cast(instr)
+        if isinstance(instr, PtrAdd):
+            base_get = self._getter(instr.base)
+            index_get = self._getter(instr.index)
+            index_width = _width_of(instr.index)
+            index_sign = 1 << (index_width - 1)
+            index_modulus = 1 << index_width
             ptr_type = instr.base.type
-            stride = ptr_type.element_size if isinstance(ptr_type, PointerType) else 1
-            frame.values[instr] = to_unsigned(base + index * stride, 64)
-        elif isinstance(instr, Call):
-            frame.values[instr] = self._call_builtin(frame, instr)
-        elif isinstance(instr, Check):
-            if self._value(frame, instr.original) != self._value(
-                frame, instr.duplicate
-            ):
-                raise DetectionExit("IR-level EDDI checker reported a mismatch")
-        else:
+            stride = (
+                ptr_type.element_size
+                if isinstance(ptr_type, PointerType) else 1
+            )
+            m64 = (1 << 64) - 1
+
+            def do(frame: _Frame) -> None:
+                index = index_get(frame)
+                if index & index_sign:
+                    index -= index_modulus
+                frame.values[instr] = (base_get(frame) + index * stride) & m64
+            return do
+        if isinstance(instr, Call):
+            return self._compile_builtin(instr)
+        if isinstance(instr, Check):
+            orig_get = self._getter(instr.original)
+            dup_get = self._getter(instr.duplicate)
+
+            def do(frame: _Frame) -> None:
+                if orig_get(frame) != dup_get(frame):
+                    raise DetectionExit(
+                        "IR-level EDDI checker reported a mismatch"
+                    )
+            return do
+
+        def do(frame: _Frame) -> None:
             raise IRInterpError(f"cannot interpret {instr.opcode}")
+        return do
 
-    def _binop(self, frame: _Frame, instr: BinOp) -> int:
+    def _compile_binop(self, instr: BinOp):
         width = _width_of(instr)
-        a = self._value(frame, instr.lhs)
-        b = self._value(frame, instr.rhs)
-        sa, sb = to_signed(a, width), to_signed(b, width)
+        mask = (1 << width) - 1
+        sign = 1 << (width - 1)
+        modulus = 1 << width
+        shift_mask = width - 1
+        lhs_get = self._getter(instr.lhs)
+        rhs_get = self._getter(instr.rhs)
         op = instr.op
+
+        def signed(v: int) -> int:
+            return v - modulus if v & sign else v
+
         if op == "add":
-            return to_unsigned(a + b, width)
-        if op == "sub":
-            return to_unsigned(a - b, width)
-        if op == "mul":
-            return to_unsigned(sa * sb, width)
-        if op == "sdiv":
-            if sb == 0:
-                raise MachineFault("IR division by zero")
-            return to_unsigned(trunc_div(sa, sb), width)
-        if op == "srem":
-            if sb == 0:
-                raise MachineFault("IR remainder by zero")
-            return to_unsigned(sa - trunc_div(sa, sb) * sb, width)
-        if op == "and":
-            return a & b
-        if op == "or":
-            return a | b
-        if op == "xor":
-            return a ^ b
-        if op == "shl":
-            return to_unsigned(a << (b & (width - 1)), width)
-        if op == "ashr":
-            return to_unsigned(sa >> (b & (width - 1)), width)
-        if op == "lshr":
-            return a >> (b & (width - 1))
-        raise IRInterpError(f"unknown binop {op}")
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (lhs_get(frame) + rhs_get(frame)) & mask
+        elif op == "sub":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (lhs_get(frame) - rhs_get(frame)) & mask
+        elif op == "mul":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    signed(lhs_get(frame)) * signed(rhs_get(frame))
+                ) & mask
+        elif op == "sdiv":
+            def do(frame: _Frame) -> None:
+                sa, sb = signed(lhs_get(frame)), signed(rhs_get(frame))
+                if sb == 0:
+                    raise MachineFault("IR division by zero")
+                frame.values[instr] = trunc_div(sa, sb) & mask
+        elif op == "srem":
+            def do(frame: _Frame) -> None:
+                sa, sb = signed(lhs_get(frame)), signed(rhs_get(frame))
+                if sb == 0:
+                    raise MachineFault("IR remainder by zero")
+                frame.values[instr] = (sa - trunc_div(sa, sb) * sb) & mask
+        elif op == "and":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = lhs_get(frame) & rhs_get(frame)
+        elif op == "or":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = lhs_get(frame) | rhs_get(frame)
+        elif op == "xor":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = lhs_get(frame) ^ rhs_get(frame)
+        elif op == "shl":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    lhs_get(frame) << (rhs_get(frame) & shift_mask)
+                ) & mask
+        elif op == "ashr":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    signed(lhs_get(frame)) >> (rhs_get(frame) & shift_mask)
+                ) & mask
+        elif op == "lshr":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = lhs_get(frame) >> (
+                    rhs_get(frame) & shift_mask
+                )
+        else:
+            def do(frame: _Frame) -> None:
+                raise IRInterpError(f"unknown binop {op}")
+        return do
 
-    def _icmp(self, frame: _Frame, instr: ICmp) -> int:
+    def _compile_icmp(self, instr: ICmp):
         width = _width_of(instr.lhs)
-        a = self._value(frame, instr.lhs)
-        b = self._value(frame, instr.rhs)
-        sa, sb = to_signed(a, width), to_signed(b, width)
+        sign = 1 << (width - 1)
+        modulus = 1 << width
+        lhs_get = self._getter(instr.lhs)
+        rhs_get = self._getter(instr.rhs)
         pred = instr.pred
-        result = {
-            "eq": a == b,
-            "ne": a != b,
-            "slt": sa < sb,
-            "sle": sa <= sb,
-            "sgt": sa > sb,
-            "sge": sa >= sb,
-        }[pred]
-        return int(result)
 
-    def _cast(self, frame: _Frame, instr: Cast) -> int:
-        value = self._value(frame, instr.value)
+        def signed(v: int) -> int:
+            return v - modulus if v & sign else v
+
+        if pred == "eq":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = 1 if lhs_get(frame) == rhs_get(frame) else 0
+        elif pred == "ne":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = 1 if lhs_get(frame) != rhs_get(frame) else 0
+        elif pred == "slt":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    1 if signed(lhs_get(frame)) < signed(rhs_get(frame)) else 0
+                )
+        elif pred == "sle":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    1 if signed(lhs_get(frame)) <= signed(rhs_get(frame)) else 0
+                )
+        elif pred == "sgt":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    1 if signed(lhs_get(frame)) > signed(rhs_get(frame)) else 0
+                )
+        elif pred == "sge":
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = (
+                    1 if signed(lhs_get(frame)) >= signed(rhs_get(frame)) else 0
+                )
+        else:
+            def do(frame: _Frame) -> None:
+                raise KeyError(pred)  # matches the old dict-dispatch error
+        return do
+
+    def _compile_cast(self, instr: Cast):
+        value_get = self._getter(instr.value)
         from_width = _width_of(instr.value)
         to_width = _width_of(instr)
         if instr.op == "trunc":
-            return to_unsigned(value, to_width)
-        if instr.op == "zext":
-            return to_unsigned(value, from_width)
-        return to_unsigned(to_signed(value, from_width), to_width)
+            mask = (1 << to_width) - 1
 
-    def _call_builtin(self, frame: _Frame, call: Call) -> int:
-        args = tuple(self._value(frame, a) for a in call.args)
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = value_get(frame) & mask
+        elif instr.op == "zext":
+            # Bit-compatible with the reference: zext masks at the *source*
+            # width (operands are already bounded, so this is the identity).
+            mask = (1 << from_width) - 1
+
+            def do(frame: _Frame) -> None:
+                frame.values[instr] = value_get(frame) & mask
+        else:  # sext
+            sign = 1 << (from_width - 1)
+            from_modulus = 1 << from_width
+            mask = (1 << to_width) - 1
+
+            def do(frame: _Frame) -> None:
+                v = value_get(frame)
+                if v & sign:
+                    v -= from_modulus
+                frame.values[instr] = v & mask
+        return do
+
+    def _compile_builtin(self, call: Call):
+        arg_gets = tuple(self._getter(a) for a in call.args)
         name = call.callee
+        layout = self.layout
+        heap_end = layout.heap_base + layout.heap_size
+
+        def args_of(frame: _Frame) -> tuple[int, ...]:
+            return tuple(get(frame) for get in arg_gets)
+
         if name == "malloc":
-            aligned = (args[0] + 15) & ~15
-            if self.heap_cursor + aligned > self.layout.heap_base + self.layout.heap_size:
-                raise MachineFault("IR heap exhausted")
-            addr = self.heap_cursor
-            self.heap_cursor += max(aligned, 16)
-            return addr
-        if name == "free":
-            return 0
-        if name == "print_int":
-            self.output.append(str(to_signed(args[0], 32)))
-            return 0
-        if name == "print_long":
-            self.output.append(str(to_signed(args[0], 64)))
-            return 0
-        if name == "srand":
-            self.lcg_state = args[0] & _LCG_MASK
-            return 0
-        if name == "rand_next":
-            self.lcg_state = (self.lcg_state * _LCG_MULT + _LCG_INC) & _LCG_MASK
-            return (self.lcg_state >> 33) & 0x7FFF_FFFF
-        if name == "exit":
-            self._exit_requested = True
-            self._exit_code = to_signed(args[0], 32)
-            return 0
-        if name == "__eddi_detect":
-            raise DetectionExit("IR-level EDDI checker reported a mismatch")
-        raise IRInterpError(f"call to unknown function {name!r}")
+            def do(frame: _Frame) -> None:
+                aligned = (args_of(frame)[0] + 15) & ~15
+                if self.heap_cursor + aligned > heap_end:
+                    raise MachineFault("IR heap exhausted")
+                frame.values[call] = self.heap_cursor
+                self.heap_cursor += max(aligned, 16)
+        elif name == "free":
+            def do(frame: _Frame) -> None:
+                args_of(frame)
+                frame.values[call] = 0
+        elif name == "print_int":
+            def do(frame: _Frame) -> None:
+                self.output.append(str(to_signed(args_of(frame)[0], 32)))
+                frame.values[call] = 0
+        elif name == "print_long":
+            def do(frame: _Frame) -> None:
+                self.output.append(str(to_signed(args_of(frame)[0], 64)))
+                frame.values[call] = 0
+        elif name == "srand":
+            def do(frame: _Frame) -> None:
+                self.lcg_state = args_of(frame)[0] & _LCG_MASK
+                frame.values[call] = 0
+        elif name == "rand_next":
+            def do(frame: _Frame) -> None:
+                args_of(frame)
+                self.lcg_state = (
+                    self.lcg_state * _LCG_MULT + _LCG_INC
+                ) & _LCG_MASK
+                frame.values[call] = (self.lcg_state >> 33) & 0x7FFF_FFFF
+        elif name == "exit":
+            def do(frame: _Frame) -> None:
+                self._exit_requested = True
+                self._exit_code = to_signed(args_of(frame)[0], 32)
+                frame.values[call] = 0
+        elif name == "__eddi_detect":
+            def do(frame: _Frame) -> None:
+                args_of(frame)
+                raise DetectionExit("IR-level EDDI checker reported a mismatch")
+        else:
+            def do(frame: _Frame) -> None:
+                args_of(frame)  # argument faults surface first, as before
+                raise IRInterpError(f"call to unknown function {name!r}")
+        return do
+
+
+#: Step-entry kinds produced by ``IRInterpreter._compile_instr``.
+_K_EXEC = 0
+_K_JUMP = 1
+_K_BR = 2
+_K_RET = 3
+_K_CALLFN = 4

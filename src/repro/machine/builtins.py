@@ -111,6 +111,11 @@ def builtin_names() -> tuple[str, ...]:
     return tuple(_BUILTINS)
 
 
+def get_builtin(name: str) -> Callable[["Machine"], int]:
+    """The builtin callable itself, for pre-resolution at program load."""
+    return _BUILTINS[name]
+
+
 def call_builtin(machine: "Machine", name: str) -> int:
     """Execute builtin ``name``; returns the value to place in ``rax``."""
     return _BUILTINS[name](machine)

@@ -22,14 +22,15 @@ sampled fault.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.asm.instructions import Instruction
+from repro.asm.instructions import Instruction, InstrKind
 from repro.asm.program import AsmProgram, validate_program
 from repro.asm.registers import ARG_GPRS, get_register
 from repro.errors import ExecutionLimitExceeded, MachineError, MachineFault
-from repro.machine.builtins import call_builtin, is_builtin
+from repro.machine.builtins import get_builtin, is_builtin
 from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
 from repro.machine.semantics import Flow
 from repro.machine.state import RegisterFile, RegisterFileSnapshot
@@ -38,6 +39,17 @@ from repro.utils.bitops import to_signed
 
 #: Return-address sentinel marking the bottom of the call stack.
 _SENTINEL = (1 << 64) - 1
+
+#: Supported execution engines: the pre-translated threaded-code engine and
+#: the reference interpreter kept as the semantic oracle.
+ENGINES = ("translated", "reference")
+
+#: Environment variable overriding the default engine (used when ``engine``
+#: is not passed explicitly; see ``docs/performance.md``).
+ENGINE_ENV_VAR = "FERRUM_ENGINE"
+
+#: Shared empty granule list for instructions with no memory traffic.
+_NO_GRANULES: list[int] = []
 
 _RSP = get_register("rsp")
 _RAX = get_register("rax")
@@ -90,11 +102,30 @@ class Machine:
         program: AsmProgram,
         layout: MemoryLayout | None = None,
         max_instructions: int = 50_000_000,
+        engine: str | None = None,
     ) -> None:
+        """Load ``program`` and pick an execution engine.
+
+        ``engine`` selects ``"translated"`` (pre-compiled threaded code, the
+        default) or ``"reference"`` (the per-instruction handler interpreter,
+        kept as the semantic oracle). When not passed explicitly, the
+        ``FERRUM_ENGINE`` environment variable is honored. Both engines are
+        bit-identical in results, fault-site numbering, counters, snapshots
+        and telemetry; timing-model runs always execute on the reference
+        loop, which observes per-access memory traffic.
+        """
         validate_program(program)
         self.program = program
         self.layout = layout or MemoryLayout()
         self.max_instructions = max_instructions
+        if engine is None:
+            engine = os.environ.get(ENGINE_ENV_VAR, "").strip() or "translated"
+        if engine not in ENGINES:
+            raise MachineFault(
+                f"unknown execution engine {engine!r} "
+                f"(choose from {', '.join(ENGINES)})"
+            )
+        self.engine = engine
 
         self._code: list[Instruction] = []
         self._func_of: list[str] = []
@@ -112,6 +143,27 @@ class Machine:
 
         self._handlers = [handler_for(instr) for instr in self._code]
         self._is_site = [bool(instr.dest_registers()) for instr in self._code]
+        # Pre-resolved control-flow targets: validate_program guarantees
+        # every jump label and call target resolves, so dynamic dispatch can
+        # index these arrays instead of hashing (function, label) tuples.
+        self._jump_pc: list[int] = [-1] * len(self._code)
+        self._call_builtin_fn: list[Callable[["Machine"], int] | None] = (
+            [None] * len(self._code)
+        )
+        self._call_entry_pc: list[int] = [-1] * len(self._code)
+        for pc, instr in enumerate(self._code):
+            kind = instr.kind
+            if kind in (InstrKind.JMP, InstrKind.JCC):
+                key = (self._func_of[pc], instr.target_label or "")
+                self._jump_pc[pc] = self._label_index[key]
+            elif kind is InstrKind.CALL:
+                target = instr.target_label or ""
+                if is_builtin(target):
+                    self._call_builtin_fn[pc] = get_builtin(target)
+                else:
+                    self._call_entry_pc[pc] = self._entry[target]
+        # Threaded code, built lazily on the first translated-engine run.
+        self._translation = None
 
         # Mutable per-run state, initialized by _reset().
         self.registers = RegisterFile()
@@ -124,6 +176,10 @@ class Machine:
         self._mem_reads: list[tuple[int, int]] = []
         self._mem_writes: list[tuple[int, int]] = []
         self._collect_mem = False
+        # Set by translated call/ret steps around work the reference engine
+        # performs after counting the instruction as executed; on a fault,
+        # the translated run loop uses it to keep halt counters identical.
+        self._post_exec = False
         # Telemetry bookkeeping (see repro.faultinjection.telemetry):
         # executed count at the most recent fault-hook delivery, and at the
         # point a MachineError aborted the run. Their difference is the
@@ -149,13 +205,17 @@ class Machine:
     # -- execution -----------------------------------------------------------
 
     def _reset(self) -> None:
-        self.registers = RegisterFile()
-        self.memory = Memory(self.layout)
+        # In place: the translated engine's compiled steps capture the
+        # register-file dicts and memory object at translation time, so
+        # their identity must survive across runs.
+        self.registers.reset()
+        self.memory.reset()
         self.output = []
         self.heap_cursor = self.layout.heap_base
         self.lcg_state = 0x1234_5678
         self._exit_requested = False
         self._exit_code = 0
+        self._post_exec = False
 
     def _prepare(self, function: str, args: tuple[int, ...]) -> int:
         """Reset state and set up the sentinel frame; returns the entry pc."""
@@ -200,6 +260,7 @@ class Machine:
         self._exit_requested = False
         self._exit_code = 0
         self._collect_mem = False
+        self._post_exec = False
 
     def run_to_site(
         self,
@@ -235,10 +296,16 @@ class Machine:
             sites = 0
             self._collect_mem = False
         budget = max_instructions if max_instructions is not None else self.max_instructions
-        pc, executed, sites, stopped = self._execute_from(
-            pc, executed, sites, budget,
-            fault_hook=None, fault_at=-1, timer=None, stop_at_site=target_site,
-        )
+        if self.engine == "translated":
+            pc, executed, sites, stopped = self._run_translated(
+                pc, executed, sites, budget,
+                fault_hook=None, fault_at=-1, stop_at_site=target_site,
+            )
+        else:
+            pc, executed, sites, stopped = self._execute_from(
+                pc, executed, sites, budget,
+                fault_hook=None, fault_at=-1, timer=None, stop_at_site=target_site,
+            )
         if not stopped:
             raise MachineFault(
                 f"program ended after {sites} fault sites, "
@@ -286,19 +353,47 @@ class Machine:
             sites = 0
 
         budget = max_instructions if max_instructions is not None else self.max_instructions
-        pc, executed, sites, _ = self._execute_from(
-            pc, executed, sites, budget,
-            fault_hook=fault_hook,
-            fault_at=-1 if fault_at is None else fault_at,
-            timer=timer,
-            stop_at_site=None,
-        )
+        if self.engine == "translated" and timer is None:
+            pc, executed, sites, _ = self._run_translated(
+                pc, executed, sites, budget,
+                fault_hook=fault_hook,
+                fault_at=-1 if fault_at is None else fault_at,
+                stop_at_site=None,
+            )
+        else:
+            pc, executed, sites, _ = self._execute_from(
+                pc, executed, sites, budget,
+                fault_hook=fault_hook,
+                fault_at=-1 if fault_at is None else fault_at,
+                timer=timer,
+                stop_at_site=None,
+            )
         return RunResult(
             exit_code=self._exit_code,
             output=tuple(self.output),
             dynamic_instructions=executed,
             fault_sites=sites,
             cycles=timer.cycles if timer is not None else None,
+        )
+
+    def _run_translated(
+        self,
+        pc: int,
+        executed: int,
+        sites: int,
+        budget: int,
+        fault_hook: FaultHook | None,
+        fault_at: int,
+        stop_at_site: int | None,
+    ) -> tuple[int, int, int, bool]:
+        """Execute on the threaded-code engine (translating on first use)."""
+        from repro.machine.translate import execute_translated, translate_program
+
+        if self._translation is None:
+            self._translation = translate_program(self)
+        return execute_translated(
+            self, self._translation, pc, executed, sites, budget,
+            fault_hook, fault_at, stop_at_site,
         )
 
     def _execute_from(
@@ -343,12 +438,20 @@ class Machine:
                 executed += 1
 
                 if timer is not None:
-                    reads: list[int] = []
-                    for addr, size in self._mem_reads:
-                        reads.extend(TimingModel.granules(addr, size))
-                    writes: list[int] = []
-                    for addr, size in self._mem_writes:
-                        writes.extend(TimingModel.granules(addr, size))
+                    # Skip list construction for the (dominant) instructions
+                    # with no memory traffic.
+                    if self._mem_reads:
+                        reads: list[int] = []
+                        for addr, size in self._mem_reads:
+                            reads.extend(TimingModel.granules(addr, size))
+                    else:
+                        reads = _NO_GRANULES
+                    if self._mem_writes:
+                        writes: list[int] = []
+                        for addr, size in self._mem_writes:
+                            writes.extend(TimingModel.granules(addr, size))
+                    else:
+                        writes = _NO_GRANULES
                     timer.observe(instr, reads, writes, effect.taken)
 
                 if is_site[pc]:
@@ -361,27 +464,20 @@ class Machine:
                 if flow is Flow.NEXT:
                     pc += 1
                 elif flow is Flow.JUMP:
-                    key = (self._func_of[pc], effect.target or "")
-                    try:
-                        pc = self._label_index[key]
-                    except KeyError:
-                        raise MachineFault(f"jump to unknown label {key}") from None
+                    # Pre-resolved at load (validate_program guarantees the
+                    # label exists) — no per-jump tuple hash.
+                    pc = self._jump_pc[pc]
                 elif flow is Flow.CALL:
-                    target = effect.target or ""
-                    if is_builtin(target):
-                        result = call_builtin(self, target)
+                    fn = self._call_builtin_fn[pc]
+                    if fn is not None:
+                        result = fn(self)
                         self.registers.write(_RAX, result & ((1 << 64) - 1))
                         pc += 1
                     else:
                         new_rsp = self.registers.read(_RSP) - 8
                         self.registers.write(_RSP, new_rsp)
                         self.memory.write_uint(new_rsp, pc + 1, 8)
-                        try:
-                            pc = self._entry[target]
-                        except KeyError:
-                            raise MachineFault(
-                                f"call to unknown function {target!r}"
-                            ) from None
+                        pc = self._call_entry_pc[pc]
                 elif flow is Flow.RET:
                     cur_rsp = self.registers.read(_RSP)
                     return_to = self.memory.read_uint(cur_rsp, 8)

@@ -75,6 +75,16 @@ class _Segment:
             for page in self.dirty
         }
 
+    def reset(self) -> None:
+        """Zero every dirty page in place; cost is O(pages written so far)."""
+        data = self.data
+        size = len(data)
+        for page in self.dirty:
+            start = page << _PAGE_SHIFT
+            end = min(start + PAGE_SIZE, size)
+            data[start:end] = bytes(end - start)
+        self.dirty.clear()
+
     def restore_pages(self, pages: dict[int, bytes]) -> None:
         data = self.data
         # Pages written after the snapshot but untouched before it revert
@@ -140,6 +150,18 @@ class Memory:
         seg.dirty.update(
             range(off >> _PAGE_SHIFT, ((off + len(data) - 1) >> _PAGE_SHIFT) + 1)
         )
+
+    def reset(self) -> None:
+        """Return memory to its zero-fill construction state, in place.
+
+        Only pages actually written are cleared, so resetting between runs
+        is O(working set) rather than O(address space). The segment
+        bytearrays keep their identity — the translated execution engine
+        captures this object (and its bound read/write methods) once at
+        translation time.
+        """
+        for seg in self._segments:
+            seg.reset()
 
     # -- checkpoint/restore ------------------------------------------------
 

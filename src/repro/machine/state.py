@@ -35,12 +35,29 @@ class RegisterFileSnapshot:
 
 
 class RegisterFile:
-    """GPRs, vector registers and RFLAGS of one hardware thread."""
+    """GPRs, vector registers and RFLAGS of one hardware thread.
+
+    The backing dicts (``_gprs``/``_vectors``) are identity-stable for the
+    lifetime of the register file: :meth:`reset` and :meth:`restore_state`
+    mutate them in place rather than rebinding. The translated execution
+    engine (:mod:`repro.machine.translate`) relies on this — its compiled
+    steps capture the dicts once at translation time.
+    """
 
     def __init__(self) -> None:
         self._gprs: dict[str, int] = {root: 0 for root in GPR64}
         self._vectors: dict[str, int] = {f"ymm{i}": 0 for i in range(16)}
         self.rflags: int = 0
+
+    def reset(self) -> None:
+        """Zero every register in place (same dict objects, fresh values)."""
+        gprs = self._gprs
+        for root in gprs:
+            gprs[root] = 0
+        vectors = self._vectors
+        for root in vectors:
+            vectors[root] = 0
+        self.rflags = 0
 
     # -- typed accessors -------------------------------------------------
 
@@ -118,7 +135,12 @@ class RegisterFile:
         )
 
     def restore_state(self, snap: RegisterFileSnapshot) -> None:
-        """Restore every register exactly as captured by ``snapshot_state``."""
-        self._gprs = dict(snap.gprs)
-        self._vectors = dict(snap.vectors)
+        """Restore every register exactly as captured by ``snapshot_state``.
+
+        In-place: snapshots always carry every root, so a dict update
+        overwrites the complete state without rebinding the backing dicts
+        (which compiled execution steps hold by reference).
+        """
+        self._gprs.update(snap.gprs)
+        self._vectors.update(snap.vectors)
         self.rflags = snap.rflags

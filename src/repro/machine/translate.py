@@ -1,0 +1,962 @@
+"""Pre-translated threaded-code execution engine.
+
+The reference interpreter (:meth:`repro.machine.cpu.Machine._execute_from`
+plus :mod:`repro.machine.semantics`) re-resolves every operand through
+isinstance chains and name-based register lookups, allocates control-effect
+objects for branches, and repacks flag tuples on every arithmetic
+instruction. FERRUM's own thesis — specialize at translation time, pay
+nothing at run time — applies to the simulator itself: this module compiles
+each :class:`~repro.asm.instructions.Instruction` *once* into a specialized
+zero-argument closure ("threaded code"):
+
+* register operands are resolved to direct slots in the register-file
+  backing dict, with sub-register masks folded into the generated code;
+* immediates are masked at translation time;
+* memory-operand effective-address arithmetic is pre-bound (displacement
+  folded, base/index roots captured);
+* jump/call/fall-through targets are integer pc constants — a taken branch
+  is ``return 17``, not a dict lookup;
+* flag computation is specialized per opcode and width, with a precomputed
+  parity table;
+* no per-instruction ``ControlEffect`` allocation: each step returns the
+  next pc directly (negative sentinels encode halt / fell-off-code).
+
+The hot instruction kinds go through a small source-level code generator:
+one operand/opcode *shape* maps to one cached ``make`` function (built with
+:func:`compile`/``exec`` the first time the shape appears), and the
+per-instruction constants — register roots, immediates, displacements, pc
+targets — are bound as closure cells. A generated step therefore runs with
+no nested Python calls beyond the unavoidable memory accessors.
+
+Bit-identity contract: for any program, input, fault plan, snapshot or
+budget, the translated engine produces exactly the same ``RunResult``,
+fault-site numbering, ``executed``/``sites`` counters, exception type and
+halt-counter stamps as the reference engine — including the *order* of
+operand reads, register updates and faulting accesses within one
+instruction. Instructions whose operand shapes fall outside the specialized
+fast paths (vector ops, deliberately malformed operands) fall back to a
+step that wraps the reference handler, so the two engines can never diverge
+semantically.
+
+Closures capture the machine's register-file dict and memory accessors
+directly; :class:`~repro.machine.state.RegisterFile` and
+:class:`~repro.machine.memory.Memory` guarantee those objects are
+identity-stable across resets and snapshot restores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.asm.instructions import InstrKind
+from repro.asm.operands import Imm, Mem, Operand, Reg
+from repro.asm.registers import Register, RegisterKind
+from repro.errors import (
+    ExecutionLimitExceeded,
+    MachineError,
+    MachineFault,
+)
+from repro.machine import flags as flg
+from repro.machine.semantics import Flow, handler_for
+from repro.utils.bitops import mask_for_width, trunc_div
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.cpu import Machine
+
+#: Step-return sentinel: the program halted (sentinel ``ret`` or ``exit``).
+_HALT = -1
+#: Step-return sentinel: fall-through past the last instruction.
+_FELL_OFF = -2
+
+_M64 = (1 << 64) - 1
+_M32 = (1 << 32) - 1
+
+_CF = 1 << flg.CF_BIT
+_ZF = 1 << flg.ZF_BIT
+_SF = 1 << flg.SF_BIT
+_OF = 1 << flg.OF_BIT
+_CZ = _CF | _ZF
+_CFOF = _CF | _OF
+
+# The generated condition-code expressions hardcode the SF/OF bit distance;
+# guard against the flag layout ever moving.
+assert flg.SF_BIT == 7 and flg.OF_BIT == 11
+
+#: Parity-flag contribution of every low-byte value (PF set on even parity).
+_PARITY = tuple(
+    (1 << flg.PF_BIT) if bin(byte).count("1") % 2 == 0 else 0
+    for byte in range(256)
+)
+
+Step = Callable[[], int]
+
+
+class TranslatedCode:
+    """The compiled program: one step closure per code index."""
+
+    __slots__ = ("steps", "site_flags", "code_len")
+
+    def __init__(self, steps: list[Step], site_flags: list[int]) -> None:
+        self.steps = steps
+        self.site_flags = site_flags
+        self.code_len = len(steps)
+
+
+# -- code generation core ----------------------------------------------------
+
+#: Globals visible to generated steps (flag constants, parity table).
+_EXEC_GLOBALS = {
+    "__builtins__": {},
+    "_PARITY": _PARITY,
+    "_CF": _CF,
+    "_ZF": _ZF,
+    "_SF": _SF,
+    "_OF": _OF,
+    "_CZ": _CZ,
+    "_CFOF": _CFOF,
+    "_M64": _M64,
+}
+
+#: shape source -> compiled ``make`` function (shared across programs).
+_MAKE_CACHE: dict[str, Callable[[dict], Step]] = {}
+
+
+def _build_step(body: list[str], env: dict) -> Step:
+    """Compile ``body`` lines into a step, binding ``env`` as closure cells.
+
+    The rendered source depends only on the instruction *shape* (operand
+    kinds, widths, opcode), so the compile cost is amortized across every
+    instruction sharing that shape; per-instruction values (register roots,
+    immediates, displacements, pc targets) and the machine's live state
+    objects flow in through ``env`` and become closure cells — the fastest
+    variable access a generated step can have.
+    """
+    lines = ["def make(env):"]
+    for key in sorted(env):
+        lines.append(f"    {key} = env[{key!r}]")
+    lines.append("    def step():")
+    for line in body:
+        lines.append("        " + line)
+    lines.append("    return step")
+    source = "\n".join(lines)
+    make = _MAKE_CACHE.get(source)
+    if make is None:
+        scope = dict(_EXEC_GLOBALS)
+        exec(compile(source, "<ferrum-translate>", "exec"), scope)
+        make = scope["make"]
+        _MAKE_CACHE[source] = make
+    return make(env)
+
+
+def _is_gpr64(reg: Register | None) -> bool:
+    return reg is not None and reg.kind is RegisterKind.GPR and reg.width == 64
+
+
+def _addr_frag(mem: Mem, idx: int, env: dict) -> str | None:
+    """Effective-address expression (64-bit GPR base/index only)."""
+    base, index = mem.base, mem.index
+    if base is not None and not _is_gpr64(base):
+        return None
+    if index is not None and not _is_gpr64(index):
+        return None
+    if base is None and index is None:
+        env[f"D{idx}"] = mem.disp & _M64
+        return f"D{idx}"
+    env[f"D{idx}"] = mem.disp
+    parts = [f"D{idx}"]
+    if base is not None:
+        env[f"B{idx}"] = base.root
+        parts.append(f"g[B{idx}]")
+    if index is not None:
+        env[f"X{idx}"] = index.root
+        if mem.scale == 1:
+            parts.append(f"g[X{idx}]")
+        else:
+            env[f"S{idx}"] = mem.scale
+            parts.append(f"g[X{idx}] * S{idx}")
+    return "((" + " + ".join(parts) + ") & M64)"
+
+
+def _read_frag(op: Operand, width: int, idx: int, env: dict) -> str | None:
+    """Value expression matching ``semantics._read_operand``.
+
+    Register operands read at *register* width (the reference rule); the
+    produced value is bounded by ``max(width, reg.width)`` bits. Callers
+    that need the value bounded to ``width`` must reject wider register
+    operands (see :func:`_read_bounded` and the factories' guards).
+    """
+    if isinstance(op, Imm):
+        env[f"A{idx}"] = op.value & mask_for_width(width)
+        return f"A{idx}"
+    if isinstance(op, Reg):
+        reg = op.register
+        if reg.kind is not RegisterKind.GPR:
+            return None
+        env[f"R{idx}"] = reg.root
+        if reg.width == 64:
+            return f"g[R{idx}]"
+        env[f"RM{idx}"] = mask_for_width(reg.width)
+        return f"(g[R{idx}] & RM{idx})"
+    if isinstance(op, Mem):
+        addr = _addr_frag(op, idx, env)
+        if addr is None:
+            return None
+        env[f"N{idx}"] = width // 8
+        return f"rd({addr}, N{idx})"
+    return None
+
+
+def _read_bounded(op: Operand, width: int, idx: int, env: dict) -> str | None:
+    """Like :func:`_read_frag` but only for values bounded to ``width``."""
+    if isinstance(op, Reg) and op.register.width > width:
+        return None
+    return _read_frag(op, width, idx, env)
+
+
+def _write_frag(
+    op: Operand, width: int, idx: int, env: dict
+) -> Callable[[str], str] | None:
+    """Statement builder matching ``semantics._write_operand``.
+
+    The value expression passed in must be bounded to ``width`` bits.
+    """
+    if isinstance(op, Reg):
+        reg = op.register
+        if reg.kind is not RegisterKind.GPR:
+            return None
+        env[f"R{idx}"] = reg.root
+        rw = reg.width
+        if rw >= 32:
+            if width > rw:  # e.g. a 64-bit value into a 32-bit view
+                env[f"WM{idx}"] = mask_for_width(rw)
+                return lambda v: f"g[R{idx}] = ({v}) & WM{idx}"
+            # 32-bit writes zero-extend, 64-bit writes replace: plain store.
+            return lambda v: f"g[R{idx}] = {v}"
+        env[f"K{idx}"] = _M64 ^ mask_for_width(rw)
+        if width > rw:
+            env[f"WM{idx}"] = mask_for_width(rw)
+            return lambda v: f"g[R{idx}] = (g[R{idx}] & K{idx}) | (({v}) & WM{idx})"
+        return lambda v: f"g[R{idx}] = (g[R{idx}] & K{idx}) | ({v})"
+    if isinstance(op, Mem):
+        addr = _addr_frag(op, idx, env)
+        if addr is None:
+            return None
+        env[f"N{idx}"] = width // 8
+        return lambda v: f"wr({addr}, {v}, N{idx})"
+    return None
+
+
+#: Condition-code truthiness expressions over ``f`` (an RFLAGS value);
+#: mirrors ``flags.condition_holds`` (SF at bit 7, OF at bit 11).
+_CC_EXPR = {
+    "e": "f & _ZF",
+    "ne": "not f & _ZF",
+    "l": "(f >> 7 ^ f >> 11) & 1",
+    "ge": "not (f >> 7 ^ f >> 11) & 1",
+    "le": "f & _ZF or (f >> 7 ^ f >> 11) & 1",
+    "g": "not (f & _ZF or (f >> 7 ^ f >> 11) & 1)",
+    "b": "f & _CF",
+    "ae": "not f & _CF",
+    "be": "f & _CZ",
+    "a": "not f & _CZ",
+    "s": "f & _SF",
+    "ns": "not f & _SF",
+}
+
+
+def _zf_sf_pf_lines(result_var: str = "r") -> list[str]:
+    """The ZF/SF/PF update shared by every flag-writing template."""
+    return [
+        f"f = _PARITY[{result_var} & 0xFF]",
+        f"if {result_var} == 0:",
+        "    f |= _ZF",
+        f"if {result_var} & SGN:",
+        "    f |= _SF",
+    ]
+
+
+# -- per-kind step factories -------------------------------------------------
+#
+# Every factory returns None when the operand shape falls outside its fast
+# path; the caller then uses the generic reference-handler step, so the
+# translated engine is total over the ISA by construction.
+
+
+def _gen_mov(instr, width, nxt, env):
+    src, dst = instr.operands
+    read = _read_bounded(src, width, 0, env)
+    write = _write_frag(dst, width, 1, env)
+    if read is None or write is None:
+        return None
+    env["NXT"] = nxt
+    return _build_step([write(read), "return NXT"], env)
+
+
+def _gen_movext(instr, nxt, env):
+    spec = instr.spec
+    src, dst = instr.operands
+    read = _read_bounded(src, spec.src_width, 0, env)
+    write = _write_frag(dst, spec.width, 1, env)
+    if read is None or write is None:
+        return None
+    env["NXT"] = nxt
+    if instr.mnemonic.startswith("movz"):
+        return _build_step([write(read), "return NXT"], env)
+    env["SSGN"] = 1 << (spec.src_width - 1)
+    env["EXT"] = mask_for_width(spec.width) ^ mask_for_width(spec.src_width)
+    body = [
+        f"v = {read}",
+        "if v & SSGN:",
+        "    v |= EXT",
+        write("v"),
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_lea(instr, nxt, env):
+    src, dst = instr.operands
+    if not isinstance(src, Mem):
+        return None  # reference handler raises IllegalInstructionError
+    addr = _addr_frag(src, 0, env)
+    write = _write_frag(dst, 64, 1, env)
+    if addr is None or write is None:
+        return None
+    env["NXT"] = nxt
+    return _build_step([write(addr), "return NXT"], env)
+
+
+def _alu_guard(src, dst, width) -> bool:
+    """The reference reads register operands at *register* width; widths
+    that disagree with the instruction width go through the oracle."""
+    for op in (src, dst):
+        if isinstance(op, Reg) and op.register.width != width:
+            return False
+    return True
+
+
+def _gen_alu(instr, width, nxt, env):
+    src, dst = instr.operands
+    if not _alu_guard(src, dst, width):
+        return None
+    read_a = _read_frag(src, width, 0, env)
+    read_b = _read_frag(dst, width, 1, env)
+    write = _write_frag(dst, width, 1, env)
+    if read_a is None or read_b is None or write is None:
+        return None
+    env["NXT"] = nxt
+    env["M"] = mask_for_width(width)
+    env["SGN"] = 1 << (width - 1)
+    root = instr.mnemonic[:-1]
+
+    if root == "add":
+        body = [
+            f"a = {read_a}",
+            f"b = {read_b}",
+            "full = a + b",
+            "r = full & M",
+            *_zf_sf_pf_lines(),
+            "if full > M:",
+            "    f |= _CF",
+            "if not ((a ^ b) & SGN) and ((a ^ r) & SGN):",
+            "    f |= _OF",
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+    elif root == "sub":
+        body = [
+            f"a = {read_a}",
+            f"b = {read_b}",
+            "r = (b - a) & M",
+            *_zf_sf_pf_lines(),
+            "if b < a:",
+            "    f |= _CF",
+            "if ((b ^ a) & SGN) and ((b ^ r) & SGN):",
+            "    f |= _OF",
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+    elif root == "imul":
+        env["MD"] = mask_for_width(width) + 1
+        body = [
+            f"a = {read_a}",
+            f"b = {read_b}",
+            "if a & SGN:",
+            "    a -= MD",
+            "if b & SGN:",
+            "    b -= MD",
+            "full = a * b",
+            "r = full & M",
+            *_zf_sf_pf_lines(),
+            "if (r - MD if r & SGN else r) != full:",
+            "    f |= _CFOF",
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+    elif root in ("and", "or", "xor"):
+        sym = {"and": "&", "or": "|", "xor": "^"}[root]
+        body = [
+            f"a = {read_a}",  # src read first, as in the reference
+            f"r = {read_b} {sym} a",
+            *_zf_sf_pf_lines(),
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+    else:  # pragma: no cover - spec table guarantees the roots above
+        return None
+    return _build_step(body, env)
+
+
+def _gen_cmp(instr, width, nxt, env):
+    src, dst = instr.operands
+    if not _alu_guard(src, dst, width):
+        return None
+    read_a = _read_frag(src, width, 0, env)
+    read_b = _read_frag(dst, width, 1, env)
+    if read_a is None or read_b is None:
+        return None
+    env["NXT"] = nxt
+    env["M"] = mask_for_width(width)
+    env["SGN"] = 1 << (width - 1)
+    body = [
+        f"a = {read_a}",
+        f"b = {read_b}",
+        "r = (b - a) & M",
+        *_zf_sf_pf_lines(),
+        "if b < a:",
+        "    f |= _CF",
+        "if ((b ^ a) & SGN) and ((b ^ r) & SGN):",
+        "    f |= _OF",
+        "R.rflags = f",
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_test(instr, width, nxt, env):
+    src, dst = instr.operands
+    if not _alu_guard(src, dst, width):
+        return None
+    read_a = _read_frag(src, width, 0, env)
+    read_b = _read_frag(dst, width, 1, env)
+    if read_a is None or read_b is None:
+        return None
+    env["NXT"] = nxt
+    env["SGN"] = 1 << (width - 1)
+    body = [
+        f"a = {read_a}",  # src read first, as in the reference
+        f"r = {read_b} & a",
+        *_zf_sf_pf_lines(),
+        "R.rflags = f",
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_shift(instr, width, nxt, env):
+    src, dst = instr.operands
+    if isinstance(dst, Reg) and dst.register.width != width:
+        return None
+    read_v = _read_frag(dst, width, 1, env)
+    write = _write_frag(dst, width, 1, env)
+    if read_v is None or write is None:
+        return None
+    count_mask = 63 if width == 64 else 31
+    op = instr.mnemonic[:3]
+    env["NXT"] = nxt
+
+    if isinstance(src, Imm):
+        count = src.value & count_mask
+        if count == 0:
+            # Flags and value unaffected — but the reference still performs
+            # the operand read (a memory operand can segfault); mirror it.
+            if isinstance(dst, Mem):
+                return _build_step([read_v, "return NXT"], env)
+            return _build_step(["return NXT"], env)
+        env["M"] = mask_for_width(width)
+        env["SGN"] = 1 << (width - 1)
+        env["CNT"] = count
+        if op == "shl":
+            env["SH"] = width - count
+            calc = ["r = (v << CNT) & M", "cf = (v >> SH) & 1"]
+        elif op == "shr":
+            env["SH"] = count - 1
+            calc = ["r = v >> CNT", "cf = (v >> SH) & 1"]
+        else:  # sar
+            env["SH"] = count - 1
+            env["MD"] = mask_for_width(width) + 1
+            calc = [
+                "r = ((v - MD if v & SGN else v) >> CNT) & M",
+                "cf = (v >> SH) & 1",
+            ]
+        body = [
+            f"v = {read_v}",
+            *calc,
+            *_zf_sf_pf_lines(),
+            "if cf:",
+            "    f |= _CF",
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+        return _build_step(body, env)
+
+    if not (isinstance(src, Reg) and src.register.root == "rcx"):
+        return None  # reference handler raises IllegalInstructionError
+    env["M"] = mask_for_width(width)
+    env["SGN"] = 1 << (width - 1)
+    env["CM"] = count_mask
+    env["W"] = width
+    if op == "shl":
+        calc = ["r = (v << c) & M", "cf = (v >> (W - c)) & 1"]
+    elif op == "shr":
+        calc = ["r = v >> c", "cf = (v >> (c - 1)) & 1"]
+    else:  # sar
+        env["MD"] = mask_for_width(width) + 1
+        calc = [
+            "r = ((v - MD if v & SGN else v) >> c) & M",
+            "cf = (v >> (c - 1)) & 1",
+        ]
+    body = [
+        'c = g["rcx"] & CM',
+        f"v = {read_v}",  # read precedes the count-0 check (reference order)
+        "if c == 0:",
+        "    return NXT",
+        *calc,
+        *_zf_sf_pf_lines(),
+        "if cf:",
+        "    f |= _CF",
+        "R.rflags = f",
+        write("r"),
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_unary(instr, width, nxt, env):
+    (dst,) = instr.operands
+    if isinstance(dst, Reg) and dst.register.width != width:
+        return None
+    read_v = _read_frag(dst, width, 1, env)
+    write = _write_frag(dst, width, 1, env)
+    if read_v is None or write is None:
+        return None
+    env["NXT"] = nxt
+    env["M"] = mask_for_width(width)
+    op = instr.mnemonic[:3]
+
+    if op == "not":
+        body = [f"v = {read_v}", write("~v & M"), "return NXT"]
+        return _build_step(body, env)
+
+    env["SGN"] = 1 << (width - 1)
+    if op == "neg":
+        body = [
+            f"v = {read_v}",
+            "r = (-v) & M",
+            *_zf_sf_pf_lines(),
+            "if v:",
+            "    f |= _CF",
+            "if v & SGN and r & SGN:",
+            "    f |= _OF",
+            "R.rflags = f",
+            write("r"),
+            "return NXT",
+        ]
+    elif op == "inc":
+        body = [
+            f"v = {read_v}",
+            "r = (v + 1) & M",
+            *_zf_sf_pf_lines(),
+            "if not v & SGN and r & SGN:",
+            "    f |= _OF",
+            "R.rflags = f | (R.rflags & _CF)",  # inc preserves CF
+            write("r"),
+            "return NXT",
+        ]
+    else:  # dec
+        body = [
+            f"v = {read_v}",
+            "r = (v - 1) & M",
+            *_zf_sf_pf_lines(),
+            "if v & SGN and not r & SGN:",
+            "    f |= _OF",
+            "R.rflags = f | (R.rflags & _CF)",  # dec preserves CF
+            write("r"),
+            "return NXT",
+        ]
+    return _build_step(body, env)
+
+
+def _gen_setcc(instr, nxt, env):
+    (dst,) = instr.operands
+    cond = _CC_EXPR.get(instr.spec.cc or "")
+    write = _write_frag(dst, 8, 1, env)
+    if cond is None or write is None:
+        return None
+    env["NXT"] = nxt
+    body = [
+        "f = R.rflags",
+        f"v = 1 if {cond} else 0",
+        write("v"),
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_jcc(instr, target_pc, nxt, env):
+    cond = _CC_EXPR.get(instr.spec.cc or "")
+    if cond is None:
+        return None
+    env["NXT"] = nxt
+    env["TGT"] = target_pc
+    return _build_step(["f = R.rflags", f"return TGT if {cond} else NXT"], env)
+
+
+def _gen_push(instr, nxt, env):
+    (src,) = instr.operands
+    read = _read_frag(src, 64, 0, env)
+    if read is None:
+        return None
+    env["NXT"] = nxt
+    body = [
+        f"v = {read}",
+        'rsp = g["rsp"] - 8',  # unmasked, as the reference passes it on
+        'g["rsp"] = rsp & _M64',
+        "wr(rsp, v, 8)",
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+def _gen_pop(instr, nxt, env):
+    (dst,) = instr.operands
+    write = _write_frag(dst, 64, 1, env)
+    if write is None:
+        return None
+    env["NXT"] = nxt
+    body = [
+        'rsp = g["rsp"]',
+        "v = rd(rsp, 8)",
+        'g["rsp"] = (rsp + 8) & _M64',
+        write("v"),
+        "return NXT",
+    ]
+    return _build_step(body, env)
+
+
+# -- closure-based step factories (rare kinds) -------------------------------
+
+
+def _steps_convert(instr, nxt, gprs):
+    if instr.mnemonic == "cltq":
+        def step() -> int:
+            value = gprs["rax"] & _M32
+            if value & 0x8000_0000:
+                value |= 0xFFFF_FFFF_0000_0000
+            gprs["rax"] = value
+            return nxt
+        return step
+    if instr.mnemonic == "cltd":
+        def step() -> int:
+            gprs["rdx"] = _M32 if gprs["rax"] & 0x8000_0000 else 0
+            return nxt
+        return step
+
+    def step() -> int:  # cqto
+        gprs["rdx"] = _M64 if gprs["rax"] >> 63 else 0
+        return nxt
+    return step
+
+
+def _steps_idiv(instr, width, nxt, gprs, env):
+    (src,) = instr.operands
+    if isinstance(src, Reg) and src.register.width != width:
+        return None
+    read = _read_frag(src, width, 0, env)
+    if read is None:
+        return None
+    read_divisor = _build_step([f"return {read}"], env)
+    mask = mask_for_width(width)
+    sign = 1 << (width - 1)
+    modulus = mask + 1
+    double_sign = 1 << (2 * width - 1)
+    double_modulus = 1 << (2 * width)
+    q_min = -(1 << (width - 1))
+    q_max = 1 << (width - 1)
+    narrow = width == 32
+
+    def step() -> int:
+        raw = read_divisor()
+        divisor = raw - modulus if raw & sign else raw
+        if divisor == 0:
+            raise MachineFault("integer division by zero")
+        if narrow:
+            hi = gprs["rdx"] & _M32
+            lo = gprs["rax"] & _M32
+        else:
+            hi = gprs["rdx"]
+            lo = gprs["rax"]
+        dividend = (hi << width) | lo
+        if dividend & double_sign:
+            dividend -= double_modulus
+        quotient = trunc_div(dividend, divisor)
+        remainder = dividend - quotient * divisor
+        if not q_min <= quotient < q_max:
+            raise MachineFault("idiv quotient overflow")
+        gprs["rax"] = quotient & mask
+        gprs["rdx"] = remainder & mask
+        return nxt
+    return step
+
+
+def _steps_ret(machine, gprs, memory, code_len):
+    """``retq``: pop the return address; sentinel halts the program.
+
+    The reference raises post-dispatch faults (unmapped stack, corrupted
+    return address) *after* counting the instruction as executed, so the
+    step flags the machine and the run loop adjusts the counter on error.
+    """
+    from repro.machine.cpu import _SENTINEL
+
+    read_uint = memory.read_uint
+
+    def step() -> int:
+        machine._post_exec = True
+        rsp = gprs["rsp"]
+        return_to = read_uint(rsp, 8)
+        gprs["rsp"] = (rsp + 8) & _M64
+        if return_to == _SENTINEL:
+            machine._post_exec = False
+            value = gprs["rax"] & _M32
+            machine._exit_code = value - (1 << 32) if value & 0x8000_0000 else value
+            return _HALT
+        if return_to >= code_len:
+            raise MachineFault(f"return to corrupted address {return_to:#x}")
+        machine._post_exec = False
+        return return_to
+    return step
+
+
+def _steps_call(machine, pc, nxt, entry_pc, builtin_fn, gprs, memory):
+    if builtin_fn is not None:
+        def step() -> int:
+            machine._post_exec = True  # builtin errors count the call as executed
+            result = builtin_fn(machine)
+            machine._post_exec = False
+            gprs["rax"] = result & _M64
+            if machine._exit_requested:
+                return _HALT
+            return nxt
+        return step
+
+    return_pc = pc + 1
+    write_uint = memory.write_uint
+
+    def step() -> int:
+        machine._post_exec = True  # a stack overflow here is a post-exec fault
+        new_rsp = gprs["rsp"] - 8  # unmasked, as the reference passes it on
+        gprs["rsp"] = new_rsp & _M64
+        write_uint(new_rsp, return_pc, 8)
+        machine._post_exec = False
+        return entry_pc
+    return step
+
+
+def _steps_generic(machine, instr, nxt, target_pc):
+    """Reference-handler fallback for shapes outside the fast paths.
+
+    Vector instructions and deliberately malformed operand shapes execute
+    through the exact reference semantics, so specialization can never
+    change behaviour — only speed. ``target_pc`` is the pre-resolved jump
+    target for branch kinds (unused by straight-line instructions).
+    """
+    handler = handler_for(instr)
+
+    def step() -> int:
+        effect = handler(machine, instr)
+        flow = effect.flow
+        if flow is Flow.NEXT:
+            return nxt
+        if flow is Flow.JUMP:
+            return target_pc
+        raise MachineFault(
+            f"unexpected control flow {flow} from fallback step"
+        )  # pragma: no cover - CALL/RET are always specialized
+    return step
+
+
+def _is_vector_op(op: Operand) -> bool:
+    return isinstance(op, Reg) and op.register.kind is RegisterKind.VECTOR
+
+
+# -- program translation -----------------------------------------------------
+
+
+def translate_program(machine: "Machine") -> TranslatedCode:
+    """Compile every instruction of ``machine``'s program into a step."""
+    registers = machine.registers
+    gprs = registers._gprs
+    memory = machine.memory
+    # Live state bound into every generated step. RegisterFile and Memory
+    # keep these objects identity-stable across reset/restore.
+    base_env = {
+        "g": gprs,
+        "R": registers,
+        "rd": memory.read_uint,
+        "wr": memory.write_uint,
+        "M64": _M64,
+    }
+    code = machine._code
+    code_len = len(code)
+    steps: list[Step] = []
+
+    for pc, instr in enumerate(code):
+        nxt = pc + 1 if pc + 1 < code_len else _FELL_OFF
+        kind = instr.kind
+        width = instr.spec.width
+        env = dict(base_env)
+        step: Step | None = None
+
+        if kind is InstrKind.MOV:
+            src, dst = instr.operands
+            if not (_is_vector_op(src) or _is_vector_op(dst)):
+                step = _gen_mov(instr, width, nxt, env)
+        elif kind is InstrKind.MOVEXT:
+            step = _gen_movext(instr, nxt, env)
+        elif kind is InstrKind.LEA:
+            step = _gen_lea(instr, nxt, env)
+        elif kind is InstrKind.ALU:
+            step = _gen_alu(instr, width, nxt, env)
+        elif kind is InstrKind.SHIFT:
+            step = _gen_shift(instr, width, nxt, env)
+        elif kind is InstrKind.UNARY:
+            step = _gen_unary(instr, width, nxt, env)
+        elif kind is InstrKind.CMP:
+            step = _gen_cmp(instr, width, nxt, env)
+        elif kind is InstrKind.TEST:
+            step = _gen_test(instr, width, nxt, env)
+        elif kind is InstrKind.SETCC:
+            step = _gen_setcc(instr, nxt, env)
+        elif kind is InstrKind.PUSH:
+            step = _gen_push(instr, nxt, env)
+        elif kind is InstrKind.POP:
+            step = _gen_pop(instr, nxt, env)
+        elif kind is InstrKind.CONVERT:
+            step = _steps_convert(instr, nxt, gprs)
+        elif kind is InstrKind.IDIV:
+            step = _steps_idiv(instr, width, nxt, gprs, env)
+        elif kind is InstrKind.JMP:
+            def step(_t=machine._jump_pc[pc]) -> int:
+                return _t
+        elif kind is InstrKind.JCC:
+            step = _gen_jcc(instr, machine._jump_pc[pc], nxt, env)
+        elif kind is InstrKind.CALL:
+            step = _steps_call(machine, pc, nxt, machine._call_entry_pc[pc],
+                               machine._call_builtin_fn[pc], gprs, memory)
+        elif kind is InstrKind.RET:
+            step = _steps_ret(machine, gprs, memory, code_len)
+        elif kind is InstrKind.NOP:
+            def step(_n=nxt) -> int:
+                return _n
+
+        if step is None:
+            step = _steps_generic(machine, instr, nxt, machine._jump_pc[pc])
+        steps.append(step)
+
+    return TranslatedCode(steps, [1 if site else 0 for site in machine._is_site])
+
+
+# -- execution loops ---------------------------------------------------------
+
+
+def execute_translated(
+    machine: "Machine",
+    translation: TranslatedCode,
+    pc: int,
+    executed: int,
+    sites: int,
+    budget: int,
+    fault_hook,
+    fault_at: int,
+    stop_at_site: int | None,
+) -> tuple[int, int, int, bool]:
+    """Drive the compiled steps; same contract as ``Machine._execute_from``.
+
+    The no-hook/no-stop fast loop serves golden runs and fault-free suffix
+    execution; the general loop adds fault-site delivery and checkpoint
+    stops with exactly the reference engine's check ordering, counters and
+    halt-stamp semantics.
+    """
+    steps = translation.steps
+    site_flags = translation.site_flags
+    code_len = translation.code_len
+
+    if fault_hook is None and stop_at_site is None:
+        try:
+            if pc < 0 or pc >= code_len:
+                raise MachineFault(f"execution fell outside code at index {pc}")
+            while True:
+                if executed >= budget:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {budget} dynamic instructions"
+                    )
+                new_pc = steps[pc]()
+                executed += 1
+                sites += site_flags[pc]
+                if new_pc >= 0:
+                    pc = new_pc
+                    continue
+                if new_pc == _HALT:
+                    break
+                raise MachineFault(
+                    f"execution fell outside code at index {code_len}"
+                )
+        except MachineError:
+            if machine._post_exec:
+                machine._post_exec = False
+                executed += 1  # the faulting call/ret did execute
+            machine.halt_executed = executed
+            machine.halt_sites = sites
+            raise
+        return pc, executed, sites, False
+
+    code = machine._code
+    try:
+        while True:
+            # Check order mirrors the reference loop: stop, bounds, budget.
+            if stop_at_site is not None and sites >= stop_at_site:
+                return pc, executed, sites, True
+            if pc >= code_len or pc < 0:
+                raise MachineFault(f"execution fell outside code at index {pc}")
+            if executed >= budget:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {budget} dynamic instructions"
+                )
+            new_pc = steps[pc]()
+            executed += 1
+            if site_flags[pc]:
+                if fault_hook is not None and (fault_at < 0 or sites == fault_at):
+                    machine.executed_at_site = executed
+                    fault_hook(machine, code[pc], sites)
+                sites += 1
+            if new_pc >= 0:
+                pc = new_pc
+                continue
+            if new_pc == _HALT:
+                break
+            # Fell off the end: next iteration faults, after the stop check —
+            # matching the reference loop's check ordering.
+            pc = code_len
+    except MachineError:
+        if machine._post_exec:
+            machine._post_exec = False
+            executed += 1  # the faulting call/ret did execute
+        machine.halt_executed = executed
+        machine.halt_sites = sites
+        raise
+    return pc, executed, sites, False

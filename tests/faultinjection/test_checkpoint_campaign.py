@@ -137,6 +137,56 @@ class TestGeneratedProgramEngineEquivalence:
         assert parallel.outcomes.counts == sequential.outcomes.counts
 
 
+class TestExecutionEngineEquivalence:
+    """The machine's translated execution engine (``FERRUM_ENGINE``) must be
+    invisible to campaigns: outcomes, fault-site populations, and telemetry
+    records are bit-identical whether machines run translated or through the
+    reference handler loop — under both campaign engines."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, built):
+        from repro.fuzz.generator import generate_program
+        from repro.pipeline import build_variants
+
+        programs = {name: program for name, (_, program) in built.items()}
+        for fuzz_seed in (3, 17):
+            build = build_variants(generate_program(fuzz_seed),
+                                   names=("ferrum",))
+            programs[f"fuzz-{fuzz_seed}"] = build["ferrum"].asm
+        return programs
+
+    def _campaign(self, monkeypatch, program, machine_engine, **kwargs):
+        monkeypatch.setenv("FERRUM_ENGINE", machine_engine)
+        try:
+            return run_campaign(program, samples=SAMPLES, seed=SEED,
+                                telemetry=True, **kwargs)
+        finally:
+            monkeypatch.delenv("FERRUM_ENGINE")
+
+    def test_campaigns_identical_across_machine_engines(self, corpus,
+                                                        monkeypatch):
+        for name, program in corpus.items():
+            for campaign_engine in ("replay", "checkpoint"):
+                reference = self._campaign(monkeypatch, program, "reference",
+                                           engine=campaign_engine)
+                translated = self._campaign(monkeypatch, program, "translated",
+                                            engine=campaign_engine)
+                assert translated.outcomes.counts == reference.outcomes.counts, \
+                    (name, campaign_engine)
+                assert translated.fault_sites == reference.fault_sites
+                assert translated.records == reference.records
+
+    def test_checkpoint_vs_replay_on_reference_engine(self, corpus,
+                                                      monkeypatch):
+        program = corpus["fuzz-3"]
+        replay = self._campaign(monkeypatch, program, "reference",
+                                engine="replay")
+        checkpointed = self._campaign(monkeypatch, program, "reference",
+                                      engine="checkpoint")
+        assert checkpointed.outcomes.counts == replay.outcomes.counts
+        assert checkpointed.records == replay.records
+
+
 class TestCheckpointSchedule:
     def _plans(self, sites):
         return [(i, FaultPlan(site_index=s, register_pick=0.1, bit_pick=0.2))

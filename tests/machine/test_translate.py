@@ -1,0 +1,211 @@
+"""Translated engine vs reference handlers: bit-identity differential.
+
+The pre-translation engine (:mod:`repro.machine.translate`) is pure
+execution strategy — for any program, the reference handler loop is the
+semantic oracle and the translated engine must be indistinguishable from
+it: same :class:`RunResult`, same fault-site numbering, same fault-hook
+delivery (including ``executed_at_site``), same snapshots, and the same
+faults/detections with the same messages when a bit is flipped mid-run.
+"""
+
+import pytest
+
+from repro.errors import MachineError, MachineFault
+from repro.fuzz.generator import generate_program
+from repro.machine.cpu import ENGINE_ENV_VAR, ENGINES, Machine
+from repro.machine.timing import TimingConfig
+from repro.pipeline import build_variants
+from repro.workloads.registry import all_workloads, get_workload
+
+#: Fixed fuzz corpus — same seeds the checkpoint-campaign suite pins.
+FUZZ_SEEDS = (3, 17, 58)
+#: Variants that matter for engine parity: unprotected and fully protected.
+VARIANTS = ("raw", "ferrum")
+
+WORKLOAD_NAMES = tuple(spec.name for spec in all_workloads())
+
+
+@pytest.fixture(scope="module")
+def workload_asm():
+    out = {}
+    for name in WORKLOAD_NAMES:
+        build = build_variants(get_workload(name).source_fn(), names=VARIANTS)
+        out[name] = {variant: build[variant].asm for variant in VARIANTS}
+    return out
+
+
+@pytest.fixture(scope="module")
+def fuzz_asm():
+    return {
+        seed: {
+            variant: build[variant].asm for variant in VARIANTS
+        }
+        for seed, build in (
+            (s, build_variants(generate_program(s), names=VARIANTS))
+            for s in FUZZ_SEEDS
+        )
+    }
+
+
+def _run_both(program, **kwargs):
+    reference = Machine(program, engine="reference").run(**kwargs)
+    translated = Machine(program, engine="translated").run(**kwargs)
+    return reference, translated
+
+
+class TestCleanRunIdentity:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_workloads_bit_identical(self, workload_asm, name, variant):
+        reference, translated = _run_both(workload_asm[name][variant])
+        assert translated == reference
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_fuzz_corpus_bit_identical(self, fuzz_asm, seed, variant):
+        reference, translated = _run_both(fuzz_asm[seed][variant])
+        assert translated == reference
+
+    def test_budget_exhaustion_identical(self, workload_asm):
+        program = workload_asm[WORKLOAD_NAMES[0]]["raw"]
+        errors = []
+        for engine in ENGINES:
+            with pytest.raises(MachineError) as info:
+                Machine(program, engine=engine).run(max_instructions=500)
+            errors.append((type(info.value), str(info.value)))
+        assert errors[0] == errors[1]
+
+
+class TestFaultHookProtocol:
+    def test_hook_trace_identical(self, fuzz_asm):
+        """Every site ordinal, instruction, and ``executed_at_site`` the
+        hook observes must match between engines."""
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        traces = {}
+        for engine in ENGINES:
+            trace = []
+            machine = Machine(program, engine=engine)
+
+            def hook(m, instr, site, trace=trace, machine=machine):
+                assert m is machine
+                trace.append((site, m.executed_at_site, str(instr)))
+
+            machine.run(fault_hook=hook)
+            traces[engine] = trace
+        assert traces["translated"] == traces["reference"]
+        assert traces["translated"]  # the protocol actually fired
+
+    def test_fault_at_delivers_single_site(self, fuzz_asm):
+        program = fuzz_asm[FUZZ_SEEDS[1]]["raw"]
+        for target in (0, 5, 40):
+            hits = {}
+            for engine in ENGINES:
+                sites = []
+                Machine(program, engine=engine).run(
+                    fault_hook=lambda m, i, s, sites=sites: sites.append(s),
+                    fault_at=target,
+                )
+                hits[engine] = sites
+            assert hits["translated"] == hits["reference"] == [target]
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_injected_flips_identical(self, fuzz_asm, variant):
+        """Flipping a destination-register bit at a sampled site must yield
+        the same outcome — same result, or same fault type and message —
+        under both engines (detections included for protected variants)."""
+        program = fuzz_asm[FUZZ_SEEDS[2]][variant]
+        golden = Machine(program).run()
+        budget = golden.dynamic_instructions * 6
+        step = max(1, golden.fault_sites // 17)
+        for site in range(0, golden.fault_sites, step):
+            outcomes = []
+            for engine in ENGINES:
+                machine = Machine(program, engine=engine)
+
+                def hook(m, instr, s):
+                    dest = instr.dest_registers()
+                    m.registers.flip(dest[0], 3)
+
+                try:
+                    result = machine.run(fault_hook=hook, fault_at=site,
+                                         max_instructions=budget)
+                    outcomes.append(("ok", result))
+                except MachineError as exc:
+                    outcomes.append((type(exc).__name__, str(exc)))
+            assert outcomes[0] == outcomes[1], f"divergence at site {site}"
+
+
+class TestSnapshotIdentity:
+    def test_run_to_site_snapshots_identical(self, workload_asm):
+        program = workload_asm[WORKLOAD_NAMES[0]]["ferrum"]
+        for target in (1, 100, 2000):
+            snaps = [
+                Machine(program, engine=engine).run_to_site(target)
+                for engine in ENGINES
+            ]
+            assert snaps[0] == snaps[1]
+
+    def test_cross_engine_resume(self, workload_asm):
+        """A snapshot captured under one engine must resume bit-identically
+        under the other — checkpoints are engine-neutral."""
+        program = workload_asm[WORKLOAD_NAMES[1]]["raw"]
+        golden = Machine(program).run()
+        for snap_engine, resume_engine in (
+            ("reference", "translated"),
+            ("translated", "reference"),
+        ):
+            snap = Machine(program, engine=snap_engine).run_to_site(150)
+            resumed = Machine(program, engine=resume_engine).run(
+                resume_from=snap
+            )
+            assert resumed == golden
+
+    def test_chained_run_to_site_identical(self, fuzz_asm):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["ferrum"]
+        chained = {}
+        for engine in ENGINES:
+            machine = Machine(program, engine=engine)
+            snap = machine.run_to_site(20)
+            snap = machine.run_to_site(90, resume_from=snap)
+            chained[engine] = snap
+        assert chained["translated"] == chained["reference"]
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self, fuzz_asm):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        with pytest.raises(MachineFault):
+            Machine(program, engine="warp")
+
+    def test_env_var_selects_engine(self, fuzz_asm, monkeypatch):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert Machine(program).engine == "reference"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "translated")
+        assert Machine(program).engine == "translated"
+        monkeypatch.delenv(ENGINE_ENV_VAR)
+        assert Machine(program).engine == "translated"
+
+    def test_invalid_env_engine_rejected(self, fuzz_asm, monkeypatch):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        monkeypatch.setenv(ENGINE_ENV_VAR, "quantum")
+        with pytest.raises(MachineFault):
+            Machine(program)
+
+    def test_explicit_engine_overrides_env(self, fuzz_asm, monkeypatch):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert Machine(program, engine="translated").engine == "translated"
+
+
+class TestTimingRuns:
+    def test_timing_matches_reference(self, workload_asm):
+        """Timing-model observation runs on the reference loop regardless of
+        engine; cycle counts must be engine-independent."""
+        program = workload_asm[WORKLOAD_NAMES[0]]["raw"]
+        results = [
+            Machine(program, engine=engine).run(timing=TimingConfig())
+            for engine in ENGINES
+        ]
+        assert results[0] == results[1]
+        assert results[0].cycles is not None
