@@ -4,10 +4,15 @@ Two measurements, each with its own JSON trail at the repo root so
 regressions stay visible from PR to PR:
 
 * campaign throughput — faults/sec for the checkpointed vs. replay
-  injection engines (``BENCH_campaign_throughput.json``);
+  injection engines, plus the outcome-equivalence-pruned campaign
+  (``BENCH_campaign_throughput.json``);
 * execution throughput — instructions/sec and campaign faults/sec for the
-  translated vs. reference machine engines
+  fused vs. translated vs. reference machine engines
   (``BENCH_exec_throughput.json``).
+
+Every row is measured only after asserting bit-identical results across
+the engines (and across pruned vs. unpruned campaigns) — a throughput
+number for a divergent engine would be meaningless.
 
 Used two ways:
 
@@ -15,8 +20,9 @@ Used two ways:
   ``benchmarks/test_exec_throughput.py`` (the tier-2 perf smoke targets);
 * standalone: ``PYTHONPATH=src python benchmarks/perf_record.py
   [--workloads kmeans,lud] [--samples 40] [--seed 11]`` for the campaign
-  trail, plus ``--exec [--exec-workloads bfs,knn,pathfinder]`` for the
-  execution trail.
+  trail, plus ``--exec`` for the execution trail. ``--workloads`` filters
+  whichever trail runs; ``--exec-workloads`` overrides it for the
+  execution trail only.
 """
 
 from __future__ import annotations
@@ -35,7 +41,14 @@ EXEC_BENCH_PATH = _REPO_ROOT / "BENCH_exec_throughput.json"
 
 @dataclass(frozen=True)
 class ThroughputRecord:
-    """One engine-vs-engine measurement on one workload."""
+    """One engine-vs-engine measurement on one workload.
+
+    The ``pruned_*`` columns time the same campaign with
+    outcome-equivalence pruning enabled (checkpointed engine):
+    ``pruned_executed_fraction`` is the share of sampled injections that
+    actually executed — the rest were proven statically masked or
+    collapsed into an already-executed equivalence class.
+    """
 
     timestamp: str
     workload: str
@@ -48,6 +61,9 @@ class ThroughputRecord:
     replay_faults_per_sec: float
     checkpoint_faults_per_sec: float
     speedup: float
+    pruned_seconds: float
+    pruned_faults_per_sec: float
+    pruned_executed_fraction: float
 
 
 def measure_throughput(program, workload: str, samples: int,
@@ -69,6 +85,17 @@ def measure_throughput(program, workload: str, samples: int,
             f"{workload}: engines disagree: "
             f"{checkpointed.outcomes.counts} != {replay.outcomes.counts}"
         )
+
+    start = time.perf_counter()
+    pruned = run_campaign(program, samples=samples, seed=seed,
+                          engine="checkpoint", prune=True)
+    pruned_seconds = time.perf_counter() - start
+    if pruned.outcomes.counts != replay.outcomes.counts:
+        raise AssertionError(
+            f"{workload}: pruning changed campaign outcomes: "
+            f"{pruned.outcomes.counts} != {replay.outcomes.counts}"
+        )
+
     return ThroughputRecord(
         timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
         workload=workload,
@@ -81,6 +108,10 @@ def measure_throughput(program, workload: str, samples: int,
         replay_faults_per_sec=round(samples / replay_seconds, 3),
         checkpoint_faults_per_sec=round(samples / checkpoint_seconds, 3),
         speedup=round(replay_seconds / checkpoint_seconds, 3),
+        pruned_seconds=round(pruned_seconds, 4),
+        pruned_faults_per_sec=round(samples / pruned_seconds, 3),
+        pruned_executed_fraction=round(
+            pruned.pruning_stats.executed_fraction, 4),
     )
 
 
@@ -100,7 +131,12 @@ def append_record(record: ThroughputRecord, path: Path = BENCH_PATH) -> None:
 
 @dataclass(frozen=True)
 class ExecThroughputRecord:
-    """Translated vs. reference machine engine on one workload."""
+    """Fused vs. translated vs. reference machine engine on one workload.
+
+    ``instr_speedup`` keeps its PR-5 meaning (translated over reference)
+    so the existing trail stays comparable; the fused engine reports its
+    own ratios against both baselines.
+    """
 
     timestamp: str
     workload: str
@@ -108,13 +144,18 @@ class ExecThroughputRecord:
     fault_sites: int
     reference_seconds: float
     translated_seconds: float
+    fused_seconds: float
     reference_instr_per_sec: float
     translated_instr_per_sec: float
+    fused_instr_per_sec: float
     instr_speedup: float
+    fused_speedup_vs_reference: float
+    fused_speedup_vs_translated: float
     campaign_samples: int
     campaign_seed: int
     reference_faults_per_sec: float
     translated_faults_per_sec: float
+    fused_faults_per_sec: float
     campaign_speedup: float
 
 
@@ -156,27 +197,41 @@ def _time_campaign(program, engine: str, samples: int, seed: int):
 def measure_exec_throughput(program, workload: str, samples: int = 24,
                             seed: int = 11,
                             repeats: int = 3) -> ExecThroughputRecord:
-    """Time both machine engines on ``program``, clean-run and in-campaign.
+    """Time all three machine engines on ``program``, clean-run and
+    in-campaign.
 
     Asserts bit-identical clean-run results and campaign outcomes between
     the engines before reporting any number.
     """
     ref_result, ref_seconds = _time_engine(program, "reference", repeats)
     tr_result, tr_seconds = _time_engine(program, "translated", repeats)
+    fu_result, fu_seconds = _time_engine(program, "fused", repeats)
     if tr_result != ref_result:
         raise AssertionError(
             f"{workload}: machine engines disagree: "
             f"{tr_result} != {ref_result}"
+        )
+    if fu_result != ref_result:
+        raise AssertionError(
+            f"{workload}: fused engine disagrees with reference: "
+            f"{fu_result} != {ref_result}"
         )
 
     ref_campaign, ref_campaign_seconds = _time_campaign(
         program, "reference", samples, seed)
     tr_campaign, tr_campaign_seconds = _time_campaign(
         program, "translated", samples, seed)
+    fu_campaign, fu_campaign_seconds = _time_campaign(
+        program, "fused", samples, seed)
     if tr_campaign.outcomes.counts != ref_campaign.outcomes.counts:
         raise AssertionError(
             f"{workload}: campaign outcomes diverge across machine engines: "
             f"{tr_campaign.outcomes.counts} != {ref_campaign.outcomes.counts}"
+        )
+    if fu_campaign.outcomes.counts != ref_campaign.outcomes.counts:
+        raise AssertionError(
+            f"{workload}: fused-engine campaign outcomes diverge: "
+            f"{fu_campaign.outcomes.counts} != {ref_campaign.outcomes.counts}"
         )
 
     instructions = ref_result.dynamic_instructions
@@ -187,62 +242,74 @@ def measure_exec_throughput(program, workload: str, samples: int = 24,
         fault_sites=ref_result.fault_sites,
         reference_seconds=round(ref_seconds, 4),
         translated_seconds=round(tr_seconds, 4),
+        fused_seconds=round(fu_seconds, 4),
         reference_instr_per_sec=round(instructions / ref_seconds, 1),
         translated_instr_per_sec=round(instructions / tr_seconds, 1),
+        fused_instr_per_sec=round(instructions / fu_seconds, 1),
         instr_speedup=round(ref_seconds / tr_seconds, 3),
+        fused_speedup_vs_reference=round(ref_seconds / fu_seconds, 3),
+        fused_speedup_vs_translated=round(tr_seconds / fu_seconds, 3),
         campaign_samples=samples,
         campaign_seed=seed,
         reference_faults_per_sec=round(samples / ref_campaign_seconds, 3),
         translated_faults_per_sec=round(samples / tr_campaign_seconds, 3),
+        fused_faults_per_sec=round(samples / fu_campaign_seconds, 3),
         campaign_speedup=round(ref_campaign_seconds / tr_campaign_seconds, 3),
     )
 
 
 def render_exec_table(records: list["ExecThroughputRecord"]) -> str:
     lines = [
-        "Execution throughput: translated vs. reference engine",
+        "Execution throughput: fused vs. translated vs. reference engine",
         f"{'workload':<14} {'instrs':>8} {'ref i/s':>10} {'trans i/s':>10} "
-        f"{'speedup':>8} {'ref f/s':>8} {'trans f/s':>9}",
+        f"{'fused i/s':>10} {'f/ref':>7} {'f/trans':>8} {'fused f/s':>9}",
     ]
     for rec in records:
         lines.append(
             f"{rec.workload:<14} {rec.dynamic_instructions:>8} "
             f"{rec.reference_instr_per_sec:>10.0f} "
             f"{rec.translated_instr_per_sec:>10.0f} "
-            f"{rec.instr_speedup:>7.2f}x "
-            f"{rec.reference_faults_per_sec:>8.2f} "
-            f"{rec.translated_faults_per_sec:>9.2f}"
+            f"{rec.fused_instr_per_sec:>10.0f} "
+            f"{rec.fused_speedup_vs_reference:>6.2f}x "
+            f"{rec.fused_speedup_vs_translated:>7.2f}x "
+            f"{rec.fused_faults_per_sec:>9.2f}"
         )
     return "\n".join(lines)
 
 
 def render_table(records: list[ThroughputRecord]) -> str:
     lines = [
-        "Campaign throughput: checkpointed vs. replay engine",
+        "Campaign throughput: checkpointed vs. replay engine, with pruning",
         f"{'workload':<14} {'sites':>8} {'replay f/s':>11} "
-        f"{'ckpt f/s':>10} {'speedup':>8}",
+        f"{'ckpt f/s':>10} {'speedup':>8} {'pruned f/s':>11} {'exec%':>6}",
     ]
     for rec in records:
         lines.append(
             f"{rec.workload:<14} {rec.fault_sites:>8} "
             f"{rec.replay_faults_per_sec:>11.2f} "
             f"{rec.checkpoint_faults_per_sec:>10.2f} "
-            f"{rec.speedup:>7.2f}x"
+            f"{rec.speedup:>7.2f}x "
+            f"{rec.pruned_faults_per_sec:>11.2f} "
+            f"{rec.pruned_executed_fraction * 100:>5.1f}%"
         )
     return "\n".join(lines)
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workloads", default="kmeans,lud",
-                        help="comma-separated Rodinia workload names")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated Rodinia workload names "
+                             "(filters whichever trail runs; campaign "
+                             "default kmeans,lud, exec default "
+                             "bfs,knn,pathfinder)")
     parser.add_argument("--samples", type=int, default=40)
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--exec", dest="exec_bench", action="store_true",
                         help="measure the execution-engine trail instead")
-    parser.add_argument("--exec-workloads", default="bfs,knn,pathfinder",
-                        help="workloads for the execution-engine trail")
+    parser.add_argument("--exec-workloads", default=None,
+                        help="override --workloads for the execution-engine "
+                             "trail")
     args = parser.parse_args()
 
     from repro.backend import compile_module
@@ -255,8 +322,10 @@ def main() -> int:
         )
 
     if args.exec_bench:
+        exec_workloads = (args.exec_workloads or args.workloads
+                          or "bfs,knn,pathfinder")
         records = []
-        for name in args.exec_workloads.split(","):
+        for name in exec_workloads.split(","):
             name = name.strip()
             record = measure_exec_throughput(built(name), name,
                                              samples=args.samples,
@@ -268,7 +337,7 @@ def main() -> int:
         return 0
 
     records = []
-    for name in args.workloads.split(","):
+    for name in (args.workloads or "kmeans,lud").split(","):
         name = name.strip()
         record = measure_throughput(built(name), name, args.samples,
                                     args.seed)

@@ -7,6 +7,11 @@ benchmarks actually run (``REPRO_FI_SAMPLES``, default 40). Each run also
 appends its measurements to ``BENCH_campaign_throughput.json`` so the perf
 trajectory is tracked across PRs.
 
+Outcome-equivalence pruning gets its own gate on FERRUM-protected
+variants (where most sampled sites are statically classifiable): the
+pruned campaign must execute <= 60% of the sampled injections while
+reporting bit-identical aggregate outcome counts.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_campaign_throughput.py -q``
 """
 
@@ -33,6 +38,10 @@ WORKLOADS = tuple(
 )
 SEED = 11
 MIN_SPEEDUP = 2.0
+#: Pruning gate: on ferrum-protected variants the equivalence scanner must
+#: prove enough sites statically that at most 60% of sampled injections
+#: actually execute (measured 3-12% executed on these workloads).
+MAX_PRUNED_EXECUTED_FRACTION = 0.6
 
 _records = []
 
@@ -48,6 +57,32 @@ def test_checkpoint_engine_speedup(name):
         f"{name}: checkpointed engine only {record.speedup:.2f}x faster "
         f"({record.checkpoint_faults_per_sec:.2f} vs "
         f"{record.replay_faults_per_sec:.2f} faults/sec)"
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_pruned_campaign_gate(name):
+    """Pruned campaigns: <= 60% executed injections, identical outcomes.
+
+    Uses the ferrum variant — FERRUM's detectors make the bulk of sampled
+    sites provably detected/masked without execution; raw variants have
+    almost no statically-classifiable sites and would not exercise the
+    scanner.
+    """
+    from repro.faultinjection.campaign import run_campaign
+
+    program = build_for(name)["ferrum"].asm
+    plain = run_campaign(program, samples=FI_SAMPLES, seed=SEED)
+    pruned = run_campaign(program, samples=FI_SAMPLES, seed=SEED, prune=True)
+    assert pruned.outcomes.counts == plain.outcomes.counts, (
+        f"{name}: pruning changed campaign outcomes: "
+        f"{pruned.outcomes.counts} != {plain.outcomes.counts}"
+    )
+    stats = pruned.pruning_stats
+    assert stats.executed_fraction <= MAX_PRUNED_EXECUTED_FRACTION, (
+        f"{name}: pruned campaign executed "
+        f"{stats.executed_fraction:.0%} of {stats.samples} sampled "
+        f"injections (gate: <= {MAX_PRUNED_EXECUTED_FRACTION:.0%})"
     )
 
 

@@ -1,12 +1,15 @@
-"""Tier-2 perf smoke: step throughput, translated vs. reference engine.
+"""Tier-2 perf smoke: step throughput across the three machine engines.
 
 The translated engine pre-compiles every static instruction into a
 specialized closure (operands resolved to register slots, immediates
 folded, flags inlined — see ``docs/performance.md``), so its
 instructions/sec must beat the reference handler loop by >= 3x on at
-least two workloads. Each run also appends its measurements to
-``BENCH_exec_throughput.json`` so the engine's perf trajectory is tracked
-across PRs.
+least two workloads. The fused engine concatenates whole basic blocks
+into single exec-compiled bodies with dead-flag elision and inlined
+memory fast paths, and must beat the translated engine by >= 2x (>= 6x
+over reference) on at least two workloads. Each run also appends its
+measurements to ``BENCH_exec_throughput.json`` so the engines' perf
+trajectory is tracked across PRs.
 
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_exec_throughput.py -q``
 """
@@ -36,9 +39,13 @@ WORKLOADS = tuple(
 )
 SAMPLES = int(os.environ.get("REPRO_EXEC_SAMPLES", "24"))
 SEED = 11
-#: The tentpole gate: >= 3x instructions/sec on at least MIN_WORKLOADS_AT_GATE.
+#: The PR-5 gate: >= 3x instructions/sec on at least MIN_WORKLOADS_AT_GATE.
 MIN_SPEEDUP = 3.0
 MIN_WORKLOADS_AT_GATE = 2
+#: The superblock gate: the fused engine must be >= 2x the translated
+#: engine and >= 6x the reference loop (measured 2.97-3.10x / 9-12x).
+FUSED_MIN_VS_TRANSLATED = 2.0
+FUSED_MIN_VS_REFERENCE = 6.0
 
 _records = []
 
@@ -60,6 +67,11 @@ def test_translated_engine_faster(name):
         f"({record.translated_faults_per_sec:.2f} vs "
         f"{record.reference_faults_per_sec:.2f} faults/sec)"
     )
+    assert record.fused_instr_per_sec > record.translated_instr_per_sec, (
+        f"{name}: fused engine slower than translated "
+        f"({record.fused_instr_per_sec:.0f} vs "
+        f"{record.translated_instr_per_sec:.0f} instr/sec)"
+    )
 
 
 def test_speedup_gate():
@@ -70,6 +82,26 @@ def test_speedup_gate():
         f"only {len(at_gate)}/{len(_records)} workloads reach "
         f"{MIN_SPEEDUP:.0f}x instr/sec: "
         + ", ".join(f"{r.workload}={r.instr_speedup:.2f}x" for r in _records)
+    )
+
+
+def test_fused_speedup_gate():
+    if len(_records) < MIN_WORKLOADS_AT_GATE:
+        pytest.skip("not enough throughput measurements collected")
+    at_gate = [
+        r for r in _records
+        if r.fused_speedup_vs_translated >= FUSED_MIN_VS_TRANSLATED
+        and r.fused_speedup_vs_reference >= FUSED_MIN_VS_REFERENCE
+    ]
+    assert len(at_gate) >= MIN_WORKLOADS_AT_GATE, (
+        f"only {len(at_gate)}/{len(_records)} workloads reach the fused "
+        f"gate ({FUSED_MIN_VS_TRANSLATED:.0f}x over translated, "
+        f"{FUSED_MIN_VS_REFERENCE:.0f}x over reference): "
+        + ", ".join(
+            f"{r.workload}={r.fused_speedup_vs_translated:.2f}x/"
+            f"{r.fused_speedup_vs_reference:.2f}x"
+            for r in _records
+        )
     )
 
 

@@ -26,6 +26,12 @@ fi
 echo "== tier-1 tests (perf marker deselected) =="
 PYTHONPATH=src python -m pytest tests -q -m "not perf" || status=$?
 
+echo "== tier-1 tests (fused execution engine) =="
+# The superblock-fused engine must be invisible to the whole suite
+# (bit-identity contract; see docs/performance.md).
+FERRUM_ENGINE=fused PYTHONPATH=src python -m pytest tests -q -m "not perf" \
+    || status=$?
+
 echo "== fuzz smoke (fixed seeds, bounded) =="
 # Mirrors the CI fuzz-smoke job: a deterministic seed range under a time
 # budget. Findings land in fuzz-artifacts/ with per-seed repro commands.

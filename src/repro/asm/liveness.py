@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.asm.instructions import Instruction, InstrKind
+from repro.asm.operands import Imm
 from repro.asm.program import AsmBlock, AsmFunction
 from repro.asm.registers import ARG_GPRS, CALLEE_SAVED, GPR64
+from repro.machine.flags import CF_BIT, OF_BIT, PF_BIT, SF_BIT, ZF_BIT
 
 #: Caller-saved GPR roots (clobbered by a call under SysV).
 CALLER_SAVED: frozenset[str] = frozenset(
@@ -51,6 +53,110 @@ def instruction_defs(instr: Instruction) -> frozenset[str]:
     if instr.kind in (InstrKind.PUSH, InstrKind.POP):
         defs.add("rsp")
     return frozenset(defs)
+
+
+#: The five modeled RFLAGS bits, as a bit-set over RFLAGS positions.
+ALL_FLAG_BITS: frozenset[int] = frozenset(
+    (CF_BIT, PF_BIT, ZF_BIT, SF_BIT, OF_BIT)
+)
+
+#: Condition code -> RFLAGS bits consumed (:func:`condition_holds`). PF is
+#: never consumed by any modeled condition, so a PF fault is observable only
+#: through a later full-flags read (call/ret, conservatively).
+CC_READS: dict[str, frozenset[int]] = {
+    "e": frozenset({ZF_BIT}),
+    "ne": frozenset({ZF_BIT}),
+    "l": frozenset({SF_BIT, OF_BIT}),
+    "ge": frozenset({SF_BIT, OF_BIT}),
+    "le": frozenset({ZF_BIT, SF_BIT, OF_BIT}),
+    "g": frozenset({ZF_BIT, SF_BIT, OF_BIT}),
+    "b": frozenset({CF_BIT}),
+    "ae": frozenset({CF_BIT}),
+    "be": frozenset({CF_BIT, ZF_BIT}),
+    "a": frozenset({CF_BIT, ZF_BIT}),
+    "s": frozenset({SF_BIT}),
+    "ns": frozenset({SF_BIT}),
+}
+
+_NO_BITS: frozenset[int] = frozenset()
+_NON_CF_BITS: frozenset[int] = ALL_FLAG_BITS - {CF_BIT}
+
+#: Instruction kinds that deterministically write all five flags.
+_FULL_FLAG_WRITERS = (
+    InstrKind.ALU, InstrKind.CMP, InstrKind.TEST, InstrKind.VECTEST,
+)
+
+
+def _shift_count(instr: Instruction) -> int | None:
+    """Static shift count, or ``None`` when it comes from ``%cl``."""
+    src = instr.operands[0]
+    if isinstance(src, Imm):
+        return src.value & (63 if instr.spec.width == 64 else 31)
+    return None
+
+
+def flag_bits_read(instr: Instruction) -> frozenset[int]:
+    """RFLAGS bits ``instr`` consumes.
+
+    ``jcc``/``setcc`` read their condition's bits; ``inc``/``dec`` read CF
+    (they must preserve it through the read-modify-write of RFLAGS).
+    ``call``/``ret`` conservatively read every bit — flags could in
+    principle be consumed after the control transfer, and keeping that
+    assumption makes the analysis safely intraprocedural.
+    """
+    kind = instr.kind
+    if kind in (InstrKind.JCC, InstrKind.SETCC):
+        return CC_READS[instr.spec.cc or ""]
+    if kind is InstrKind.UNARY and instr.mnemonic[:3] in ("inc", "dec"):
+        return frozenset({CF_BIT})
+    if kind in (InstrKind.CALL, InstrKind.RET):
+        return ALL_FLAG_BITS
+    return _NO_BITS
+
+
+def flag_bits_written(instr: Instruction) -> frozenset[int]:
+    """RFLAGS bits ``instr`` *always* overwrites (must-def, not may-def).
+
+    Conditional writers are reported as writing nothing: an ``rcx``-count
+    shift leaves flags untouched when the dynamic count is zero, so it can
+    never justify eliding an earlier flag computation. Immediate-count
+    shifts are decided statically.
+    """
+    kind = instr.kind
+    if kind in _FULL_FLAG_WRITERS:
+        return ALL_FLAG_BITS
+    if kind is InstrKind.SHIFT:
+        count = _shift_count(instr)
+        return ALL_FLAG_BITS if count else _NO_BITS
+    if kind is InstrKind.UNARY:
+        op = instr.mnemonic[:3]
+        if op == "neg":
+            return ALL_FLAG_BITS
+        if op in ("inc", "dec"):
+            return _NON_CF_BITS
+        return _NO_BITS  # not: flags untouched
+    return _NO_BITS
+
+
+def instruction_uses_with_flags(instr: Instruction) -> frozenset[str]:
+    """:func:`instruction_uses` extended with an ``rflags`` pseudo-root."""
+    uses = instruction_uses(instr)
+    if flag_bits_read(instr):
+        return uses | {"rflags"}
+    return uses
+
+
+def instruction_defs_with_flags(instr: Instruction) -> frozenset[str]:
+    """:func:`instruction_defs` extended with an ``rflags`` pseudo-root.
+
+    ``rflags`` is reported as defined only when the instruction overwrites
+    *all five* modeled bits — partial writers (``inc``/``dec``) cannot kill
+    the root as a whole.
+    """
+    defs = instruction_defs(instr)
+    if flag_bits_written(instr) == ALL_FLAG_BITS:
+        return defs | {"rflags"}
+    return defs
 
 
 @dataclass

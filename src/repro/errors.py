@@ -93,6 +93,16 @@ class SegmentationFault(MachineFault):
     """Memory access outside any mapped segment."""
 
 
+class EngineConfigError(MachineFault, ValueError):
+    """An unknown execution engine was requested.
+
+    Raised for a bad ``engine=`` argument or ``FERRUM_ENGINE`` value; the
+    message lists the valid engine names. Derives from both
+    :class:`MachineFault` (the machine-layer hierarchy) and ``ValueError``
+    (it is a configuration error, not an architectural event).
+    """
+
+
 class IllegalInstructionError(MachineFault):
     """The CPU met an instruction it cannot execute."""
 

@@ -30,10 +30,15 @@ it on or off, and the default-off path adds no per-run work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.asm.program import AsmProgram
 from repro.errors import InjectionError
+from repro.faultinjection.equivalence import (
+    PruningAnalysis,
+    PruningStats,
+    analyze_plans,
+)
 from repro.faultinjection.injector import (
     FaultPlan,
     inject_asm_fault,
@@ -75,6 +80,7 @@ class CampaignResult:
     dynamic_instructions: int = 0
     records: list[FaultRecord] | None = None
     checkpoint_stats: CheckpointStats | None = None
+    pruning_stats: PruningStats | None = None
 
     @property
     def sdc_probability(self) -> float:
@@ -88,6 +94,29 @@ class CampaignResult:
             f"{self.samples} faults over {self.fault_sites} sites: "
             + ", ".join(parts)
         )
+
+
+def _expand_pruned(
+    analysis: PruningAnalysis, executed, telemetry: bool
+) -> list:
+    """Results the pruning pass avoided executing.
+
+    Synthesized verdicts are returned as-is; duplicate plans are served by
+    cloning their representative's result (the machine is deterministic, so
+    an identical (site, register, bit) flip yields an identical outcome),
+    re-stamped with the duplicate's run index when telemetry is on.
+    """
+    extra = list(analysis.synthesized)
+    if analysis.duplicates:
+        by_run = dict(executed)
+        for rep, dup_indices in analysis.duplicates.items():
+            rep_result = by_run[rep]
+            for dup in dup_indices:
+                extra.append(
+                    (dup, replace(rep_result, run_index=dup))
+                    if telemetry else (dup, rep_result)
+                )
+    return extra
 
 
 def _checkpoint_schedule(
@@ -297,6 +326,7 @@ def run_campaign(
     checkpoint_interval: int | None = None,
     telemetry: bool = False,
     jsonl_path=None,
+    prune: bool = False,
 ) -> CampaignResult:
     """Inject ``samples`` single-bit faults at assembly level.
 
@@ -321,6 +351,14 @@ def run_campaign(
     records to disk as JSONL — incrementally in sequential engines, after
     collection in multiprocessing ones. Outcome counts are bit-identical
     with telemetry on or off.
+
+    ``prune=True`` runs the outcome-equivalence pass
+    (:mod:`repro.faultinjection.equivalence`) first: plans whose outcome is
+    provable from the golden trace are synthesized without execution, and
+    plans identical in (site, register, bit) to an already-executed one are
+    served by cloning its result. Outcomes and telemetry records stay
+    bit-identical to the unpruned campaign; ``result.pruning_stats``
+    reports how much work was avoided.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -336,9 +374,25 @@ def run_campaign(
         (run_index, FaultPlan.sample(rng.fork(run_index), golden.fault_sites))
         for run_index in range(samples)
     ]
+    analysis = None
+    if prune:
+        analysis = analyze_plans(program, plans, function=function, args=args,
+                                 telemetry=telemetry)
+        plans = analysis.to_execute
+        result.pruning_stats = analysis.stats
     stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
     result.checkpoint_stats = stats
     sink = JsonlSink(jsonl_path) if jsonl_path is not None else None
+    # With pruning, synthesized/cloned results must be merged before the
+    # sink sees anything, so the sequential engines must not stream.
+    stream_sink = None if prune else sink
+
+    def _complete(results, streamed: bool) -> CampaignResult:
+        if analysis is not None:
+            executed = list(results)
+            results = executed + _expand_pruned(analysis, executed, telemetry)
+            streamed = False
+        return _finish(result, results, telemetry, sink, streamed)
 
     try:
         context = _fork_context() if processes > 1 else None
@@ -375,14 +429,14 @@ def run_campaign(
                 )
                 results = _pooled(context, processes, _parallel_inject, plans,
                                   chunksize=8)
-            return _finish(result, results, telemetry, sink, streamed=False)
+            return _complete(results, streamed=False)
 
         if engine == "checkpoint":
             results = _checkpointed_asm_results(
                 program, plans, golden, function, args, checkpoint_interval,
-                telemetry=telemetry, stats=stats, sink=sink,
+                telemetry=telemetry, stats=stats, sink=stream_sink,
             )
-            return _finish(result, results, telemetry, sink, streamed=True)
+            return _complete(results, streamed=True)
 
         machine = Machine(program)
         results = []
@@ -391,10 +445,10 @@ def run_campaign(
                                        function=function, args=args,
                                        machine=machine, telemetry=telemetry,
                                        run_index=run_index)
-            if sink is not None and telemetry:
-                sink.write(outcome)
+            if stream_sink is not None and telemetry:
+                stream_sink.write(outcome)
             results.append((run_index, outcome))
-        return _finish(result, results, telemetry, sink, streamed=True)
+        return _complete(results, streamed=True)
     finally:
         if sink is not None:
             sink.close()

@@ -29,7 +29,12 @@ from typing import Callable
 from repro.asm.instructions import Instruction, InstrKind
 from repro.asm.program import AsmProgram, validate_program
 from repro.asm.registers import ARG_GPRS, get_register
-from repro.errors import ExecutionLimitExceeded, MachineError, MachineFault
+from repro.errors import (
+    EngineConfigError,
+    ExecutionLimitExceeded,
+    MachineError,
+    MachineFault,
+)
 from repro.machine.builtins import get_builtin, is_builtin
 from repro.machine.memory import Memory, MemoryLayout, MemorySnapshot
 from repro.machine.semantics import Flow
@@ -40,9 +45,10 @@ from repro.utils.bitops import to_signed
 #: Return-address sentinel marking the bottom of the call stack.
 _SENTINEL = (1 << 64) - 1
 
-#: Supported execution engines: the pre-translated threaded-code engine and
-#: the reference interpreter kept as the semantic oracle.
-ENGINES = ("translated", "reference")
+#: Supported execution engines: the pre-translated threaded-code engine, the
+#: superblock-fusing engine layered on top of it, and the reference
+#: interpreter kept as the semantic oracle.
+ENGINES = ("translated", "fused", "reference")
 
 #: Environment variable overriding the default engine (used when ``engine``
 #: is not passed explicitly; see ``docs/performance.md``).
@@ -107,9 +113,11 @@ class Machine:
         """Load ``program`` and pick an execution engine.
 
         ``engine`` selects ``"translated"`` (pre-compiled threaded code, the
-        default) or ``"reference"`` (the per-instruction handler interpreter,
-        kept as the semantic oracle). When not passed explicitly, the
-        ``FERRUM_ENGINE`` environment variable is honored. Both engines are
+        default), ``"fused"`` (superblocks compiled over the threaded code,
+        with dead-flag elision; see ``docs/performance.md``) or
+        ``"reference"`` (the per-instruction handler interpreter, kept as
+        the semantic oracle). When not passed explicitly, the
+        ``FERRUM_ENGINE`` environment variable is honored. All engines are
         bit-identical in results, fault-site numbering, counters, snapshots
         and telemetry; timing-model runs always execute on the reference
         loop, which observes per-access memory traffic.
@@ -121,7 +129,7 @@ class Machine:
         if engine is None:
             engine = os.environ.get(ENGINE_ENV_VAR, "").strip() or "translated"
         if engine not in ENGINES:
-            raise MachineFault(
+            raise EngineConfigError(
                 f"unknown execution engine {engine!r} "
                 f"(choose from {', '.join(ENGINES)})"
             )
@@ -162,8 +170,10 @@ class Machine:
                     self._call_builtin_fn[pc] = get_builtin(target)
                 else:
                     self._call_entry_pc[pc] = self._entry[target]
-        # Threaded code, built lazily on the first translated-engine run.
+        # Threaded code, built lazily on the first translated-engine run;
+        # fused superblocks likewise on the first fused-engine run.
         self._translation = None
+        self._fused = None
 
         # Mutable per-run state, initialized by _reset().
         self.registers = RegisterFile()
@@ -301,6 +311,11 @@ class Machine:
                 pc, executed, sites, budget,
                 fault_hook=None, fault_at=-1, stop_at_site=target_site,
             )
+        elif self.engine == "fused":
+            pc, executed, sites, stopped = self._run_fused(
+                pc, executed, sites, budget,
+                fault_hook=None, fault_at=-1, stop_at_site=target_site,
+            )
         else:
             pc, executed, sites, stopped = self._execute_from(
                 pc, executed, sites, budget,
@@ -360,6 +375,13 @@ class Machine:
                 fault_at=-1 if fault_at is None else fault_at,
                 stop_at_site=None,
             )
+        elif self.engine == "fused" and timer is None:
+            pc, executed, sites, _ = self._run_fused(
+                pc, executed, sites, budget,
+                fault_hook=fault_hook,
+                fault_at=-1 if fault_at is None else fault_at,
+                stop_at_site=None,
+            )
         else:
             pc, executed, sites, _ = self._execute_from(
                 pc, executed, sites, budget,
@@ -393,6 +415,27 @@ class Machine:
             self._translation = translate_program(self)
         return execute_translated(
             self, self._translation, pc, executed, sites, budget,
+            fault_hook, fault_at, stop_at_site,
+        )
+
+    def _run_fused(
+        self,
+        pc: int,
+        executed: int,
+        sites: int,
+        budget: int,
+        fault_hook: FaultHook | None,
+        fault_at: int,
+        stop_at_site: int | None,
+    ) -> tuple[int, int, int, bool]:
+        """Execute on the superblock-fused engine (fusing on first use)."""
+        from repro.machine.translate import execute_fused, translate_fused
+
+        if self._fused is None:
+            self._fused = translate_fused(self)
+            self._translation = self._fused.base
+        return execute_fused(
+            self, self._fused, pc, executed, sites, budget,
             fault_hook, fault_at, stop_at_site,
         )
 

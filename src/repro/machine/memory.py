@@ -95,7 +95,12 @@ class _Segment:
         for page, contents in pages.items():
             start = page << _PAGE_SHIFT
             data[start : start + len(contents)] = contents
-        self.dirty = set(pages)
+        # In place, not rebound: the fused execution engine captures
+        # ``dirty.add`` as a bound method at translation time, so the set —
+        # like the backing bytearray — must stay identity-stable across
+        # restores.
+        self.dirty.clear()
+        self.dirty.update(pages)
 
 
 class Memory:

@@ -42,10 +42,21 @@ Closures capture the machine's register-file dict and memory accessors
 directly; :class:`~repro.machine.state.RegisterFile` and
 :class:`~repro.machine.memory.Memory` guarantee those objects are
 identity-stable across resets and snapshot restores.
+
+A second, faster layer builds on the per-instruction translation:
+:func:`translate_fused`/:func:`execute_fused` concatenate the generated
+statement lists of whole basic blocks into single ``exec``-compiled
+superblock bodies — flag computation elided where a block-local liveness
+pass proves the bits dead, memory accesses inlined through a
+segment-guessing fast path — while keeping the per-instruction steps as
+the single-stepping fallback wherever a fault site, stop target or budget
+boundary must be observed mid-block. The same bit-identity contract
+applies; see the fusion section below and ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import struct as _struct
 from typing import TYPE_CHECKING, Callable
 
 from repro.asm.instructions import InstrKind
@@ -104,7 +115,8 @@ class TranslatedCode:
 
 # -- code generation core ----------------------------------------------------
 
-#: Globals visible to generated steps (flag constants, parity table).
+#: Globals visible to generated steps (flag constants, parity table,
+#: fixed-width memory codecs).
 _EXEC_GLOBALS = {
     "__builtins__": {},
     "_PARITY": _PARITY,
@@ -115,6 +127,16 @@ _EXEC_GLOBALS = {
     "_CZ": _CZ,
     "_CFOF": _CFOF,
     "_M64": _M64,
+    # Little-endian fixed-width codecs for the fused engine's inlined
+    # memory fast path (one C call instead of segment lookup + slicing).
+    "_U1": _struct.Struct("<B").unpack_from,
+    "_U2": _struct.Struct("<H").unpack_from,
+    "_U4": _struct.Struct("<I").unpack_from,
+    "_U8": _struct.Struct("<Q").unpack_from,
+    "_P1": _struct.Struct("<B").pack_into,
+    "_P2": _struct.Struct("<H").pack_into,
+    "_P4": _struct.Struct("<I").pack_into,
+    "_P8": _struct.Struct("<Q").pack_into,
 }
 
 #: shape source -> compiled ``make`` function (shared across programs).
@@ -264,13 +286,19 @@ _CC_EXPR = {
 }
 
 
-def _zf_sf_pf_lines(result_var: str = "r") -> list[str]:
-    """The ZF/SF/PF update shared by every flag-writing template."""
+def _zf_sf_pf_lines(result_var: str = "r", sgn: str = "SGN") -> list[str]:
+    """The ZF/SF/PF epilogue shared by every flag-writing template.
+
+    One fragment serves both emitters: the per-instruction step factories
+    bind the sign-bit constant as the ``SGN`` closure cell, while the
+    superblock fusion emitter passes it as a hex literal (``sgn``) so one
+    fused body can mix widths without closure-cell name collisions.
+    """
     return [
         f"f = _PARITY[{result_var} & 0xFF]",
         f"if {result_var} == 0:",
         "    f |= _ZF",
-        f"if {result_var} & SGN:",
+        f"if {result_var} & {sgn}:",
         "    f |= _SF",
     ]
 
@@ -944,6 +972,807 @@ def execute_translated(
                     machine.executed_at_site = executed
                     fault_hook(machine, code[pc], sites)
                 sites += 1
+            if new_pc >= 0:
+                pc = new_pc
+                continue
+            if new_pc == _HALT:
+                break
+            # Fell off the end: next iteration faults, after the stop check —
+            # matching the reference loop's check ordering.
+            pc = code_len
+    except MachineError:
+        if machine._post_exec:
+            machine._post_exec = False
+            executed += 1  # the faulting call/ret did execute
+        machine.halt_executed = executed
+        machine.halt_sites = sites
+        raise
+    return pc, executed, sites, False
+
+
+# -- superblock fusion --------------------------------------------------------
+#
+# The fused engine removes the remaining per-instruction cost of the
+# threaded-code engine: instead of one closure call, one counter update and
+# one loop iteration per instruction, each basic block / fall-through
+# superblock compiles to ONE exec'd body — straight-line statements
+# concatenated, with flag computation elided at interior instructions whose
+# flags are provably dead (per-bit backward liveness over
+# ``asm.liveness.flag_bits_read``/``flag_bits_written``, conservatively ALL
+# bits live at every block exit, so the architectural RFLAGS value at any
+# block boundary is always exact).
+#
+# Bit-identity is preserved by construction:
+#
+# * blocks are cut at calls, returns, ``idiv`` and any shape outside the
+#   fast paths — those instructions execute through the per-instruction
+#   translated steps, which the fused code object retains in full;
+# * a block only runs fused when no observable event can occur inside it:
+#   the instruction budget cannot expire mid-block, no ``stop_at_site``
+#   boundary and no pending fault-site hook falls inside it — otherwise the
+#   driver falls back to single-stepping, so ``run_to_site`` snapshots,
+#   fault-site numbering and hook delivery are identical to the reference;
+# * fused bodies with faultable statements (memory operands, push/pop)
+#   stamp their intra-block progress (instructions and sites completed)
+#   into a shared cell before each such statement, so ``halt_executed`` /
+#   ``halt_sites`` stay exact when a segfault aborts a fused block.
+
+from repro.asm.liveness import (  # noqa: E402  (fusion-only dependency)
+    ALL_FLAG_BITS,
+    _shift_count,
+    flag_bits_read,
+    flag_bits_written,
+)
+
+#: Kinds the fusion emitter can place inside a superblock body.
+_FUSABLE_KINDS = frozenset({
+    InstrKind.MOV, InstrKind.MOVEXT, InstrKind.LEA, InstrKind.ALU,
+    InstrKind.SHIFT, InstrKind.UNARY, InstrKind.CMP, InstrKind.TEST,
+    InstrKind.SETCC, InstrKind.PUSH, InstrKind.POP, InstrKind.CONVERT,
+    InstrKind.NOP,
+})
+
+
+class FusedCode:
+    """Fused superblocks over a :class:`TranslatedCode` fallback layer."""
+
+    __slots__ = ("base", "fused_steps", "fused_len", "fused_sites", "progress")
+
+    def __init__(self, base: TranslatedCode, fused_steps, fused_len,
+                 fused_sites, progress) -> None:
+        self.base = base
+        self.fused_steps = fused_steps
+        self.fused_len = fused_len
+        self.fused_sites = fused_sites
+        #: ``[instructions, sites]`` completed inside the currently-failing
+        #: fused block; written by the generated except clause.
+        self.progress = progress
+
+
+def _can_fault(instr) -> bool:
+    """Whether a fused statement for ``instr`` can raise a MachineError."""
+    if instr.kind in (InstrKind.PUSH, InstrKind.POP):
+        return True
+    if instr.kind is InstrKind.LEA:
+        return False  # address arithmetic only, no access
+    return any(isinstance(op, Mem) for op in instr.operands)
+
+
+def _seg_guess(mem: Mem) -> int:
+    """Index into ``Memory._segments`` of the likeliest segment for ``mem``.
+
+    ``rbp``/``rsp``-based addressing is stack traffic, absolute addresses
+    are globals, everything else is pointer-chasing into the heap. A wrong
+    guess only costs speed — the generated fast path re-checks bounds and
+    falls back to the accessor — never correctness.
+    """
+    base = mem.base
+    if base is not None and base.root in ("rbp", "rsp"):
+        return 0  # stack
+    if base is None and mem.index is None:
+        return 2  # globals
+    return 1  # heap
+
+
+def _fread(op, width, idx, env, bounded=False):
+    """``(lines, value_expr)`` reading ``op``; ``(None, None)`` if unfusable.
+
+    Register and immediate operands read as a pure expression with no
+    lines (the :func:`_read_frag` rules, including the register-width
+    bounding caveat). Memory operands emit the fused engine's inlined fast
+    path — a bounds check against the statically-guessed segment plus a
+    struct codec over its backing bytearray — falling back to ``rd`` (which
+    also owns the SegmentationFault) on a miss; the value lands in
+    ``v{idx}``.
+    """
+    if isinstance(op, Mem):
+        if width not in (8, 16, 32, 64):
+            return None, None
+        addr = _addr_frag(op, idx, env)
+        if addr is None:
+            return None, None
+        n = width // 8
+        k = _seg_guess(op)
+        lines = [
+            f"a{idx} = {addr}",
+            f"if SEGB{k} <= a{idx} and a{idx} + {n} <= SEGE{k}:",
+            f"    v{idx} = _U{n}(SEGD{k}, a{idx} - SEGB{k})[0]",
+            "else:",
+            f"    v{idx} = rd(a{idx}, {n})",
+        ]
+        return lines, f"v{idx}"
+    expr = (_read_bounded if bounded else _read_frag)(op, width, idx, env)
+    if expr is None:
+        return None, None
+    return [], expr
+
+
+def _fwrite(op, width, idx, env, expr, have_addr=False):
+    """Statements writing ``expr`` (bounded to ``width``) into ``op``.
+
+    Memory destinations get the inlined fast path (struct codec plus the
+    reference's dirty-page bookkeeping), falling back to ``wr`` on a
+    bounds miss. ``have_addr`` reuses the ``a{idx}`` computed by this
+    operand's read — sound only when no register feeding the address was
+    written in between, which holds for every read-modify-write template
+    here because the destination operand itself is the only write.
+    """
+    if isinstance(op, Mem):
+        if width not in (8, 16, 32, 64):
+            return None
+        n = width // 8
+        k = _seg_guess(op)
+        lines = []
+        if not have_addr:
+            addr = _addr_frag(op, idx, env)
+            if addr is None:
+                return None
+            lines.append(f"a{idx} = {addr}")
+        if not expr.isidentifier():
+            lines.append(f"w{idx} = {expr}")
+            expr = f"w{idx}"
+        lines.extend((
+            f"if SEGB{k} <= a{idx} and a{idx} + {n} <= SEGE{k}:",
+            f"    o{idx} = a{idx} - SEGB{k}",
+            f"    _P{n}(SEGD{k}, o{idx}, {expr})",
+            f"    SEGA{k}(o{idx} >> 12)",
+        ))
+        if n > 1:
+            lines.append(f"    SEGA{k}((o{idx} + {n - 1}) >> 12)")
+        lines.extend(("else:", f"    wr(a{idx}, {expr}, {n})"))
+        return lines
+    write = _write_frag(op, width, idx, env)
+    if write is None:
+        return None
+    return [write(expr)]
+
+
+def _fuse_mov(instr, width, j, env):
+    src, dst = instr.operands
+    if _is_vector_op(src) or _is_vector_op(dst):
+        return None
+    la, ea = _fread(src, width, 2 * j, env, bounded=True)
+    if la is None:
+        return None
+    lw = _fwrite(dst, width, 2 * j + 1, env, ea)
+    if lw is None:
+        return None
+    return [*la, *lw]
+
+
+def _fuse_movext(instr, j, env):
+    spec = instr.spec
+    src, dst = instr.operands
+    la, ea = _fread(src, spec.src_width, 2 * j, env, bounded=True)
+    if la is None:
+        return None
+    if instr.mnemonic.startswith("movz"):
+        lw = _fwrite(dst, spec.width, 2 * j + 1, env, ea)
+        if lw is None:
+            return None
+        return [*la, *lw]
+    ssgn = hex(1 << (spec.src_width - 1))
+    ext = hex(mask_for_width(spec.width) ^ mask_for_width(spec.src_width))
+    lw = _fwrite(dst, spec.width, 2 * j + 1, env, "v")
+    if lw is None:
+        return None
+    return [*la, f"v = {ea}", f"if v & {ssgn}:", f"    v |= {ext}", *lw]
+
+
+def _fuse_lea(instr, j, env):
+    src, dst = instr.operands
+    if not isinstance(src, Mem):
+        return None
+    addr = _addr_frag(src, 2 * j, env)
+    if addr is None:
+        return None
+    lw = _fwrite(dst, 64, 2 * j + 1, env, addr)
+    if lw is None:
+        return None
+    return lw
+
+
+def _fuse_alu(instr, width, j, env, elide):
+    src, dst = instr.operands
+    if not _alu_guard(src, dst, width):
+        return None
+    la, ea = _fread(src, width, 2 * j, env)
+    lb, eb = _fread(dst, width, 2 * j + 1, env)
+    if la is None or lb is None:
+        return None
+
+    def write(expr):
+        return _fwrite(dst, width, 2 * j + 1, env, expr,
+                       have_addr=isinstance(dst, Mem))
+
+    m = hex(mask_for_width(width))
+    sgn = hex(1 << (width - 1))
+    root = instr.mnemonic[:-1]
+    pre = [*la, f"a = {ea}", *lb, f"b = {eb}"]
+    wr_r = write("r")
+    if wr_r is None:
+        return None
+
+    if root == "add":
+        if elide:
+            return [*pre, *write(f"(a + b) & {m}")]
+        return [
+            *pre,
+            "full = a + b",
+            f"r = full & {m}",
+            *_zf_sf_pf_lines("r", sgn=sgn),
+            f"if full > {m}:",
+            "    f |= _CF",
+            f"if not ((a ^ b) & {sgn}) and ((a ^ r) & {sgn}):",
+            "    f |= _OF",
+            "R.rflags = f",
+            *wr_r,
+        ]
+    if root == "sub":
+        if elide:
+            return [*pre, *write(f"(b - a) & {m}")]
+        return [
+            *pre,
+            f"r = (b - a) & {m}",
+            *_zf_sf_pf_lines("r", sgn=sgn),
+            "if b < a:",
+            "    f |= _CF",
+            f"if ((b ^ a) & {sgn}) and ((b ^ r) & {sgn}):",
+            "    f |= _OF",
+            "R.rflags = f",
+            *wr_r,
+        ]
+    if root == "imul":
+        md = hex(mask_for_width(width) + 1)
+        body = [
+            *pre,
+            f"if a & {sgn}:",
+            f"    a -= {md}",
+            f"if b & {sgn}:",
+            f"    b -= {md}",
+            "full = a * b",
+            f"r = full & {m}",
+        ]
+        if elide:
+            return [*body, *wr_r]
+        return [
+            *body,
+            *_zf_sf_pf_lines("r", sgn=sgn),
+            f"if (r - {md} if r & {sgn} else r) != full:",
+            "    f |= _CFOF",
+            "R.rflags = f",
+            *wr_r,
+        ]
+    if root in ("and", "or", "xor"):
+        sym = {"and": "&", "or": "|", "xor": "^"}[root]
+        body = [*pre, f"r = b {sym} a"]
+        if elide:
+            return [*body, *wr_r]
+        return [*body, *_zf_sf_pf_lines("r", sgn=sgn), "R.rflags = f",
+                *wr_r]
+    return None  # pragma: no cover - spec table guarantees the roots above
+
+
+def _fuse_cmp_test(instr, width, j, env, elide):
+    src, dst = instr.operands
+    if not _alu_guard(src, dst, width):
+        return None
+    la, ea = _fread(src, width, 2 * j, env)
+    lb, eb = _fread(dst, width, 2 * j + 1, env)
+    if la is None or lb is None:
+        return None
+    if elide:
+        # Flags are dead: keep only the (possibly faulting) memory reads,
+        # in the reference's src-then-dst order.
+        return [*la, *lb]
+    sgn = hex(1 << (width - 1))
+    if instr.kind is InstrKind.TEST:
+        return [*la, f"a = {ea}", *lb, f"r = {eb} & a",
+                *_zf_sf_pf_lines("r", sgn=sgn), "R.rflags = f"]
+    m = hex(mask_for_width(width))
+    return [
+        *la,
+        f"a = {ea}",
+        *lb,
+        f"b = {eb}",
+        f"r = (b - a) & {m}",
+        *_zf_sf_pf_lines("r", sgn=sgn),
+        "if b < a:",
+        "    f |= _CF",
+        f"if ((b ^ a) & {sgn}) and ((b ^ r) & {sgn}):",
+        "    f |= _OF",
+        "R.rflags = f",
+    ]
+
+
+def _fuse_shift(instr, width, j, env, elide):
+    src, dst = instr.operands
+    if isinstance(dst, Reg) and dst.register.width != width:
+        return None
+    lv, ev = _fread(dst, width, 2 * j + 1, env)
+    if lv is None:
+        return None
+    wr_r = _fwrite(dst, width, 2 * j + 1, env, "r",
+                   have_addr=isinstance(dst, Mem))
+    if wr_r is None:
+        return None
+    count_mask = 63 if width == 64 else 31
+    op = instr.mnemonic[:3]
+    m = hex(mask_for_width(width))
+    sgn = hex(1 << (width - 1))
+    md = hex(mask_for_width(width) + 1)
+
+    if isinstance(src, Imm):
+        count = src.value & count_mask
+        if count == 0:
+            # Flags and value unaffected; mirror the reference's read.
+            return lv if isinstance(dst, Mem) else []
+        if op == "shl":
+            calc = [f"r = (v << {count}) & {m}",
+                    f"cf = (v >> {width - count}) & 1"]
+        elif op == "shr":
+            calc = [f"r = v >> {count}", f"cf = (v >> {count - 1}) & 1"]
+        else:  # sar
+            calc = [f"r = ((v - {md} if v & {sgn} else v) >> {count}) & {m}",
+                    f"cf = (v >> {count - 1}) & 1"]
+        if elide:
+            return [*lv, f"v = {ev}", calc[0], *wr_r]
+        return [*lv, f"v = {ev}", *calc, *_zf_sf_pf_lines("r", sgn=sgn),
+                "if cf:", "    f |= _CF", "R.rflags = f", *wr_r]
+
+    if not (isinstance(src, Reg) and src.register.root == "rcx"):
+        return None
+    if op == "shl":
+        calc = [f"r = (v << c) & {m}", f"cf = (v >> ({width} - c)) & 1"]
+    elif op == "shr":
+        calc = ["r = v >> c", "cf = (v >> (c - 1)) & 1"]
+    else:  # sar
+        calc = [f"r = ((v - {md} if v & {sgn} else v) >> c) & {m}",
+                "cf = (v >> (c - 1)) & 1"]
+    if elide:
+        inner = [calc[0], *wr_r]
+    else:
+        inner = [*calc, *_zf_sf_pf_lines("r", sgn=sgn),
+                 "if cf:", "    f |= _CF", "R.rflags = f", *wr_r]
+    return [
+        f'c = g["rcx"] & {count_mask}',
+        *lv,  # read precedes the count-0 check (reference order)
+        f"v = {ev}",
+        "if c:",
+        *["    " + line for line in inner],
+    ]
+
+
+def _fuse_unary(instr, width, j, env, elide):
+    (dst,) = instr.operands
+    if isinstance(dst, Reg) and dst.register.width != width:
+        return None
+    lv, ev = _fread(dst, width, 2 * j + 1, env)
+    if lv is None:
+        return None
+
+    def write(expr):
+        return _fwrite(dst, width, 2 * j + 1, env, expr,
+                       have_addr=isinstance(dst, Mem))
+
+    wr_r = write("r")
+    if wr_r is None:
+        return None
+    m = hex(mask_for_width(width))
+    sgn = hex(1 << (width - 1))
+    op = instr.mnemonic[:3]
+
+    if op == "not":
+        return [*lv, f"v = {ev}", *write(f"~v & {m}")]
+    if op == "neg":
+        if elide:
+            return [*lv, f"v = {ev}", *write(f"(-v) & {m}")]
+        return [
+            *lv,
+            f"v = {ev}",
+            f"r = (-v) & {m}",
+            *_zf_sf_pf_lines("r", sgn=sgn),
+            "if v:",
+            "    f |= _CF",
+            f"if v & {sgn} and r & {sgn}:",
+            "    f |= _OF",
+            "R.rflags = f",
+            *wr_r,
+        ]
+    delta = "+ 1" if op == "inc" else "- 1"
+    if elide:
+        return [*lv, f"v = {ev}", *write(f"(v {delta}) & {m}")]
+    of_cond = (f"if not v & {sgn} and r & {sgn}:" if op == "inc"
+               else f"if v & {sgn} and not r & {sgn}:")
+    return [
+        *lv,
+        f"v = {ev}",
+        f"r = (v {delta}) & {m}",
+        *_zf_sf_pf_lines("r", sgn=sgn),
+        of_cond,
+        "    f |= _OF",
+        "R.rflags = f | (R.rflags & _CF)",  # inc/dec preserve CF
+        *wr_r,
+    ]
+
+
+def _fuse_setcc(instr, j, env):
+    (dst,) = instr.operands
+    cond = _CC_EXPR.get(instr.spec.cc or "")
+    if cond is None:
+        return None
+    lw = _fwrite(dst, 8, 2 * j + 1, env, "v")
+    if lw is None:
+        return None
+    return ["f = R.rflags", f"v = 1 if {cond} else 0", *lw]
+
+
+def _fuse_convert(instr):
+    if instr.mnemonic == "cltq":
+        return [
+            'v = g["rax"] & 0xffffffff',
+            "if v & 0x80000000:",
+            "    v |= 0xffffffff00000000",
+            'g["rax"] = v',
+        ]
+    if instr.mnemonic == "cltd":
+        return ['g["rdx"] = 0xffffffff if g["rax"] & 0x80000000 else 0']
+    return ['g["rdx"] = 0xffffffffffffffff if g["rax"] >> 63 else 0']  # cqto
+
+
+def _fuse_push(instr, j, env):
+    (src,) = instr.operands
+    lv, ev = _fread(src, 64, 2 * j, env)
+    if lv is None:
+        return None
+    return [
+        *lv,
+        f"v = {ev}",
+        'rsp = g["rsp"] - 8',  # unmasked, as the reference passes it on
+        'g["rsp"] = rsp & _M64',
+        "if SEGB0 <= rsp and rsp + 8 <= SEGE0:",
+        "    o = rsp - SEGB0",
+        "    _P8(SEGD0, o, v)",
+        "    SEGA0(o >> 12)",
+        "    SEGA0((o + 7) >> 12)",
+        "else:",
+        "    wr(rsp, v, 8)",
+    ]
+
+
+def _fuse_pop(instr, j, env):
+    (dst,) = instr.operands
+    lw = _fwrite(dst, 64, 2 * j + 1, env, "v")
+    if lw is None:
+        return None
+    return [
+        'rsp = g["rsp"]',
+        "if SEGB0 <= rsp and rsp + 8 <= SEGE0:",
+        "    v = _U8(SEGD0, rsp - SEGB0)[0]",
+        "else:",
+        "    v = rd(rsp, 8)",
+        'g["rsp"] = (rsp + 8) & _M64',
+        *lw,
+    ]
+
+
+def _fuse_instr_lines(instr, j, env, elide) -> list[str] | None:
+    """Fused-body statements for one instruction (``None`` = not fusable)."""
+    kind = instr.kind
+    width = instr.spec.width
+    if kind is InstrKind.MOV:
+        return _fuse_mov(instr, width, j, env)
+    if kind is InstrKind.MOVEXT:
+        return _fuse_movext(instr, j, env)
+    if kind is InstrKind.LEA:
+        return _fuse_lea(instr, j, env)
+    if kind is InstrKind.ALU:
+        return _fuse_alu(instr, width, j, env, elide)
+    if kind in (InstrKind.CMP, InstrKind.TEST):
+        return _fuse_cmp_test(instr, width, j, env, elide)
+    if kind is InstrKind.SHIFT:
+        return _fuse_shift(instr, width, j, env, elide)
+    if kind is InstrKind.UNARY:
+        return _fuse_unary(instr, width, j, env, elide)
+    if kind is InstrKind.SETCC:
+        return _fuse_setcc(instr, j, env)
+    if kind is InstrKind.CONVERT:
+        return _fuse_convert(instr)
+    if kind is InstrKind.PUSH:
+        return _fuse_push(instr, j, env)
+    if kind is InstrKind.POP:
+        return _fuse_pop(instr, j, env)
+    if kind is InstrKind.NOP:
+        return []
+    return None
+
+
+def _dead_flag_elisions(run) -> list[bool]:
+    """Per-instruction dead-flag verdicts via backward per-bit liveness.
+
+    ALL five bits are treated as live at the block exit (the successor is
+    unknown), so the last writer of any bit is never elided and RFLAGS is
+    architecturally exact at every block boundary. Interior writers whose
+    every possibly-written bit is overwritten before any read are elided.
+    ``%cl``-count shifts may write all bits but must-write none, so they
+    can be elided when all bits are dead but never kill a bit themselves.
+    """
+    live = set(ALL_FLAG_BITS)
+    elide = [False] * len(run)
+    for idx in range(len(run) - 1, -1, -1):
+        instr = run[idx]
+        must = flag_bits_written(instr)
+        may = must
+        if instr.kind is InstrKind.SHIFT and _shift_count(instr) is None:
+            may = ALL_FLAG_BITS
+        if may and not (may & live):
+            elide[idx] = True
+        live -= must
+        live |= flag_bits_read(instr)
+    return elide
+
+
+def _fuse_block(machine, code, start, leaders, base_env, progress):
+    """Compile the superblock at leader ``start``; None when < 2 instrs.
+
+    Returns ``(step, instruction_count, site_count)``. The block extends
+    through straight-line fusable instructions up to (and including) a
+    terminating ``jmp``/``jcc``, and is cut at the next leader, at any
+    call/ret/idiv, or at a shape outside the fast paths.
+    """
+    n = len(code)
+    run = []
+    j = start
+    term = None
+    while j < n:
+        if j > start and j in leaders:
+            break
+        instr = code[j]
+        kind = instr.kind
+        if kind is InstrKind.JMP:
+            term = ("jmp", None, machine._jump_pc[j])
+            j += 1
+            break
+        if kind is InstrKind.JCC:
+            cond = _CC_EXPR.get(instr.spec.cc or "")
+            if cond is None:
+                break
+            term = ("jcc", cond, machine._jump_pc[j])
+            j += 1
+            break
+        if kind not in _FUSABLE_KINDS:
+            break
+        if _fuse_instr_lines(instr, len(run), dict(base_env), False) is None:
+            break
+        run.append(instr)
+        j += 1
+    end = j
+    length = end - start
+    if length < 2:
+        return None
+
+    elide = _dead_flag_elisions(run)
+    is_site = machine._is_site
+    env = dict(base_env)
+    faulting = any(_can_fault(instr) for instr in run)
+    stmts: list[str] = []
+    sites_before = 0
+    for idx, instr in enumerate(run):
+        if faulting and _can_fault(instr) and (idx or sites_before):
+            # Progress stamp consumed by the generated except clause.
+            stmts.append(f"N = {idx}")
+            stmts.append(f"S = {sites_before}")
+        stmts.extend(_fuse_instr_lines(instr, idx, env, elide[idx]))
+        if is_site[start + idx]:
+            sites_before += 1
+
+    if term is None:
+        env["NXT"] = end if end < n else _FELL_OFF
+        stmts.append("return NXT")
+    elif term[0] == "jmp":
+        env["TGT"] = term[2]
+        stmts.append("return TGT")
+    else:
+        env["TGT"] = term[2]
+        env["NXT"] = end if end < n else _FELL_OFF
+        stmts.append("f = R.rflags")
+        stmts.append(f"return TGT if {term[1]} else NXT")
+
+    if faulting:
+        env["ME"] = MachineError
+        env["PROG"] = progress
+        body = ["N = 0", "S = 0", "try:"]
+        body.extend("    " + line for line in stmts)
+        body.extend(("except ME:", "    PROG[0] = N", "    PROG[1] = S",
+                     "    raise"))
+    else:
+        body = stmts
+    step = _build_step(body, env)
+    block_sites = sum(1 for pc in range(start, end) if is_site[pc])
+    return step, length, block_sites
+
+
+def translate_fused(machine: "Machine") -> FusedCode:
+    """Fuse superblocks over the per-instruction translation of ``machine``."""
+    base = translate_program(machine)
+    code = machine._code
+    n = len(code)
+
+    leaders = set(machine._entry.values())
+    for pc in range(n):
+        if machine._jump_pc[pc] >= 0:
+            leaders.add(machine._jump_pc[pc])
+        if machine._call_entry_pc[pc] >= 0:
+            leaders.add(machine._call_entry_pc[pc])
+        kind = code[pc].kind
+        if (kind.is_branch or kind not in _FUSABLE_KINDS) and pc + 1 < n:
+            leaders.add(pc + 1)
+
+    registers = machine.registers
+    base_env = {
+        "g": registers._gprs,
+        "R": registers,
+        "rd": machine.memory.read_uint,
+        "wr": machine.memory.write_uint,
+        "M64": _M64,
+    }
+    # Segment bindings for the inlined memory fast path. Segment start,
+    # backing bytearray and dirty set are identity-stable across resets and
+    # snapshot restores (see repro.machine.memory), so capturing them at
+    # fuse time is safe.
+    for k, seg in enumerate(machine.memory._segments):
+        base_env[f"SEGB{k}"] = seg.start
+        base_env[f"SEGE{k}"] = seg.start + len(seg.data)
+        base_env[f"SEGD{k}"] = seg.data
+        base_env[f"SEGA{k}"] = seg.dirty.add
+    progress = [0, 0]
+    fused_steps: list[Step | None] = [None] * n
+    fused_len = [0] * n
+    fused_sites = [0] * n
+    for start in sorted(leaders):
+        if start >= n:
+            continue
+        built = _fuse_block(machine, code, start, leaders, base_env, progress)
+        if built is None:
+            continue
+        fused_steps[start], fused_len[start], fused_sites[start] = built
+    return FusedCode(base, fused_steps, fused_len, fused_sites, progress)
+
+
+def execute_fused(
+    machine: "Machine",
+    fused: FusedCode,
+    pc: int,
+    executed: int,
+    sites: int,
+    budget: int,
+    fault_hook,
+    fault_at: int,
+    stop_at_site: int | None,
+) -> tuple[int, int, int, bool]:
+    """Drive fused superblocks; same contract as ``execute_translated``.
+
+    A block runs fused only when nothing observable can happen inside it —
+    the budget cannot expire mid-block, no ``stop_at_site`` boundary and no
+    hook-eligible fault site falls inside it. Everything else (including
+    every instruction of a block containing the pending fault site)
+    single-steps through the per-instruction translated steps, so counters,
+    snapshots, hook delivery and fault-site numbering are bit-identical to
+    the reference engine.
+    """
+    base = fused.base
+    steps = base.steps
+    site_flags = base.site_flags
+    code_len = base.code_len
+    fsteps = fused.fused_steps
+    flen = fused.fused_len
+    fsites = fused.fused_sites
+    prog = fused.progress
+
+    if fault_hook is None and stop_at_site is None:
+        try:
+            if pc < 0 or pc >= code_len:
+                raise MachineFault(f"execution fell outside code at index {pc}")
+            while True:
+                fstep = fsteps[pc]
+                if fstep is not None and executed + flen[pc] <= budget:
+                    try:
+                        new_pc = fstep()
+                    except MachineError:
+                        executed += prog[0]
+                        sites += prog[1]
+                        raise
+                    executed += flen[pc]
+                    sites += fsites[pc]
+                else:
+                    if executed >= budget:
+                        raise ExecutionLimitExceeded(
+                            f"exceeded {budget} dynamic instructions"
+                        )
+                    new_pc = steps[pc]()
+                    executed += 1
+                    sites += site_flags[pc]
+                if new_pc >= 0:
+                    pc = new_pc
+                    continue
+                if new_pc == _HALT:
+                    break
+                raise MachineFault(
+                    f"execution fell outside code at index {code_len}"
+                )
+        except MachineError:
+            if machine._post_exec:
+                machine._post_exec = False
+                executed += 1  # the faulting call/ret did execute
+            machine.halt_executed = executed
+            machine.halt_sites = sites
+            raise
+        return pc, executed, sites, False
+
+    code = machine._code
+    try:
+        while True:
+            # Check order mirrors the reference loop: stop, bounds, budget.
+            if stop_at_site is not None and sites >= stop_at_site:
+                return pc, executed, sites, True
+            if pc >= code_len or pc < 0:
+                raise MachineFault(f"execution fell outside code at index {pc}")
+            fstep = fsteps[pc]
+            if fstep is not None:
+                if fault_hook is None:
+                    hook_safe = True
+                elif fault_at < 0:
+                    hook_safe = fsites[pc] == 0
+                else:
+                    hook_safe = (fault_at < sites
+                                 or sites + fsites[pc] <= fault_at)
+            else:
+                hook_safe = False
+            if (hook_safe
+                    and executed + flen[pc] <= budget
+                    and (stop_at_site is None
+                         or sites + fsites[pc] < stop_at_site)):
+                try:
+                    new_pc = fstep()
+                except MachineError:
+                    executed += prog[0]
+                    sites += prog[1]
+                    raise
+                executed += flen[pc]
+                sites += fsites[pc]
+            else:
+                if executed >= budget:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {budget} dynamic instructions"
+                    )
+                new_pc = steps[pc]()
+                executed += 1
+                if site_flags[pc]:
+                    if fault_hook is not None and (fault_at < 0
+                                                   or sites == fault_at):
+                        machine.executed_at_site = executed
+                        fault_hook(machine, code[pc], sites)
+                    sites += 1
             if new_pc >= 0:
                 pc = new_pc
                 continue

@@ -1,0 +1,136 @@
+"""Outcome-equivalence pruning: bit-identical campaigns at a fraction of cost.
+
+Pruning (``run_campaign(prune=True)``) classifies statically-masked fault
+sites from the golden trace and collapses outcome-equivalent dynamic sites
+into classes injected once. It is pure execution strategy: for any fixed
+seed, the pruned campaign must report exactly the same aggregate outcome
+counts, telemetry records, per-origin maps and JSONL content as the
+unpruned one — only ``pruning_stats`` (and wall-clock) may differ.
+"""
+
+import json
+
+import pytest
+
+from repro.faultinjection.campaign import run_campaign
+from repro.faultinjection.telemetry import outcomes_by_origin
+from repro.pipeline import build_variants
+from repro.workloads import get_workload
+
+WORKLOADS = ("bfs", "knn")
+VARIANTS = ("raw", "ferrum")
+SAMPLES = 25
+SEED = 21
+
+
+@pytest.fixture(scope="module")
+def built():
+    out = {}
+    for name in WORKLOADS:
+        build = build_variants(get_workload(name).source_fn(),
+                               names=VARIANTS)
+        out[name] = {variant: build[variant].asm for variant in VARIANTS}
+    return out
+
+
+class TestPrunedBitIdentity:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_outcome_counts_identical(self, built, name, variant):
+        program = built[name][variant]
+        plain = run_campaign(program, samples=SAMPLES, seed=SEED)
+        pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              prune=True)
+        assert pruned.outcomes.counts == plain.outcomes.counts
+        assert pruned.fault_sites == plain.fault_sites
+        assert pruned.samples == plain.samples
+
+    @pytest.mark.parametrize("engine", ("checkpoint", "replay"))
+    def test_engines_agree_under_pruning(self, built, engine):
+        program = built["bfs"]["ferrum"]
+        plain = run_campaign(program, samples=SAMPLES, seed=SEED,
+                             engine=engine)
+        pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              engine=engine, prune=True)
+        assert pruned.outcomes.counts == plain.outcomes.counts
+
+    def test_telemetry_records_identical(self, built):
+        """Synthesized and cloned records must be indistinguishable from
+        executed ones — field for field, in run-index order."""
+        program = built["knn"]["ferrum"]
+        plain = run_campaign(program, samples=SAMPLES, seed=SEED,
+                             telemetry=True)
+        pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              telemetry=True, prune=True)
+        assert pruned.records == plain.records
+
+    def test_per_origin_telemetry_identical(self, built):
+        program = built["bfs"]["ferrum"]
+        plain = run_campaign(program, samples=SAMPLES, seed=SEED,
+                             telemetry=True)
+        pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              telemetry=True, prune=True)
+        by_plain = outcomes_by_origin(plain.records)
+        by_pruned = outcomes_by_origin(pruned.records)
+        assert by_pruned.keys() == by_plain.keys()
+        for origin, counts in by_plain.items():
+            assert by_pruned[origin].counts == counts.counts, origin
+
+    def test_jsonl_content_identical(self, built, tmp_path):
+        """The pruned campaign's JSONL sink must contain exactly the same
+        records (run-index order; the unpruned checkpoint engine streams in
+        site order, so compare as sorted line sets)."""
+        program = built["bfs"]["ferrum"]
+        plain_path = tmp_path / "plain.jsonl"
+        pruned_path = tmp_path / "pruned.jsonl"
+        run_campaign(program, samples=SAMPLES, seed=SEED, telemetry=True,
+                     jsonl_path=plain_path)
+        run_campaign(program, samples=SAMPLES, seed=SEED, telemetry=True,
+                     jsonl_path=pruned_path, prune=True)
+        plain_lines = sorted(plain_path.read_text().splitlines())
+        pruned_lines = sorted(pruned_path.read_text().splitlines())
+        assert pruned_lines == plain_lines
+        # and the pruned file is complete: one record per sample
+        assert len(pruned_lines) == SAMPLES
+        assert all(json.loads(line)["level"] == "asm"
+                   for line in pruned_lines)
+
+    def test_parallel_pruned_matches_sequential(self, built):
+        program = built["knn"]["ferrum"]
+        sequential = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                  prune=True)
+        parallel = run_campaign(program, samples=SAMPLES, seed=SEED,
+                                prune=True, processes=2)
+        assert parallel.outcomes.counts == sequential.outcomes.counts
+
+
+class TestPruningStats:
+    def test_stats_populated_only_when_pruning(self, built):
+        program = built["bfs"]["ferrum"]
+        plain = run_campaign(program, samples=SAMPLES, seed=SEED)
+        pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              prune=True)
+        assert plain.pruning_stats is None
+        stats = pruned.pruning_stats
+        assert stats is not None
+        assert stats.samples == SAMPLES
+
+    def test_accounting_adds_up(self, built):
+        program = built["bfs"]["ferrum"]
+        stats = run_campaign(program, samples=SAMPLES, seed=SEED,
+                             prune=True).pruning_stats
+        synthesized = (stats.statically_masked + stats.detected
+                       + stats.benign + stats.sdc)
+        assert synthesized == stats.classified
+        assert (stats.executed_injections + stats.classified
+                + stats.duplicates_collapsed == stats.samples)
+        assert 0.0 <= stats.executed_fraction <= 1.0
+
+    def test_protected_variant_prunes_most_injections(self, built):
+        """FERRUM-protected code is dominated by statically-classifiable
+        sites; the scanner must prove a substantial majority without
+        executing them (the benchmark gate asserts <= 60%)."""
+        stats = run_campaign(built["bfs"]["ferrum"], samples=SAMPLES,
+                             seed=SEED, prune=True).pruning_stats
+        assert stats.executed_fraction <= 0.6
+        assert stats.classified > 0

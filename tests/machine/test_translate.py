@@ -6,11 +6,15 @@ semantic oracle and the translated engine must be indistinguishable from
 it: same :class:`RunResult`, same fault-site numbering, same fault-hook
 delivery (including ``executed_at_site``), same snapshots, and the same
 faults/detections with the same messages when a bit is flipped mid-run.
+
+The same contract covers the superblock-fused engine (``engine="fused"``),
+which additionally elides provably-dead flag computation inside blocks —
+every parity assertion here runs over all entries of ``ENGINES``.
 """
 
 import pytest
 
-from repro.errors import MachineError, MachineFault
+from repro.errors import EngineConfigError, MachineError, MachineFault
 from repro.fuzz.generator import generate_program
 from repro.machine.cpu import ENGINE_ENV_VAR, ENGINES, Machine
 from repro.machine.timing import TimingConfig
@@ -47,24 +51,30 @@ def fuzz_asm():
     }
 
 
-def _run_both(program, **kwargs):
-    reference = Machine(program, engine="reference").run(**kwargs)
-    translated = Machine(program, engine="translated").run(**kwargs)
-    return reference, translated
+def _run_all(program, **kwargs):
+    return {
+        engine: Machine(program, engine=engine).run(**kwargs)
+        for engine in ENGINES
+    }
+
+
+def _all_equal(values):
+    values = list(values)
+    return all(value == values[0] for value in values)
 
 
 class TestCleanRunIdentity:
     @pytest.mark.parametrize("variant", VARIANTS)
     @pytest.mark.parametrize("name", WORKLOAD_NAMES)
     def test_workloads_bit_identical(self, workload_asm, name, variant):
-        reference, translated = _run_both(workload_asm[name][variant])
-        assert translated == reference
+        results = _run_all(workload_asm[name][variant])
+        assert _all_equal(results.values())
 
     @pytest.mark.parametrize("variant", VARIANTS)
     @pytest.mark.parametrize("seed", FUZZ_SEEDS)
     def test_fuzz_corpus_bit_identical(self, fuzz_asm, seed, variant):
-        reference, translated = _run_both(fuzz_asm[seed][variant])
-        assert translated == reference
+        results = _run_all(fuzz_asm[seed][variant])
+        assert _all_equal(results.values())
 
     def test_budget_exhaustion_identical(self, workload_asm):
         program = workload_asm[WORKLOAD_NAMES[0]]["raw"]
@@ -73,7 +83,7 @@ class TestCleanRunIdentity:
             with pytest.raises(MachineError) as info:
                 Machine(program, engine=engine).run(max_instructions=500)
             errors.append((type(info.value), str(info.value)))
-        assert errors[0] == errors[1]
+        assert _all_equal(errors)
 
 
 class TestFaultHookProtocol:
@@ -92,7 +102,7 @@ class TestFaultHookProtocol:
 
             machine.run(fault_hook=hook)
             traces[engine] = trace
-        assert traces["translated"] == traces["reference"]
+        assert _all_equal(traces.values())
         assert traces["translated"]  # the protocol actually fired
 
     def test_fault_at_delivers_single_site(self, fuzz_asm):
@@ -106,7 +116,8 @@ class TestFaultHookProtocol:
                     fault_at=target,
                 )
                 hits[engine] = sites
-            assert hits["translated"] == hits["reference"] == [target]
+            assert _all_equal(hits.values())
+            assert hits["translated"] == [target]
 
     @pytest.mark.parametrize("variant", VARIANTS)
     def test_injected_flips_identical(self, fuzz_asm, variant):
@@ -132,7 +143,7 @@ class TestFaultHookProtocol:
                     outcomes.append(("ok", result))
                 except MachineError as exc:
                     outcomes.append((type(exc).__name__, str(exc)))
-            assert outcomes[0] == outcomes[1], f"divergence at site {site}"
+            assert _all_equal(outcomes), f"divergence at site {site}"
 
 
 class TestSnapshotIdentity:
@@ -143,7 +154,7 @@ class TestSnapshotIdentity:
                 Machine(program, engine=engine).run_to_site(target)
                 for engine in ENGINES
             ]
-            assert snaps[0] == snaps[1]
+            assert _all_equal(snaps)
 
     def test_cross_engine_resume(self, workload_asm):
         """A snapshot captured under one engine must resume bit-identically
@@ -153,6 +164,9 @@ class TestSnapshotIdentity:
         for snap_engine, resume_engine in (
             ("reference", "translated"),
             ("translated", "reference"),
+            ("reference", "fused"),
+            ("fused", "reference"),
+            ("fused", "translated"),
         ):
             snap = Machine(program, engine=snap_engine).run_to_site(150)
             resumed = Machine(program, engine=resume_engine).run(
@@ -168,7 +182,7 @@ class TestSnapshotIdentity:
             snap = machine.run_to_site(20)
             snap = machine.run_to_site(90, resume_from=snap)
             chained[engine] = snap
-        assert chained["translated"] == chained["reference"]
+        assert _all_equal(chained.values())
 
 
 class TestEngineSelection:
@@ -183,6 +197,8 @@ class TestEngineSelection:
         assert Machine(program).engine == "reference"
         monkeypatch.setenv(ENGINE_ENV_VAR, "translated")
         assert Machine(program).engine == "translated"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "fused")
+        assert Machine(program).engine == "fused"
         monkeypatch.delenv(ENGINE_ENV_VAR)
         assert Machine(program).engine == "translated"
 
@@ -207,5 +223,107 @@ class TestTimingRuns:
             Machine(program, engine=engine).run(timing=TimingConfig())
             for engine in ENGINES
         ]
-        assert results[0] == results[1]
+        assert _all_equal(results)
         assert results[0].cycles is not None
+
+
+class TestEngineConfigError:
+    def test_is_value_error_and_machine_fault(self, fuzz_asm):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        with pytest.raises(ValueError) as info:
+            Machine(program, engine="warp")
+        assert isinstance(info.value, EngineConfigError)
+        assert isinstance(info.value, MachineFault)
+
+    def test_message_lists_valid_engines(self, fuzz_asm):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        with pytest.raises(EngineConfigError) as info:
+            Machine(program, engine="warp")
+        message = str(info.value)
+        assert "warp" in message
+        for engine in ENGINES:
+            assert engine in message
+
+    def test_env_var_error_lists_valid_engines(self, fuzz_asm, monkeypatch):
+        program = fuzz_asm[FUZZ_SEEDS[0]]["raw"]
+        monkeypatch.setenv(ENGINE_ENV_VAR, "quantum")
+        with pytest.raises(EngineConfigError) as info:
+            Machine(program)
+        assert "quantum" in str(info.value)
+
+
+class TestFusedSuperblocks:
+    """Structure and behavior specific to the superblock-fused engine."""
+
+    def test_blocks_actually_fuse(self, workload_asm):
+        from repro.machine.translate import translate_fused
+
+        machine = Machine(workload_asm[WORKLOAD_NAMES[0]]["raw"],
+                          engine="fused")
+        fused = translate_fused(machine)
+        lengths = [length for length in fused.fused_len if length >= 2]
+        assert lengths, "no superblock of length >= 2 was built"
+        # -O0-style straight-line code should fuse the bulk of the program.
+        assert sum(lengths) > len(machine._code) // 2
+
+    def test_leaders_never_mid_block(self, workload_asm):
+        """No fused block may extend across another block's leader — a jump
+        into the middle of a fused body would skip its preceding effects."""
+        from repro.machine.translate import translate_fused
+
+        machine = Machine(workload_asm[WORKLOAD_NAMES[1]]["ferrum"],
+                          engine="fused")
+        fused = translate_fused(machine)
+        starts = [pc for pc, step in enumerate(fused.fused_steps) if step]
+        spans = {pc: fused.fused_len[pc] for pc in starts}
+        jump_targets = {t for t in machine._jump_pc if t >= 0}
+        jump_targets.update(machine._entry.values())
+        jump_targets.update(t for t in machine._call_entry_pc if t >= 0)
+        for start, length in spans.items():
+            for interior in range(start + 1, start + length - 1):
+                assert interior not in jump_targets, (
+                    f"jump target {interior} inside block "
+                    f"[{start}, {start + length})"
+                )
+
+    def test_budget_expires_mid_block(self, workload_asm):
+        """Budgets that land inside a fused block must still halt at the
+        exact instruction, with the reference's counters and message."""
+        program = workload_asm[WORKLOAD_NAMES[0]]["raw"]
+        golden = Machine(program).run()
+        for budget in (3, 11, golden.dynamic_instructions // 2 + 1):
+            observed = []
+            for engine in ENGINES:
+                machine = Machine(program, engine=engine)
+                with pytest.raises(MachineError) as info:
+                    machine.run(max_instructions=budget)
+                observed.append((type(info.value), str(info.value),
+                                 machine.halt_executed, machine.halt_sites))
+            assert _all_equal(observed), f"divergence at budget {budget}"
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_fault_mid_run_counters_identical(self, fuzz_asm, variant):
+        """A crash inside a fused block must stamp halt_executed and
+        halt_sites exactly as the reference engine does."""
+        program = fuzz_asm[FUZZ_SEEDS[1]][variant]
+        golden = Machine(program).run()
+        step = max(1, golden.fault_sites // 23)
+        budget = golden.dynamic_instructions * 6
+        for site in range(0, golden.fault_sites, step):
+            stamps = []
+            for engine in ENGINES:
+                machine = Machine(program, engine=engine)
+
+                def hook(m, instr, s):
+                    dest = instr.dest_registers()
+                    m.registers.flip(dest[0], dest[0].width - 1)
+
+                try:
+                    machine.run(fault_hook=hook, fault_at=site,
+                                max_instructions=budget)
+                    stamps.append(("ok",))
+                except MachineError as exc:
+                    stamps.append((type(exc).__name__, str(exc),
+                                   machine.halt_executed,
+                                   machine.halt_sites))
+            assert _all_equal(stamps), f"divergence at site {site}"
