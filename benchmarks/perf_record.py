@@ -4,7 +4,8 @@ Two measurements, each with its own JSON trail at the repo root so
 regressions stay visible from PR to PR:
 
 * campaign throughput — faults/sec for the checkpointed vs. replay
-  injection engines, plus the outcome-equivalence-pruned campaign
+  injection engines, plus the outcome-equivalence-pruned campaign and the
+  composed (section-cached) campaign's cold/warm/refresh cost
   (``BENCH_campaign_throughput.json``);
 * execution throughput — instructions/sec and campaign faults/sec for the
   fused vs. translated vs. reference machine engines
@@ -127,6 +128,109 @@ def append_record(record: ThroughputRecord, path: Path = BENCH_PATH) -> None:
             history = []
     history.append(asdict(record))
     path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@dataclass(frozen=True)
+class ComposeThroughputRecord:
+    """Flat vs. composed (section-cached) campaign on one workload.
+
+    Models the incremental re-protection loop: a cold composed campaign
+    populates the section cache, a warm rerun must serve everything from
+    it, and an edit confined to ``edited_function`` must re-execute only
+    that function's sections (plus callers whose call closure reaches it).
+    ``reinject_fraction`` is re-executed injections over the flat
+    campaign's sample count — the ISSUE gate holds it at <= 25%.
+    """
+
+    timestamp: str
+    workload: str
+    edited_function: str
+    samples: int
+    seed: int
+    fault_sites: int
+    sections: int
+    populated_sections: int
+    flat_seconds: float
+    compose_cold_seconds: float
+    compose_warm_seconds: float
+    compose_refresh_seconds: float
+    warm_cache_hit_rate: float
+    warm_executed_injections: int
+    refresh_executed_injections: int
+    reinject_fraction: float
+
+
+def measure_compose_throughput(program, workload: str, edited_function: str,
+                               samples: int, seed: int,
+                               cache_dir) -> ComposeThroughputRecord:
+    """Time flat vs. composed cold/warm/single-function-refresh campaigns.
+
+    Asserts bit-identical outcome counts for every composed variant before
+    reporting any number, mirroring :func:`measure_throughput`.
+    """
+    from repro.faultinjection.campaign import run_campaign
+    from repro.faultinjection.compose import compose_campaign
+
+    start = time.perf_counter()
+    flat = run_campaign(program, samples=samples, seed=seed)
+    flat_seconds = time.perf_counter() - start
+
+    timings = {}
+    composed = {}
+    for phase, refresh in (("cold", ()), ("warm", ()),
+                           ("refresh", (edited_function,))):
+        start = time.perf_counter()
+        composed[phase] = compose_campaign(
+            program, samples=samples, seed=seed, cache_dir=cache_dir,
+            refresh=refresh,
+        )
+        timings[phase] = time.perf_counter() - start
+        if composed[phase].outcomes.counts != flat.outcomes.counts:
+            raise AssertionError(
+                f"{workload}: composed ({phase}) campaign diverged: "
+                f"{composed[phase].outcomes.counts} != {flat.outcomes.counts}"
+            )
+
+    warm = composed["warm"].compose_stats
+    refresh_stats = composed["refresh"].compose_stats
+    return ComposeThroughputRecord(
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        workload=workload,
+        edited_function=edited_function,
+        samples=samples,
+        seed=seed,
+        fault_sites=flat.fault_sites,
+        sections=warm.sections,
+        populated_sections=warm.populated_sections,
+        flat_seconds=round(flat_seconds, 4),
+        compose_cold_seconds=round(timings["cold"], 4),
+        compose_warm_seconds=round(timings["warm"], 4),
+        compose_refresh_seconds=round(timings["refresh"], 4),
+        warm_cache_hit_rate=round(warm.hit_rate, 4),
+        warm_executed_injections=warm.executed_injections,
+        refresh_executed_injections=refresh_stats.executed_injections,
+        reinject_fraction=round(
+            refresh_stats.executed_injections / samples, 4),
+    )
+
+
+def render_compose_table(records: list[ComposeThroughputRecord]) -> str:
+    lines = [
+        "Composed campaigns: warm-cache single-function re-injection cost",
+        f"{'workload':<14} {'edited fn':<12} {'sections':>8} "
+        f"{'flat s':>8} {'cold s':>8} {'warm s':>8} {'refresh s':>9} "
+        f"{'reinject%':>9}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec.workload:<14} {rec.edited_function:<12} "
+            f"{rec.populated_sections:>8} "
+            f"{rec.flat_seconds:>8.3f} {rec.compose_cold_seconds:>8.3f} "
+            f"{rec.compose_warm_seconds:>8.3f} "
+            f"{rec.compose_refresh_seconds:>9.3f} "
+            f"{rec.reinject_fraction * 100:>8.1f}%"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -310,6 +414,14 @@ def main() -> int:
     parser.add_argument("--exec-workloads", default=None,
                         help="override --workloads for the execution-engine "
                              "trail")
+    parser.add_argument("--compose", dest="compose_bench",
+                        action="store_true",
+                        help="measure the composed-campaign trail instead "
+                             "(flat vs. cold/warm/refresh, ferrum variant)")
+    parser.add_argument("--compose-pairs", default="knn:sq_dist,"
+                                                   "pathfinder:min2",
+                        help="comma-separated workload:edited-function "
+                             "pairs for --compose")
     args = parser.parse_args()
 
     from repro.backend import compile_module
@@ -320,6 +432,28 @@ def main() -> int:
         return compile_module(
             compile_to_ir(get_workload(name).source(args.scale))
         )
+
+    if args.compose_bench:
+        import tempfile
+
+        from repro.pipeline import build_variants
+
+        records = []
+        for pair in args.compose_pairs.split(","):
+            name, _, function = pair.strip().partition(":")
+            build = build_variants(get_workload(name).source(args.scale),
+                                   names=("ferrum",))
+            with tempfile.TemporaryDirectory() as cache_dir:
+                record = measure_compose_throughput(
+                    build["ferrum"].asm, name, function,
+                    samples=args.samples, seed=args.seed,
+                    cache_dir=cache_dir,
+                )
+            append_record(record)
+            records.append(record)
+        print(render_compose_table(records))
+        print(f"appended {len(records)} record(s) to {BENCH_PATH}")
+        return 0
 
     if args.exec_bench:
         exec_workloads = (args.exec_workloads or args.workloads

@@ -12,6 +12,10 @@ variants (where most sampled sites are statically classifiable): the
 pruned campaign must execute <= 60% of the sampled injections while
 reporting bit-identical aggregate outcome counts.
 
+Compositional campaigns get an incremental gate: with a warm section
+cache, re-validating after an edit confined to one helper function must
+re-execute <= 25% of the flat campaign's sampled injections.
+
 Run: ``PYTHONPATH=src python -m pytest benchmarks/test_campaign_throughput.py -q``
 """
 
@@ -22,7 +26,13 @@ import os
 import pytest
 
 from conftest import FI_SAMPLES, build_for, emit
-from perf_record import append_record, measure_throughput, render_table
+from perf_record import (
+    append_record,
+    measure_compose_throughput,
+    measure_throughput,
+    render_compose_table,
+    render_table,
+)
 
 pytestmark = pytest.mark.perf
 
@@ -42,8 +52,16 @@ MIN_SPEEDUP = 2.0
 #: prove enough sites statically that at most 60% of sampled injections
 #: actually execute (measured 3-12% executed on these workloads).
 MAX_PRUNED_EXECUTED_FRACTION = 0.6
+#: Compose gate: after a warm cache and an edit confined to one helper
+#: function, re-injection must cost <= 25% of the flat campaign's sampled
+#: injections (measured 10-20% on these workload/function pairs — helper
+#: sections plus the caller regions whose call closure reaches them).
+MAX_COMPOSE_REINJECT_FRACTION = 0.25
+#: workload -> helper function whose edit drives the incremental gate.
+COMPOSE_EDITS = {"knn": "sq_dist", "needle": "max3"}
 
 _records = []
+_compose_records = []
 
 
 @pytest.mark.parametrize("name", WORKLOADS)
@@ -86,7 +104,39 @@ def test_pruned_campaign_gate(name):
     )
 
 
+@pytest.mark.parametrize("name,function", sorted(COMPOSE_EDITS.items()))
+def test_compose_incremental_gate(name, function, tmp_path):
+    """Warm-cache single-function re-injection <= 25% of flat injections.
+
+    Cold composed run populates the section cache; the warm rerun must be
+    a 100% hit; ``refresh=(function,)`` models an edit to that one helper
+    and may only re-execute its sections plus caller regions reaching it.
+    Every composed variant is asserted bit-identical to the flat campaign
+    inside ``measure_compose_throughput`` before timing is reported.
+    """
+    program = build_for(name)["ferrum"].asm
+    record = measure_compose_throughput(
+        program, name, function, samples=FI_SAMPLES, seed=SEED,
+        cache_dir=tmp_path / "sections",
+    )
+    append_record(record)
+    _compose_records.append(record)
+    assert record.warm_executed_injections == 0, (
+        f"{name}: warm composed campaign re-executed "
+        f"{record.warm_executed_injections} injections"
+    )
+    assert record.warm_cache_hit_rate == 1.0
+    assert record.reinject_fraction <= MAX_COMPOSE_REINJECT_FRACTION, (
+        f"{name}: editing {function} re-injected "
+        f"{record.reinject_fraction:.0%} of {record.samples} sampled "
+        f"injections (gate: <= {MAX_COMPOSE_REINJECT_FRACTION:.0%})"
+    )
+
+
 def test_report(capsys):
-    if not _records:
+    if not _records and not _compose_records:
         pytest.skip("no throughput measurements collected")
-    emit(capsys, render_table(_records))
+    if _records:
+        emit(capsys, render_table(_records))
+    if _compose_records:
+        emit(capsys, render_compose_table(_compose_records))

@@ -32,6 +32,13 @@ echo "== tier-1 tests (fused execution engine) =="
 FERRUM_ENGINE=fused PYTHONPATH=src python -m pytest tests -q -m "not perf" \
     || status=$?
 
+echo "== compose bit-identity (composed vs flat campaigns) =="
+# The compositional campaign must stay bit-identical to the flat one and
+# the section cache must hit across process boundaries; this surfaces the
+# contract explicitly even though the file is also part of tier-1.
+PYTHONPATH=src python -m pytest tests/faultinjection/test_compose_campaign.py \
+    -q || status=$?
+
 echo "== fuzz smoke (fixed seeds, bounded) =="
 # Mirrors the CI fuzz-smoke job: a deterministic seed range under a time
 # budget. Findings land in fuzz-artifacts/ with per-seed repro commands.

@@ -11,8 +11,9 @@ from dataclasses import dataclass
 
 from repro.asm.instructions import InstrKind
 from repro.asm.liveness import instruction_defs, instruction_uses
-from repro.asm.program import AsmBlock, AsmFunction
+from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
 from repro.asm.registers import GPR64, RESERVED_GPRS
+from repro.utils.graph import innermost_headers
 
 #: Preferred allocation order for spare GPRs: the "new" registers first, the
 #: classic scratch registers last, callee-saved ones excluded (using them
@@ -67,6 +68,42 @@ def scan_register_usage(func: AsmFunction) -> RegisterUsage:
             elif root.startswith("ymm"):
                 vectors.add(root)
     return RegisterUsage(frozenset(gprs), frozenset(vectors))
+
+
+def loop_regions(func: AsmFunction) -> dict[str, str]:
+    """Map each block label to its section-region key.
+
+    Region keys are ``"<function>"`` for blocks outside any loop and
+    ``"<function>@<header-label>"`` for blocks whose innermost natural loop
+    is headed by ``<header-label>``. These are the boundaries compositional
+    campaigns section the dynamic trace at (functions and loop nests —
+    FastFlip's granularity), derived from the same CFG the transforms use.
+    """
+    succs = {blk.label: func.successors(blk) for blk in func.blocks}
+    headers = innermost_headers(
+        func.entry.label, [blk.label for blk in func.blocks], succs
+    )
+    return {
+        label: func.name if header is None else f"{func.name}@{header}"
+        for label, header in headers.items()
+    }
+
+
+def instruction_regions(program: AsmProgram) -> dict[int, str]:
+    """Map every instruction uid to its region key (see :func:`loop_regions`)."""
+    regions: dict[int, str] = {}
+    for func in program.functions:
+        by_label = loop_regions(func)
+        for blk in func.blocks:
+            region = by_label[blk.label]
+            for instr in blk.instructions:
+                regions[instr.uid] = region
+    return regions
+
+
+def region_function(region: str) -> str:
+    """The function name a region key belongs to."""
+    return region.split("@", 1)[0]
 
 
 def roots_touched_in_block(block: AsmBlock) -> frozenset[str]:

@@ -98,26 +98,39 @@ class AsmFunction:
     # -- CFG -----------------------------------------------------------------
 
     def successors(self, block: AsmBlock) -> list[str]:
-        """Labels of CFG successor blocks of ``block``."""
+        """Labels of CFG successor blocks of ``block``.
+
+        The backend lowers a two-way branch either as a trailing ``j<cc>``
+        (taken target plus layout fallthrough) or as a ``j<cc>``/``jmp``
+        pair when neither arm is the next block in layout — so conditional
+        jumps *before* the terminator contribute edges too.
+        """
         term = block.terminator
         idx = self.blocks.index(block)
         fallthrough = (
             self.blocks[idx + 1].label if idx + 1 < len(self.blocks) else None
         )
+        succs: list[str] = []
+
+        def add(label: str | None) -> None:
+            if label is not None and label not in succs:
+                succs.append(label)
+
+        body = block.instructions[:-1] if term is not None \
+            else block.instructions
+        for instr in body:
+            if instr.kind is InstrKind.JCC:
+                add(instr.target_label)
         if term is None:
-            return [fallthrough] if fallthrough is not None else []
-        if term.kind is InstrKind.RET:
-            return []
-        if term.kind is InstrKind.JMP:
-            target = term.target_label
-            return [target] if target is not None else []
-        # Conditional branch: taken target plus fallthrough.
-        succs = []
-        target = term.target_label
-        if target is not None:
-            succs.append(target)
-        if fallthrough is not None:
-            succs.append(fallthrough)
+            add(fallthrough)
+        elif term.kind is InstrKind.RET:
+            pass
+        elif term.kind is InstrKind.JMP:
+            add(term.target_label)
+        else:
+            # Trailing conditional branch: taken target plus fallthrough.
+            add(term.target_label)
+            add(fallthrough)
         return succs
 
     def predecessors(self) -> dict[str, list[str]]:

@@ -7,6 +7,8 @@
   (assembly-level) IR-EDDI coverage (the Sec. I "28 % gap" claim);
 * :func:`run_telemetry` — per-fault observability campaign (provenance
   breakdown, per-site outcome map, detection-latency histogram);
+* :func:`run_compose` — compositional sectioned campaign with the
+  content-addressed section cache (incremental re-protection);
 * :func:`table1` / :func:`table2` — the capability matrix and the
   benchmark roster.
 """
@@ -17,6 +19,7 @@ from repro.evaluation.experiments import (
     Fig11Result,
     GapResult,
     TransformTimeResult,
+    run_compose,
     run_crosslayer_gap,
     run_fig10,
     run_fig11,
@@ -27,6 +30,7 @@ from repro.evaluation.experiments import (
 )
 from repro.evaluation.report import (
     render_checkpoint_stats,
+    render_compose_stats,
     render_fig10,
     render_fig11,
     render_gap,
@@ -45,6 +49,7 @@ __all__ = [
     "GapResult",
     "TransformTimeResult",
     "render_checkpoint_stats",
+    "render_compose_stats",
     "render_fig10",
     "render_fig11",
     "render_gap",
@@ -54,6 +59,7 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_transform_time",
+    "run_compose",
     "run_crosslayer_gap",
     "run_fig10",
     "run_fig11",

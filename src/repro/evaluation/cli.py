@@ -7,6 +7,9 @@ Examples::
     ferrum-eval fig11 --scale 2
     ferrum-eval gap --samples 300 --workloads knn needle
     ferrum-eval telemetry --technique ferrum --jsonl faults.jsonl
+    ferrum-eval compose --workloads knn --cache-dir .ferrum-cache
+    ferrum-eval compose --workloads knn --cache-dir .ferrum-cache \\
+        --reinject sq_dist
     ferrum-eval all --samples 100
 """
 
@@ -39,7 +42,7 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "fig10", "fig11", "transform-time",
-                 "gap", "telemetry", "all"],
+                 "gap", "telemetry", "compose", "all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument("--samples", type=int, default=200,
@@ -60,6 +63,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--jsonl", default=None, metavar="PATH",
                         help="with telemetry: stream one JSON record per "
                              "fault to PATH")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="with compose: persist per-section results to "
+                             "DIR so unchanged sections are never re-run")
+    parser.add_argument("--reinject", nargs="*", default=[],
+                        metavar="FUNCTION",
+                        help="with compose: force these functions' sections "
+                             "to re-execute even on a cache hit")
     return parser
 
 
@@ -135,6 +145,29 @@ def main(argv: list[str] | None = None) -> int:
         print(render_checkpoint_stats(campaign.checkpoint_stats))
         if args.jsonl:
             print(f"Wrote {len(records)} records to {args.jsonl}")
+    if args.experiment == "compose":
+        from repro.evaluation.experiments import run_compose
+        from repro.evaluation.report import (
+            render_compose_stats,
+            render_origin_breakdown,
+        )
+
+        workload = workloads[0] if workloads else "kmeans"
+        campaign = run_compose(
+            workload=workload, technique=args.technique,
+            samples=args.samples, seed=args.seed, scale=args.scale,
+            cache_dir=args.cache_dir, reinject=tuple(args.reinject),
+            jsonl_path=args.jsonl,
+        )
+        print(f"Composed campaign: {workload} / {args.technique} — "
+              + campaign.summary())
+        print()
+        print(render_compose_stats(campaign.compose_stats))
+        print()
+        print(render_origin_breakdown(campaign.records or []))
+        if args.jsonl:
+            print(f"Wrote {len(campaign.records or [])} records "
+                  f"to {args.jsonl}")
     return 0
 
 

@@ -286,3 +286,41 @@ def run_telemetry(
                            names=variants, config=config)
     return run_campaign(build[technique].asm, samples, seed=seed,
                         engine=engine, telemetry=True, jsonl_path=jsonl_path)
+
+
+# -- compose: incremental sectioned campaign -----------------------------
+
+
+def run_compose(
+    workload: str = "kmeans",
+    technique: str = "ferrum",
+    samples: int = 200,
+    seed: int = 2024,
+    scale: int = 1,
+    engine: str = "checkpoint",
+    cache_dir: str | None = None,
+    reinject: tuple[str, ...] = (),
+    prune: bool = False,
+    jsonl_path: str | None = None,
+    config: FerrumConfig | None = None,
+) -> CampaignResult:
+    """One compositional campaign on one benchmark/technique binary.
+
+    The incremental-re-protection experiment behind ``ferrum-eval
+    compose``: the program is partitioned into function/loop-nest
+    sections, each section's sub-campaign is served from the
+    content-addressed cache at ``cache_dir`` when its code (and transitive
+    callees) are unchanged, and only stale or ``reinject``-ed sections
+    re-execute. Outcome counts, telemetry records and JSONL output are
+    bit-identical to the flat :func:`run_campaign` with the same seed.
+    """
+    from repro.faultinjection.compose import compose_campaign
+
+    variants = ("raw",) if technique == "raw" else ("raw", technique)
+    build = build_variants(get_workload(workload).source(scale),
+                           names=variants, config=config)
+    return compose_campaign(
+        build[technique].asm, samples, seed=seed, engine=engine,
+        telemetry=True, jsonl_path=jsonl_path, prune=prune,
+        cache_dir=cache_dir, refresh=reinject,
+    )

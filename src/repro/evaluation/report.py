@@ -13,6 +13,7 @@ from repro.evaluation.experiments import (
     table1,
     table2,
 )
+from repro.faultinjection.compose import ComposeStats
 from repro.faultinjection.outcome import Outcome
 from repro.faultinjection.telemetry import (
     CheckpointStats,
@@ -181,6 +182,13 @@ def render_checkpoint_stats(stats: CheckpointStats | None) -> str:
     if stats is None:
         return "Checkpoint stats: n/a (replay engine or telemetry off)."
     return "Checkpoint engine: " + stats.summary()
+
+
+def render_compose_stats(stats: ComposeStats | None) -> str:
+    """Section-cache economics of a composed campaign (or a note)."""
+    if stats is None:
+        return "Compose stats: n/a (flat campaign)."
+    return "Composed campaign: " + stats.summary()
 
 
 def render_gap(result: GapResult) -> str:

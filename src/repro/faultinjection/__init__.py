@@ -15,6 +15,13 @@ from repro.faultinjection.injector import (
     profile_fault_sites,
 )
 from repro.faultinjection.campaign import CampaignResult, run_campaign, run_ir_campaign
+from repro.faultinjection.compose import (
+    ComposeStats,
+    Section,
+    SectionCache,
+    compose_campaign,
+    trace_sections,
+)
 from repro.faultinjection.multibit import (
     MultiBitPlan,
     inject_multibit_fault,
@@ -34,12 +41,16 @@ from repro.faultinjection.telemetry import (
 __all__ = [
     "CampaignResult",
     "CheckpointStats",
+    "ComposeStats",
     "FaultPlan",
     "FaultRecord",
     "JsonlSink",
     "MultiBitPlan",
     "Outcome",
     "OutcomeCounts",
+    "Section",
+    "SectionCache",
+    "compose_campaign",
     "detection_latencies",
     "inject_asm_fault",
     "inject_ir_fault",
@@ -52,4 +63,5 @@ __all__ = [
     "run_campaign",
     "run_multibit_campaign",
     "run_ir_campaign",
+    "trace_sections",
 ]

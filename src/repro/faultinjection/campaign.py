@@ -31,6 +31,7 @@ it on or off, and the default-off path adds no per-run work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.asm.program import AsmProgram
 from repro.errors import InjectionError
@@ -52,8 +53,11 @@ from repro.faultinjection.telemetry import (
 )
 from repro.ir.interp import IRInterpreter
 from repro.ir.module import IRModule
-from repro.machine.cpu import Machine
+from repro.machine.cpu import Machine, MachineSnapshot
 from repro.utils.rng import DeterministicRng
+
+if TYPE_CHECKING:  # circular at runtime: compose builds on this module
+    from repro.faultinjection.compose import ComposeStats
 
 #: Execution strategies accepted by ``run_campaign``/``run_ir_campaign``.
 ENGINES = ("checkpoint", "replay")
@@ -71,7 +75,9 @@ class CampaignResult:
     per sample, sorted by run index; ``checkpoint_stats`` reports the
     checkpoint engine's snapshot/restore economics. Both are ``None`` when
     telemetry is off — the default — and their presence never changes
-    ``outcomes``.
+    ``outcomes``. ``compose_stats`` is filled only by
+    :func:`repro.faultinjection.compose.compose_campaign` and reports the
+    section partition and cache hit/miss economics.
     """
 
     samples: int
@@ -81,6 +87,7 @@ class CampaignResult:
     records: list[FaultRecord] | None = None
     checkpoint_stats: CheckpointStats | None = None
     pruning_stats: PruningStats | None = None
+    compose_stats: "ComposeStats | None" = None
 
     @property
     def sdc_probability(self) -> float:
@@ -117,6 +124,55 @@ def _expand_pruned(
                     if telemetry else (dup, rep_result)
                 )
     return extra
+
+
+def _open_sink(jsonl_path, mode: str) -> JsonlSink | None:
+    """Open the campaign's JSONL sink, validating the requested mode.
+
+    ``mode="w"`` truncates (the default); ``mode="a"`` appends, which is
+    what multi-invocation workflows — compositional campaigns above all —
+    need to accumulate one stream across runs.
+    """
+    if jsonl_path is None:
+        return None
+    if mode not in ("w", "a"):
+        raise InjectionError(
+            f"jsonl_mode must be 'w' (truncate) or 'a' (append), got {mode!r}"
+        )
+    return JsonlSink(jsonl_path, mode=mode)
+
+
+class _RunOrderedWriter:
+    """Streams records to a sink in run-index order as they become available.
+
+    Pruned campaigns complete their runs out of run-index order (executed
+    representatives arrive in site order; synthesized verdicts exist before
+    execution starts; duplicates complete when their representative does).
+    This reorder buffer holds only the not-yet-contiguous suffix and flushes
+    each record the moment every lower run index has been written, so large
+    pruned campaigns stream incrementally while the final file stays
+    byte-identical to the buffered (sorted-by-run-index) order.
+    """
+
+    def __init__(self, sink: JsonlSink, analysis: PruningAnalysis) -> None:
+        self._sink = sink
+        self._duplicates = analysis.duplicates
+        self._pending: dict[int, FaultRecord] = {}
+        self._next = 0
+        for run_index, record in analysis.synthesized:
+            self._push(run_index, record)
+
+    def _push(self, run_index: int, record: FaultRecord) -> None:
+        self._pending[run_index] = record
+        while self._next in self._pending:
+            self._sink.write(self._pending.pop(self._next))
+            self._next += 1
+
+    def write(self, record: FaultRecord) -> None:
+        """Engine-facing hook: accept one executed record, expand its clones."""
+        self._push(record.run_index, record)
+        for dup in self._duplicates.get(record.run_index, ()):
+            self._push(dup, replace(record, run_index=dup))
 
 
 def _checkpoint_schedule(
@@ -176,12 +232,19 @@ def _checkpointed_asm_results(
     interval: int | None,
     telemetry: bool = False,
     stats: CheckpointStats | None = None,
-    sink: JsonlSink | None = None,
+    sink=None,
+    machine: Machine | None = None,
+    cursor: MachineSnapshot | None = None,
 ) -> list:
-    """Serve all plans off one incremental golden-prefix pass (sequential)."""
+    """Serve all plans off one incremental golden-prefix pass (sequential).
+
+    ``machine``/``cursor`` let compositional campaigns resume the pass from
+    a section-entry snapshot instead of program entry; the default (both
+    ``None``) executes the golden prefix from scratch, as flat campaigns do.
+    """
     results = []
-    machine = Machine(program)
-    cursor = None
+    if machine is None:
+        machine = Machine(program)
     for checkpoint_site, region_plans in _checkpoint_schedule(plans, interval):
         cursor = machine.run_to_site(checkpoint_site, function=function,
                                      args=args, resume_from=cursor)
@@ -326,6 +389,7 @@ def run_campaign(
     checkpoint_interval: int | None = None,
     telemetry: bool = False,
     jsonl_path=None,
+    jsonl_mode: str = "w",
     prune: bool = False,
 ) -> CampaignResult:
     """Inject ``samples`` single-bit faults at assembly level.
@@ -349,8 +413,10 @@ def run_campaign(
     ``result.records`` (and fills ``result.checkpoint_stats`` under the
     checkpoint engine); ``jsonl_path`` implies telemetry and streams the
     records to disk as JSONL — incrementally in sequential engines, after
-    collection in multiprocessing ones. Outcome counts are bit-identical
-    with telemetry on or off.
+    collection in multiprocessing ones. ``jsonl_mode="a"`` appends to an
+    existing file instead of truncating, so multi-invocation workflows can
+    accumulate one stream. Outcome counts are bit-identical with telemetry
+    on or off.
 
     ``prune=True`` runs the outcome-equivalence pass
     (:mod:`repro.faultinjection.equivalence`) first: plans whose outcome is
@@ -382,21 +448,28 @@ def run_campaign(
         result.pruning_stats = analysis.stats
     stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
     result.checkpoint_stats = stats
-    sink = JsonlSink(jsonl_path) if jsonl_path is not None else None
-    # With pruning, synthesized/cloned results must be merged before the
-    # sink sees anything, so the sequential engines must not stream.
-    stream_sink = None if prune else sink
+    context = _fork_context() if processes > 1 else None
+    parallel = processes > 1 and context is not None
+    sink = _open_sink(jsonl_path, jsonl_mode)
+    # Sequential pruned campaigns stream through a run-index reorder buffer:
+    # executed records release as they complete, synthesized and duplicate
+    # records interleave at their run indices, and the file ends up
+    # byte-identical to the buffered (sorted-by-run-index) order.
+    streamer = None
+    stream_sink = sink
+    if analysis is not None and sink is not None and not parallel:
+        streamer = _RunOrderedWriter(sink, analysis)
+        stream_sink = streamer
 
     def _complete(results, streamed: bool) -> CampaignResult:
         if analysis is not None:
             executed = list(results)
             results = executed + _expand_pruned(analysis, executed, telemetry)
-            streamed = False
+            streamed = streamed and streamer is not None
         return _finish(result, results, telemetry, sink, streamed)
 
     try:
-        context = _fork_context() if processes > 1 else None
-        if processes > 1 and context is not None:
+        if parallel:
             if engine == "checkpoint":
                 machine = Machine(program)
                 regions = []
@@ -465,16 +538,32 @@ def run_ir_campaign(
     checkpoint_interval: int | None = None,
     telemetry: bool = False,
     jsonl_path=None,
+    jsonl_mode: str = "w",
+    prune: bool = False,
 ) -> CampaignResult:
     """Inject ``samples`` faults at IR level (LLFI-style).
 
     Supports the same ``engine``/``checkpoint_interval``/``processes``/
-    ``telemetry``/``jsonl_path`` controls as :func:`run_campaign`, with
-    identical guarantees: both engines and any process count yield
-    bit-identical outcome counts for a given seed, telemetry on or off.
+    ``telemetry``/``jsonl_path``/``jsonl_mode`` controls as
+    :func:`run_campaign`, with identical guarantees: both engines and any
+    process count yield bit-identical outcome counts for a given seed,
+    telemetry on or off.
+
+    ``prune`` is accepted for signature parity but only ``False`` is
+    supported: outcome-equivalence pruning is assembly-level analysis (see
+    ``docs/fault_model.md``), so ``prune=True`` raises
+    :class:`InjectionError` instead of a bare ``TypeError``.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if prune:
+        raise InjectionError(
+            "outcome-equivalence pruning is assembly-level only: the "
+            "equivalence scanner classifies flips by propagating XOR deltas "
+            "through the recorded machine trace (register, flag and memory "
+            "bytes), state IR values do not expose. Compile the module and "
+            "run run_campaign(prune=True) on the assembly program instead."
+        )
     telemetry = telemetry or jsonl_path is not None
     golden = IRInterpreter(module).run(function=function, args=args)
     result = CampaignResult(
@@ -489,7 +578,7 @@ def run_ir_campaign(
     ]
     stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
     result.checkpoint_stats = stats
-    sink = JsonlSink(jsonl_path) if jsonl_path is not None else None
+    sink = _open_sink(jsonl_path, jsonl_mode)
 
     try:
         context = _fork_context() if processes > 1 else None

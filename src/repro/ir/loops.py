@@ -1,0 +1,42 @@
+"""Loop-nest detection over the IR CFG.
+
+The compiler backend preserves block labels when lowering IR to assembly,
+so the loop nests found here name the same regions
+:func:`repro.asm.analysis.loop_regions` finds on the compiled program —
+the section boundaries compositional campaigns use. Exposed separately so
+IR-level tooling (and tests) can reason about sections without compiling.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import IRFunction, IRModule
+from repro.utils.graph import Loop, innermost_headers, natural_loops
+
+
+def loop_nests(func: IRFunction) -> list[Loop]:
+    """All natural loops of ``func``'s CFG (innermost have highest depth)."""
+    succs = {blk.label: func.successors(blk) for blk in func.blocks}
+    return natural_loops(
+        func.entry.label, [blk.label for blk in func.blocks], succs
+    )
+
+
+def loop_regions(func: IRFunction) -> dict[str, str]:
+    """Map block label -> region key, mirroring the assembly-level mapping.
+
+    Keys are ``"<function>"`` outside loops and ``"<function>@<header>"``
+    inside, where ``<header>`` is the innermost loop header's label.
+    """
+    succs = {blk.label: func.successors(blk) for blk in func.blocks}
+    headers = innermost_headers(
+        func.entry.label, [blk.label for blk in func.blocks], succs
+    )
+    return {
+        label: func.name if header is None else f"{func.name}@{header}"
+        for label, header in headers.items()
+    }
+
+
+def module_regions(module: IRModule) -> dict[str, dict[str, str]]:
+    """Per-function region maps for a whole module."""
+    return {func.name: loop_regions(func) for func in module.functions}

@@ -1,0 +1,138 @@
+"""Generic CFG analyses: dominators and natural-loop detection.
+
+Compositional campaigns (``repro.faultinjection.compose``) partition a
+program into sections at function and loop-nest boundaries. The loop
+structure comes from the classic construction: a back edge is an edge
+``u -> h`` where ``h`` dominates ``u``; its natural loop is ``h`` plus
+every node that reaches ``u`` without passing through ``h``. The algorithms
+here are graph-shaped only — node identity is opaque — so the assembly CFG
+(:mod:`repro.asm.analysis`) and the IR CFG (:mod:`repro.ir.loops`) share
+one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def reachable(
+    entry: Node, succs: Mapping[Node, Sequence[Node]]
+) -> set[Node]:
+    """Nodes reachable from ``entry`` (including it) via ``succs``."""
+    seen = {entry}
+    work = [entry]
+    while work:
+        node = work.pop()
+        for succ in succs.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return seen
+
+
+def dominators(
+    entry: Node, nodes: Sequence[Node], succs: Mapping[Node, Sequence[Node]]
+) -> dict[Node, set[Node]]:
+    """Map each reachable node to its dominator set (iterative dataflow).
+
+    Unreachable nodes are omitted: they have no dominators in the usual
+    sense and never participate in loops that execution can enter. The
+    CFGs this runs on are function bodies (tens of blocks), so the simple
+    O(n^2)-per-pass set iteration is plenty.
+    """
+    live = reachable(entry, succs)
+    order = [node for node in nodes if node in live]
+    preds: dict[Node, list[Node]] = {node: [] for node in order}
+    for node in order:
+        for succ in succs.get(node, ()):
+            if succ in preds:
+                preds[succ].append(node)
+    dom: dict[Node, set[Node]] = {node: set(order) for node in order}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            meets = [dom[p] for p in preds[node]]
+            new = set.intersection(*meets) if meets else set()
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header and every node in its body.
+
+    ``body`` includes the header. ``depth`` is the nesting depth (1 for an
+    outermost loop); loops sharing a header (multiple back edges) are merged
+    into one, as is standard.
+    """
+
+    header: Hashable
+    body: frozenset
+    depth: int = 1
+
+
+def natural_loops(
+    entry: Node, nodes: Sequence[Node], succs: Mapping[Node, Sequence[Node]]
+) -> list[Loop]:
+    """All natural loops of the CFG, outermost first within ties.
+
+    Returns one :class:`Loop` per distinct header, with bodies of
+    same-header back edges merged and ``depth`` computed by counting the
+    loops that strictly contain each header.
+    """
+    dom = dominators(entry, nodes, succs)
+    bodies: dict[Node, set[Node]] = {}
+    for node in dom:
+        for succ in succs.get(node, ()):
+            if succ in dom and succ in dom[node]:  # back edge node -> succ
+                body = bodies.setdefault(succ, {succ})
+                work = [node]
+                while work:
+                    cur = work.pop()
+                    if cur in body:
+                        continue
+                    body.add(cur)
+                    work.extend(
+                        p for p in dom
+                        if cur in succs.get(p, ()) and p not in body
+                    )
+    loops = []
+    for header, body in bodies.items():
+        # Merged natural loops nest or are disjoint, so "contained in k loop
+        # bodies (including your own)" is exactly the nesting depth.
+        depth = sum(1 for other_body in bodies.values() if body <= other_body)
+        loops.append(Loop(header, frozenset(body), depth))
+    loops.sort(key=lambda loop: (loop.depth, str(loop.header)))
+    return loops
+
+
+def innermost_headers(
+    entry: Node, nodes: Sequence[Node], succs: Mapping[Node, Sequence[Node]]
+) -> dict[Node, Node | None]:
+    """Map every node to the header of its innermost containing loop.
+
+    Nodes outside any loop (and unreachable nodes) map to ``None``. The
+    innermost loop of a node is the smallest-body loop containing it —
+    natural loops of the same function either nest or are disjoint once
+    same-header loops are merged, so smallest-body is well defined.
+    """
+    loops = natural_loops(entry, nodes, succs)
+    result: dict[Node, Node | None] = {node: None for node in nodes}
+    for node in nodes:
+        containing = [loop for loop in loops if node in loop.body]
+        if containing:
+            innermost = min(
+                containing, key=lambda loop: (len(loop.body), str(loop.header))
+            )
+            result[node] = innermost.header
+    return result

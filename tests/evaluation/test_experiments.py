@@ -84,6 +84,33 @@ class TestFig10Small:
         assert row.raw.sdc_probability > 0
 
 
+class TestComposeSmall:
+    def test_compose_matches_flat_and_caches(self, tmp_path):
+        from repro.evaluation.experiments import run_compose, run_telemetry
+
+        def portable(result):
+            # Each run_* builds its own program object, so process-local
+            # instruction uids differ; everything observable must not.
+            records = []
+            for record in result.records:
+                data = record.to_json()
+                data.pop("instruction_uid", None)
+                records.append(data)
+            return records
+
+        flat = run_telemetry(workload="knn", samples=25, seed=8)
+        cold = run_compose(workload="knn", samples=25, seed=8,
+                           cache_dir=tmp_path / "cache")
+        assert cold.outcomes.counts == flat.outcomes.counts
+        assert portable(cold) == portable(flat)
+        assert cold.compose_stats.cache_hits == 0
+        warm = run_compose(workload="knn", samples=25, seed=8,
+                           cache_dir=tmp_path / "cache")
+        assert portable(warm) == portable(flat)
+        assert warm.compose_stats.executed_injections == 0
+        assert warm.compose_stats.hit_rate == 1.0
+
+
 class TestGapSmall:
     def test_gap_row_structure(self):
         result = run_crosslayer_gap(samples=25, seed=8, workloads=("knn",))

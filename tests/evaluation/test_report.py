@@ -133,3 +133,15 @@ class TestTelemetryRendering:
         text = render_checkpoint_stats(stats)
         assert "4 snapshots" in text and "9 restores" in text
         assert "n/a" in render_checkpoint_stats(None)
+
+    def test_compose_stats(self):
+        from repro.evaluation.report import render_compose_stats
+        from repro.faultinjection.compose import ComposeStats
+
+        stats = ComposeStats(sections=12, populated_sections=5,
+                             cache_hits=3, cache_misses=2,
+                             executed_injections=7, cached_injections=18)
+        text = render_compose_stats(stats)
+        assert "5/12 sections" in text
+        assert "3 hits" in text and "7 executed" in text
+        assert "n/a" in render_compose_stats(None)

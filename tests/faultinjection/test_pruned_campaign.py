@@ -134,3 +134,60 @@ class TestPruningStats:
                              seed=SEED, prune=True).pruning_stats
         assert stats.executed_fraction <= 0.6
         assert stats.classified > 0
+
+
+class TestPrunedStreaming:
+    """Pruned campaigns must stream JSONL incrementally (the PR 2 contract),
+    not buffer every record until the end — while keeping the file
+    byte-identical to the buffered run-index order."""
+
+    def test_pruned_file_is_run_index_ordered_and_complete(self, built,
+                                                           tmp_path):
+        program = built["knn"]["ferrum"]
+        path = tmp_path / "pruned.jsonl"
+        result = run_campaign(program, samples=SAMPLES, seed=SEED,
+                              jsonl_path=path, prune=True)
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["run_index"] for line in lines] \
+            == list(range(SAMPLES))
+        assert lines == [json.dumps(record.to_json(), sort_keys=True)
+                         for record in result.records]
+
+    def test_records_stream_as_they_complete(self):
+        """Unit contract of the reorder buffer: records flush the moment
+        the run-index prefix is contiguous, duplicates expand with their
+        representative, synthesized records are available up front."""
+        from repro.faultinjection.campaign import _RunOrderedWriter
+        from repro.faultinjection.equivalence import PruningAnalysis
+        from repro.faultinjection.outcome import Outcome
+        from repro.faultinjection.telemetry import FaultRecord
+
+        def record(run_index):
+            return FaultRecord(
+                run_index=run_index, level="asm", site_index=run_index,
+                instruction="nop", mnemonic="nop", origin="app",
+                register="rax", bit=0, outcome=Outcome.BENIGN,
+                detection_latency=None,
+            )
+
+        class Spy:
+            def __init__(self):
+                self.seen = []
+
+            def write(self, rec):
+                self.seen.append(rec.run_index)
+
+        # synthesized: runs 1 and 5; duplicates: run 4 clones run 0.
+        analysis = PruningAnalysis(
+            synthesized=[(1, record(1)), (5, record(5))],
+            duplicates={0: [4]},
+        )
+        sink = Spy()
+        writer = _RunOrderedWriter(sink, analysis)
+        assert sink.seen == []          # nothing contiguous from 0 yet
+        writer.write(record(2))
+        assert sink.seen == []          # still waiting on run 0
+        writer.write(record(0))         # releases 0,1,2 (clone 4 pends on 3)
+        assert sink.seen == [0, 1, 2]
+        writer.write(record(3))         # releases 3, then pending 4 and 5
+        assert sink.seen == [0, 1, 2, 3, 4, 5]

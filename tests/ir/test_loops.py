@@ -1,0 +1,63 @@
+"""IR loop nests mirror the assembly-level section regions.
+
+The backend preserves block labels when lowering, so the loop regions the
+IR reports must agree with :func:`repro.asm.analysis.loop_regions` on the
+compiled program — that is what lets tooling reason about campaign
+sections without compiling.
+"""
+
+from repro.backend import compile_module
+from repro.ir.loops import loop_nests, loop_regions, module_regions
+from repro.minic import compile_to_ir
+from repro.workloads import get_workload
+
+
+def test_loop_nests_found_in_workload():
+    module = compile_to_ir(get_workload("bfs").source(1))
+    main = next(func for func in module.functions if func.name == "main")
+    nests = loop_nests(main)
+    assert nests, "bfs main has loops"
+    assert all(loop.header in {blk.label for blk in main.blocks}
+               for loop in nests)
+
+
+def test_regions_cover_every_block():
+    module = compile_to_ir(get_workload("knn").source(1))
+    for func in module.functions:
+        regions = loop_regions(func)
+        assert set(regions) == {blk.label for blk in func.blocks}
+        assert all(region.split("@", 1)[0] == func.name
+                   for region in regions.values())
+
+
+def test_ir_regions_agree_with_asm_regions():
+    """The backend mangles block labels (``entry`` -> ``.Lmain_entry``)
+    but preserves block structure, so IR regions must map 1:1 onto the
+    compiled program's regions through the mangling."""
+    from repro.asm.analysis import loop_regions as asm_loop_regions
+
+    module = compile_to_ir(get_workload("pathfinder").source(1))
+    program = compile_module(module)
+    ir_regions = module_regions(module)
+
+    def mangle(func_name, ir_label):
+        return f".L{func_name}_{ir_label}"
+
+    def mangle_region(func_name, region):
+        if "@" not in region:
+            return region
+        name, header = region.split("@", 1)
+        return f"{name}@{mangle(func_name, header)}"
+
+    for func in program.functions:
+        asm_regions = asm_loop_regions(func)
+        ir_map = ir_regions.get(func.name, {})
+        compared = 0
+        for ir_label, ir_region in ir_map.items():
+            asm_label = mangle(func.name, ir_label)
+            if asm_label not in asm_regions:
+                continue  # blocks the backend merged or renamed
+            assert (asm_regions[asm_label]
+                    == mangle_region(func.name, ir_region)), ir_label
+            compared += 1
+        assert compared > 0, f"{func.name}: no comparable blocks"

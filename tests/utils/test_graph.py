@@ -1,0 +1,77 @@
+"""Dominators and natural-loop detection (the section-boundary substrate)."""
+
+from repro.utils.graph import (
+    dominators,
+    innermost_headers,
+    natural_loops,
+    reachable,
+)
+
+
+def diamond():
+    # entry -> a, b; a -> exit; b -> exit
+    return ["e", "a", "b", "x"], {"e": ["a", "b"], "a": ["x"], "b": ["x"],
+                                  "x": []}
+
+
+def nested_loops():
+    # e -> a; a -> {b, x}; b -> c; c -> {b, a}: outer loop headed at a,
+    # inner loop headed at b.
+    return ["e", "a", "b", "c", "x"], {
+        "e": ["a"], "a": ["b", "x"], "b": ["c"], "c": ["b", "a"], "x": [],
+    }
+
+
+class TestDominators:
+    def test_diamond(self):
+        nodes, succs = diamond()
+        dom = dominators("e", nodes, succs)
+        assert dom["x"] == {"e", "x"}
+        assert dom["a"] == {"e", "a"}
+        assert dom["e"] == {"e"}
+
+    def test_unreachable_nodes_excluded(self):
+        nodes = ["e", "a", "dead"]
+        succs = {"e": ["a"], "a": [], "dead": ["a"]}
+        dom = dominators("e", nodes, succs)
+        assert "dead" not in dom
+        assert dom["a"] == {"e", "a"}
+        assert reachable("e", succs) == {"e", "a"}
+
+
+class TestNaturalLoops:
+    def test_acyclic_has_no_loops(self):
+        nodes, succs = diamond()
+        assert natural_loops("e", nodes, succs) == []
+
+    def test_self_loop(self):
+        nodes = ["e", "a", "x"]
+        succs = {"e": ["a"], "a": ["a", "x"], "x": []}
+        (loop,) = natural_loops("e", nodes, succs)
+        assert loop.header == "a"
+        assert loop.body == {"a"}
+        assert loop.depth == 1
+
+    def test_nested_loops_and_depths(self):
+        nodes, succs = nested_loops()
+        loops = {loop.header: loop for loop in
+                 natural_loops("e", nodes, succs)}
+        assert loops["a"].body == {"a", "b", "c"}
+        assert loops["a"].depth == 1
+        assert loops["b"].body == {"b", "c"}
+        assert loops["b"].depth == 2
+
+    def test_innermost_headers(self):
+        nodes, succs = nested_loops()
+        headers = innermost_headers("e", nodes, succs)
+        assert headers == {"e": None, "a": "a", "b": "b", "c": "b",
+                           "x": None}
+
+    def test_same_header_back_edges_merge(self):
+        # Two back edges into h: bodies union into one loop.
+        nodes = ["e", "h", "a", "b", "x"]
+        succs = {"e": ["h"], "h": ["a", "x"], "a": ["h", "b"], "b": ["h"],
+                 "x": []}
+        (loop,) = natural_loops("e", nodes, succs)
+        assert loop.header == "h"
+        assert loop.body == {"h", "a", "b"}
