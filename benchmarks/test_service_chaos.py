@@ -1,0 +1,116 @@
+"""Tier-2 chaos gates for the durable campaign service.
+
+Two acceptance gates that are too heavy for tier-1:
+
+* **Kill-anywhere matrix** — a campaign spanning three workloads × two
+  techniques (ferrum, hybrid) is SIGKILLed at randomized points and
+  resumed until complete; every per-unit results file and the summary
+  must be byte-identical to an uninterrupted baseline run. Both runs are
+  fresh subprocesses of the real CLI, so the comparison also covers
+  process-level determinism (instruction-uid normalization, merge order).
+* **Bounded record buffer** — a 10k-fault campaign must report a peak
+  resident record buffer no larger than one shard, proving the
+  streaming-merge design holds at campaign sizes that would not fit in
+  memory as a record list.
+
+Run via ``PYTHONPATH=src python -m pytest benchmarks/test_service_chaos.py -q``
+(the ``campaign-chaos`` CI job and ``scripts/check.sh`` both do). Knobs:
+``CHAOS_SAMPLES`` (faults per unit in the matrix gate, default 24) and
+``CHAOS_BUFFER_FAULTS`` (default 10000).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+MATRIX_SAMPLES = int(os.environ.get("CHAOS_SAMPLES", "24"))
+BUFFER_FAULTS = int(os.environ.get("CHAOS_BUFFER_FAULTS", "10000"))
+
+MATRIX_WORKLOADS = ("bfs", "knn", "pathfinder")
+MATRIX_TECHNIQUES = ("ferrum", "hybrid")
+
+
+def _cli(args, kill_after=None):
+    env = {**os.environ, "PYTHONPATH": "src"}
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.evaluation.cli", *args],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    if kill_after is None:
+        return process.wait()
+    time.sleep(kill_after)
+    process.send_signal(signal.SIGKILL)
+    process.wait()
+    return -signal.SIGKILL
+
+
+def test_kill_anywhere_matrix_byte_identity(tmp_path):
+    serve_args = [
+        "--workloads", *MATRIX_WORKLOADS,
+        "--techniques", *MATRIX_TECHNIQUES,
+        "--samples", str(MATRIX_SAMPLES), "--seed", "2024",
+        "--shard-size", "8", "--workers", "4", "--no-fsync",
+    ]
+    baseline = tmp_path / "baseline"
+    assert _cli(["serve", "--state-dir", str(baseline), *serve_args]) == 0
+
+    chaos = tmp_path / "chaos"
+    rng = random.Random(1234)
+    # First launch plus several resume rounds, each killed at a random
+    # instant — covering compile, worker execution, journaling, adoption
+    # and finalize windows.
+    _cli(["serve", "--state-dir", str(chaos), *serve_args],
+         kill_after=rng.uniform(0.5, 2.0))
+    code = None
+    for _ in range(4):
+        _cli(["resume", "--state-dir", str(chaos), "--workers", "4",
+              "--no-fsync"], kill_after=rng.uniform(0.3, 2.5))
+    for _ in range(20):
+        code = _cli(["resume", "--state-dir", str(chaos), "--workers", "4",
+                     "--no-fsync"])
+        if code == 0:
+            break
+    assert code == 0, "campaign never completed after kills"
+
+    for workload in MATRIX_WORKLOADS:
+        for technique in MATRIX_TECHNIQUES:
+            name = f"results/{workload}-{technique}.jsonl"
+            chaos_bytes = (chaos / name).read_bytes()
+            assert chaos_bytes == (baseline / name).read_bytes(), name
+            assert chaos_bytes.count(b"\n") == MATRIX_SAMPLES
+    assert ((chaos / "summary.json").read_bytes()
+            == (baseline / "summary.json").read_bytes())
+
+
+def test_record_buffer_bounded_on_10k_fault_campaign(tmp_path):
+    from repro.faultinjection.service import (
+        CampaignSpec,
+        ServiceConfig,
+        serve_campaign,
+    )
+
+    shard_size = 500
+    spec = CampaignSpec(workloads=("bfs",), techniques=("raw",),
+                        samples=BUFFER_FAULTS, seed=11,
+                        shard_size=shard_size)
+    report = serve_campaign(
+        tmp_path / "state", spec,
+        ServiceConfig(workers=4, fsync=False, shard_timeout=600.0))
+    assert report.complete
+    assert report.aggregates["bfs-raw"].records == BUFFER_FAULTS
+    assert report.shards == -(-BUFFER_FAULTS // shard_size)
+    # The supervisor streams: at no point did it (or a worker) hold more
+    # records than one shard's worth.
+    assert report.peak_record_buffer <= shard_size

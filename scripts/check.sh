@@ -45,6 +45,14 @@ echo "== fuzz smoke (fixed seeds, bounded) =="
 PYTHONPATH=src python -m repro.fuzz --seed-start 0 --count 40 \
     --time-budget 60 --artifact-dir fuzz-artifacts --quiet || status=$?
 
+echo "== campaign chaos gate (kill-anywhere resume + bounded buffers) =="
+# Mirrors the CI campaign-chaos job: SIGKILLs the durable campaign
+# service at random points across a 3-workload x 2-technique matrix and
+# requires resumed output bytes identical to an uninterrupted run, then
+# proves the record buffer stays <= one shard on a 10k-fault campaign.
+PYTHONPATH=src python -m pytest benchmarks/test_service_chaos.py -q \
+    || status=$?
+
 echo "== exec throughput smoke (advisory) =="
 # Translated-vs-reference engine gate (>= 3x instr/sec; see
 # docs/performance.md). Advisory: reported but never fails this gate.

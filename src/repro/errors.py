@@ -123,6 +123,14 @@ class InjectionError(ReproError):
     """Raised when a fault cannot be injected as requested."""
 
 
+class JournalError(ReproError):
+    """Raised on a journal integrity violation (non-tail corruption)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the durable campaign service (bad spec, state mismatch...)."""
+
+
 class EvaluationError(ReproError):
     """Raised by the evaluation/experiment harness."""
 

@@ -10,6 +10,9 @@ Examples::
     ferrum-eval compose --workloads knn --cache-dir .ferrum-cache
     ferrum-eval compose --workloads knn --cache-dir .ferrum-cache \\
         --reinject sq_dist
+    ferrum-eval serve --state-dir runs/night --workloads bfs knn \\
+        --techniques ferrum hybrid --samples 1000
+    ferrum-eval resume --state-dir runs/night
     ferrum-eval all --samples 100
 """
 
@@ -42,7 +45,7 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["table1", "table2", "fig10", "fig11", "transform-time",
-                 "gap", "telemetry", "compose", "all"],
+                 "gap", "telemetry", "compose", "serve", "resume", "all"],
         help="which table/figure to regenerate",
     )
     parser.add_argument("--samples", type=int, default=200,
@@ -70,13 +73,86 @@ def _parser() -> argparse.ArgumentParser:
                         metavar="FUNCTION",
                         help="with compose: force these functions' sections "
                              "to re-execute even on a cache hit")
+    service = parser.add_argument_group(
+        "durable campaign service (serve/resume)")
+    service.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="journal + segments + results directory "
+                              "(required for serve/resume)")
+    service.add_argument("--techniques", nargs="*",
+                         choices=["raw", "ir-eddi", "hybrid", "ferrum"],
+                         default=["ferrum"],
+                         help="with serve: protection variants to campaign")
+    service.add_argument("--shard-size", type=int, default=200,
+                         help="with serve: fault plans per durable shard")
+    service.add_argument("--workers", type=int, default=2,
+                         help="supervised worker processes "
+                              "(0 = in-process sequential)")
+    service.add_argument("--shard-timeout", type=float, default=300.0,
+                         help="wall-clock seconds before a shard's worker "
+                              "is killed and the shard requeued")
+    service.add_argument("--max-failures", type=int, default=3,
+                         help="failures before a shard is quarantined")
+    service.add_argument("--requeue-quarantined", action="store_true",
+                         help="with resume: give quarantined shards a "
+                              "fresh set of attempts")
+    service.add_argument("--no-fsync", action="store_true",
+                         help="skip fsync on journal/segment writes "
+                              "(faster; unsafe against power loss)")
     return parser
+
+
+def _run_service(args: argparse.Namespace) -> int:
+    from repro.faultinjection.service import (
+        CampaignSpec,
+        ServiceConfig,
+        resume_campaign,
+        serve_campaign,
+    )
+
+    if args.state_dir is None:
+        print("error: serve/resume require --state-dir", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        max_failures=args.max_failures,
+        requeue_quarantined=args.requeue_quarantined,
+        fsync=not args.no_fsync,
+        log=print,
+    )
+    if args.experiment == "serve":
+        spec = CampaignSpec(
+            workloads=tuple(args.workloads) if args.workloads
+            else tuple(workload_names()),
+            techniques=tuple(args.techniques),
+            samples=args.samples,
+            seed=args.seed,
+            scale=args.scale,
+            shard_size=args.shard_size,
+        )
+        report = serve_campaign(args.state_dir, spec, config)
+    else:
+        report = resume_campaign(args.state_dir, config)
+    print(f"shards: {report.done_shards}/{report.shards} done "
+          f"({report.executed_shards} executed now, "
+          f"{report.adopted_segments} adopted)")
+    for unit_id, path in sorted(report.results.items()):
+        aggregate = report.aggregates[unit_id]
+        print(f"  {unit_id}: {aggregate.records} records -> {path}")
+    if report.quarantined:
+        print(f"quarantined: {', '.join(report.quarantined)} "
+              f"(see quarantine/ artifacts; rerun resume "
+              f"--requeue-quarantined after fixing)")
+    print(f"summary: {report.summary_path}")
+    return 0 if report.complete else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     workloads = tuple(args.workloads) if args.workloads else None
 
+    if args.experiment in ("serve", "resume"):
+        return _run_service(args)
     if args.experiment in ("table1", "all"):
         print(render_table1())
         print()

@@ -31,15 +31,28 @@ from repro.faultinjection.telemetry import (
     CheckpointStats,
     FaultRecord,
     JsonlSink,
+    TelemetryAggregate,
     detection_latencies,
     latency_histogram,
     outcomes_by_instruction,
     outcomes_by_origin,
     read_jsonl,
 )
+from repro.faultinjection.service import (
+    CampaignService,
+    CampaignSpec,
+    ServiceConfig,
+    ServiceReport,
+    ShardDescriptor,
+    compile_campaign,
+    resume_campaign,
+    serve_campaign,
+)
 
 __all__ = [
     "CampaignResult",
+    "CampaignService",
+    "CampaignSpec",
     "CheckpointStats",
     "ComposeStats",
     "FaultPlan",
@@ -50,6 +63,11 @@ __all__ = [
     "OutcomeCounts",
     "Section",
     "SectionCache",
+    "ServiceConfig",
+    "ServiceReport",
+    "ShardDescriptor",
+    "TelemetryAggregate",
+    "compile_campaign",
     "compose_campaign",
     "detection_latencies",
     "inject_asm_fault",
@@ -60,8 +78,10 @@ __all__ = [
     "outcomes_by_origin",
     "profile_fault_sites",
     "read_jsonl",
+    "resume_campaign",
     "run_campaign",
     "run_multibit_campaign",
     "run_ir_campaign",
+    "serve_campaign",
     "trace_sections",
 ]

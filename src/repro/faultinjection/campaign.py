@@ -370,10 +370,32 @@ def _fork_context():
 
 
 def _pooled(context, processes: int, worker, tasks, chunksize: int) -> list:
-    """Map over a pool, always clearing the inherited-state global."""
+    """Map over a pool, always clearing the inherited-state global.
+
+    Results are collected incrementally (``imap`` preserves task order, so
+    the returned list is identical to ``pool.map``'s). A worker exception
+    no longer silently discards every completed task's results: it is
+    re-raised as an :class:`InjectionError` naming how many tasks had
+    completed, with the partial results attached as
+    ``error.partial_results`` so callers can salvage them. The
+    inherited-state global is cleared on every exit path — success, worker
+    failure, or pool construction failure.
+    """
+    tasks = list(tasks)
+    results: list = []
     try:
         with context.Pool(processes) as pool:
-            return pool.map(worker, tasks, chunksize=chunksize)
+            try:
+                for item in pool.imap(worker, tasks, chunksize=chunksize):
+                    results.append(item)
+            except Exception as exc:
+                error = InjectionError(
+                    f"campaign worker failed after {len(results)}/{len(tasks)}"
+                    f" tasks completed: {type(exc).__name__}: {exc}"
+                )
+                error.partial_results = results
+                raise error from exc
+        return results
     finally:
         _PARALLEL_STATE.clear()
 

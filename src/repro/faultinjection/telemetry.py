@@ -27,6 +27,7 @@ stay bit-identical in counts to telemetry-off ones.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from typing import IO, Iterable
 
@@ -130,25 +131,41 @@ def snapshot_nbytes(snap: object) -> int:
 class JsonlSink:
     """Streaming JSONL writer: one :class:`FaultRecord` object per line.
 
-    Context-manager friendly; ``write`` flushes nothing itself (the OS
-    buffer is plenty for campaign rates), ``close`` finalizes the file.
+    Context-manager friendly; each record is serialized to a single
+    ``write`` call (so a killed campaign can tear at most the final line,
+    never interleave two). ``fsync=True`` additionally flushes and fsyncs
+    after every record, making each line durable the moment ``write``
+    returns — the mode the campaign service's journals run in. ``close``
+    finalizes the file (always flushing; fsyncing in fsync mode).
     Incremental campaigns append to an existing file with ``mode="a"``.
     """
 
-    def __init__(self, path, mode: str = "w") -> None:
+    def __init__(self, path, mode: str = "w", fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
         self._handle: IO[str] | None = open(path, mode, encoding="utf-8")
         self.written = 0
 
     def write(self, record: FaultRecord) -> None:
         if self._handle is None:
             raise ValueError(f"sink {self.path} is closed")
-        self._handle.write(json.dumps(record.to_json(), sort_keys=True))
-        self._handle.write("\n")
+        self._handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
         self.written += 1
+        if self.fsync:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered lines and force them to stable storage."""
+        if self._handle is None:
+            raise ValueError(f"sink {self.path} is closed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
+            if self.fsync:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
 
@@ -160,13 +177,40 @@ class JsonlSink:
 
 
 def read_jsonl(path) -> list[FaultRecord]:
-    """Load every record from a JSONL file written by :class:`JsonlSink`."""
+    """Load every record from a JSONL file written by :class:`JsonlSink`.
+
+    Tolerates a *torn trailing record* — the signature of a campaign
+    killed mid-append (an unterminated final line, or a terminated final
+    line that does not parse back into a :class:`FaultRecord`): the tail
+    is dropped and every complete record is returned, so a killed
+    campaign's stream is always loadable for resume. Corruption anywhere
+    before the final line still raises — single-write appends cannot
+    produce it, so it signals real file damage.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
     records = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(FaultRecord.from_json(json.loads(line)))
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        terminated = newline >= 0
+        line = data[offset:newline] if terminated else data[offset:]
+        is_last = not terminated or newline + 1 >= len(data)
+        if line.strip():
+            try:
+                records.append(
+                    FaultRecord.from_json(json.loads(line.decode("utf-8")))
+                )
+            except (UnicodeDecodeError, ValueError, TypeError, KeyError) as exc:
+                if is_last:
+                    break  # torn trailing record: truncate, don't raise
+                raise ValueError(
+                    f"{path}: corrupt record at byte {offset} is not the "
+                    f"final line: {exc}"
+                ) from exc
+        if not terminated:
+            break
+        offset = newline + 1
     return records
 
 
@@ -212,6 +256,100 @@ def outcomes_by_instruction(
             summary = by[key] = SiteSummary(record.instruction, record.origin)
         summary.outcomes.record(record.outcome)
     return by
+
+
+@dataclass
+class TelemetryAggregate:
+    """Mergeable, constant-size summary of a stream of fault records.
+
+    The durable campaign service merges per-shard partial aggregates into
+    campaign totals instead of holding record lists in memory, so its
+    resident footprint is bounded by the shard size, not the campaign
+    size. ``add`` folds in one record; ``merge`` folds in another
+    aggregate; both are associative and order-insensitive, so any shard
+    partition (and any replay/resume interleaving) produces the identical
+    aggregate a single sequential pass would.
+
+    Latencies are kept as power-of-two bucket counts (bucket ``k`` covers
+    ``[2**(k-1), 2**k)``; bucket 0 is latency 0), the exact shape
+    :func:`latency_histogram` reports, so ``latency_rows()`` reproduces
+    that helper's output without the record list.
+    """
+
+    records: int = 0
+    counts: OutcomeCounts = field(default_factory=OutcomeCounts)
+    by_origin: dict[str, OutcomeCounts] = field(default_factory=dict)
+    latency_buckets: dict[int, int] = field(default_factory=dict)
+    max_latency: int = -1
+
+    def add(self, record: FaultRecord) -> None:
+        self.records += 1
+        self.counts.record(record.outcome)
+        self.by_origin.setdefault(record.origin,
+                                  OutcomeCounts()).record(record.outcome)
+        if (record.outcome is Outcome.DETECTED
+                and record.detection_latency is not None):
+            latency = record.detection_latency
+            bucket = latency.bit_length()
+            self.latency_buckets[bucket] = (
+                self.latency_buckets.get(bucket, 0) + 1
+            )
+            self.max_latency = max(self.max_latency, latency)
+
+    def merge(self, other: "TelemetryAggregate") -> None:
+        self.records += other.records
+        for outcome, count in other.counts.counts.items():
+            self.counts.counts[outcome] += count
+        for origin, counts in other.by_origin.items():
+            mine = self.by_origin.setdefault(origin, OutcomeCounts())
+            for outcome, count in counts.counts.items():
+                mine.counts[outcome] += count
+        for bucket, count in other.latency_buckets.items():
+            self.latency_buckets[bucket] = (
+                self.latency_buckets.get(bucket, 0) + count
+            )
+        self.max_latency = max(self.max_latency, other.max_latency)
+
+    def latency_rows(self) -> list[tuple[int, int, int]]:
+        """The :func:`latency_histogram` rows, rebuilt from bucket counts."""
+        if self.max_latency < 0:
+            return []
+        rows: list[tuple[int, int, int]] = []
+        lo, hi, bucket = 0, 1, 0
+        while lo <= self.max_latency:
+            rows.append((lo, hi, self.latency_buckets.get(bucket, 0)))
+            lo, hi, bucket = hi, hi * 2, bucket + 1
+        return rows
+
+    def to_json(self) -> dict:
+        """Deterministic plain-dict form (JSON round-trippable)."""
+        return {
+            "records": self.records,
+            "counts": {o.value: self.counts[o] for o in Outcome},
+            "by_origin": {
+                origin: {o.value: counts[o] for o in Outcome}
+                for origin, counts in sorted(self.by_origin.items())
+            },
+            "latency_buckets": {
+                str(bucket): count
+                for bucket, count in sorted(self.latency_buckets.items())
+            },
+            "max_latency": self.max_latency,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "TelemetryAggregate":
+        aggregate = TelemetryAggregate(records=data["records"],
+                                       max_latency=data["max_latency"])
+        for name, count in data["counts"].items():
+            aggregate.counts.counts[Outcome(name)] = count
+        for origin, counts in data["by_origin"].items():
+            mine = aggregate.by_origin.setdefault(origin, OutcomeCounts())
+            for name, count in counts.items():
+                mine.counts[Outcome(name)] = count
+        for bucket, count in data["latency_buckets"].items():
+            aggregate.latency_buckets[int(bucket)] = count
+        return aggregate
 
 
 def detection_latencies(records: Iterable[FaultRecord]) -> list[int]:

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -76,14 +78,57 @@ class FuzzReport:
         return not self.findings
 
 
+class _SeedTimeout(Exception):
+    """Internal: the per-seed wall-clock alarm fired."""
+
+
+@contextmanager
+def _alarm(seconds: float | None):
+    """Raise :class:`_SeedTimeout` after ``seconds`` of wall-clock time.
+
+    SIGALRM-based, so it interrupts even a wedged interpreter loop that
+    never yields. Only usable in a main thread — true for both the
+    sequential path and fork-pool workers (pool tasks run in the child's
+    main thread); a no-op where ``SIGALRM`` does not exist or no timeout
+    was requested.
+    """
+    if seconds is None or seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise _SeedTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def check_seed(
     seed: int,
     generator_config: GeneratorConfig | None = None,
     ferrum_config: FerrumConfig | None = None,
+    seed_timeout: float | None = None,
 ) -> FuzzResult:
-    """Generate the program for ``seed`` and run the oracle battery."""
-    source = generate_program(seed, config=generator_config)
-    verdicts = run_oracles(source, config=ferrum_config)
+    """Generate the program for ``seed`` and run the oracle battery.
+
+    ``seed_timeout`` bounds the seed's wall-clock time (generation plus
+    every oracle). A seed that exceeds it yields a failed ``seed-timeout``
+    verdict — a finding like any other (timeouts are how interpreter
+    livelocks surface), with the usual replay command in its artifact.
+    """
+    try:
+        with _alarm(seed_timeout):
+            source = generate_program(seed, config=generator_config)
+            verdicts = run_oracles(source, config=ferrum_config)
+    except _SeedTimeout:
+        return FuzzResult(seed, (OracleVerdict(
+            "seed-timeout", False,
+            f"seed exceeded {seed_timeout:g}s wall clock"),))
     return FuzzResult(seed, tuple(verdicts))
 
 
@@ -95,7 +140,8 @@ _PARALLEL_STATE: dict = {}
 def _parallel_check(seed: int) -> FuzzResult:
     state = _PARALLEL_STATE
     return check_seed(seed, generator_config=state.get("generator_config"),
-                      ferrum_config=state.get("ferrum_config"))
+                      ferrum_config=state.get("ferrum_config"),
+                      seed_timeout=state.get("seed_timeout"))
 
 
 def _fork_context():
@@ -150,7 +196,10 @@ def write_artifact(
     seed_dir.mkdir(parents=True, exist_ok=True)
     (seed_dir / "program.c").write_text(source)
     reduced_source = None
-    if reduce and result.failing_oracle is not None:
+    # Timeout findings are not reduced: every ddmin probe would re-run the
+    # battery on a candidate that may hang for the full timeout again.
+    if (reduce and result.failing_oracle is not None
+            and result.failing_oracle != "seed-timeout"):
         predicate = _reduction_predicate(result.failing_oracle, ferrum_config)
         reduced_source = reduce_source(source, predicate)
         if reduced_source.strip() != source.strip():
@@ -181,13 +230,16 @@ def run_fuzz(
     reduce: bool = True,
     generator_config: GeneratorConfig | None = None,
     ferrum_config: FerrumConfig | None = None,
+    seed_timeout: float | None = None,
     log=None,
 ) -> FuzzReport:
     """Fuzz seeds ``[seed_start, seed_start + count)``.
 
     ``time_budget`` (seconds) stops the run early at a chunk boundary; the
     seeds that *did* run still produce exactly the verdicts a full run
-    would. Findings are written to ``artifact_dir`` as they appear.
+    would. ``seed_timeout`` bounds each individual seed's wall clock (see
+    :func:`check_seed`) so one livelocked seed cannot eat the whole
+    budget. Findings are written to ``artifact_dir`` as they appear.
     """
     started = time.perf_counter()
     seeds = list(range(seed_start, seed_start + count))
@@ -204,14 +256,23 @@ def run_fuzz(
         if log is not None:
             log(f"seed {result.seed}: FAIL ({result.failing_oracle})")
         if out_dir is not None:
-            source = generate_program(result.seed, config=generator_config)
+            try:
+                # Re-generating a timed-out seed's source can hang the
+                # same way the check did; keep it under the same alarm.
+                with _alarm(seed_timeout):
+                    source = generate_program(result.seed,
+                                              config=generator_config)
+            except _SeedTimeout:
+                source = (f"// seed {result.seed}: source generation "
+                          f"exceeded {seed_timeout:g}s wall clock\n")
             write_artifact(result, out_dir, source, reduce=reduce,
                            ferrum_config=ferrum_config)
 
     context = _fork_context() if processes > 1 else None
     if context is not None and processes > 1:
         _PARALLEL_STATE.update(generator_config=generator_config,
-                               ferrum_config=ferrum_config)
+                               ferrum_config=ferrum_config,
+                               seed_timeout=seed_timeout)
         chunk_size = max(processes * 4, 8)
         try:
             with context.Pool(processes) as pool:
@@ -231,7 +292,8 @@ def run_fuzz(
                     and time.perf_counter() - started > time_budget):
                 break
             note(check_seed(seed, generator_config=generator_config,
-                            ferrum_config=ferrum_config))
+                            ferrum_config=ferrum_config,
+                            seed_timeout=seed_timeout))
 
     return FuzzReport(seed_start, count, completed, findings,
                       time.perf_counter() - started)
@@ -254,6 +316,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--time-budget", type=float, default=None,
                         metavar="SECONDS",
                         help="stop after this many seconds")
+    parser.add_argument("--seed-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock limit per seed; a seed exceeding "
+                        "it becomes a seed-timeout finding")
     parser.add_argument("--artifact-dir", default="fuzz-artifacts",
                         help="directory for crash artifacts "
                         "(default fuzz-artifacts)")
@@ -271,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
         time_budget=args.time_budget,
         artifact_dir=args.artifact_dir,
         reduce=not args.no_reduce,
+        seed_timeout=args.seed_timeout,
         log=log,
     )
     if not args.quiet:

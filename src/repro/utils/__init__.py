@@ -1,4 +1,4 @@
-"""Small shared utilities: bit manipulation, deterministic RNG, text tables."""
+"""Small shared utilities: bits, RNG, text tables, journaling, locking."""
 
 from repro.utils.bitops import (
     flip_bit,
@@ -7,14 +7,29 @@ from repro.utils.bitops import (
     to_signed,
     to_unsigned,
 )
+from repro.utils.journal import (
+    Journal,
+    append_jsonl,
+    durable_replace,
+    fsync_dir,
+    scan_jsonl,
+)
+from repro.utils.locking import FileLock, LockHeldError
 from repro.utils.rng import DeterministicRng
 from repro.utils.text import format_table
 
 __all__ = [
     "DeterministicRng",
+    "FileLock",
+    "Journal",
+    "LockHeldError",
+    "append_jsonl",
+    "durable_replace",
     "flip_bit",
     "format_table",
+    "fsync_dir",
     "mask_for_width",
+    "scan_jsonl",
     "sign_extend",
     "to_signed",
     "to_unsigned",

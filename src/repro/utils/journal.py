@@ -1,0 +1,157 @@
+"""Crash-durable JSONL journaling primitives.
+
+The durable campaign service (:mod:`repro.faultinjection.service`) records
+every shard state transition in an append-only JSONL journal and persists
+results as atomically-renamed segment files. This module owns the two
+durability idioms both rely on:
+
+* **Atomic, fsync'd line appends** — each record is serialized to one
+  ``\\n``-terminated line and written with a *single* ``write`` call,
+  followed (by default) by ``flush`` + ``fsync``. A crash between appends
+  therefore loses at most the record being written, never an earlier one,
+  and a torn write can only affect the final line of the file.
+* **Torn-tail tolerance** — :func:`scan_jsonl` parses a journal written
+  under the discipline above and treats an unparsable *final* line as a
+  torn write (returning the byte offset of the last complete record so
+  callers can truncate before appending again). Corruption anywhere else
+  is a real integrity violation and raises :class:`JournalError`.
+
+:func:`fsync_dir` and :func:`durable_replace` cover the companion idiom:
+write a whole file to a temp name, fsync it, ``os.replace`` into place,
+fsync the directory — after which the file either exists with complete
+contents or not at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any
+
+from repro.errors import JournalError
+
+
+def fsync_dir(path) -> None:
+    """fsync the directory containing (or at) ``path``, best effort.
+
+    Needed after ``os.replace`` for the rename itself to be durable. Some
+    filesystems refuse ``open(dir)``/``fsync(dirfd)``; those errors are
+    swallowed — the rename is still atomic, just not yet on stable storage.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(tmp_path, final_path) -> None:
+    """Atomically move a fully-written temp file into place, durably.
+
+    fsyncs the temp file's contents, renames it over ``final_path`` and
+    fsyncs the parent directory: observers either see the complete file or
+    no file, even across a crash.
+    """
+    fd = os.open(os.fspath(tmp_path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp_path, final_path)
+    fsync_dir(os.path.dirname(os.path.abspath(os.fspath(final_path))))
+
+
+def append_jsonl(handle: IO[str], record: Any, fsync: bool = True) -> None:
+    """Append one record as a single-``write`` JSONL line.
+
+    The serialized line (key-sorted for byte determinism) is handed to the
+    file object in one call so a crash can tear at most this line; with
+    ``fsync`` the line is on stable storage before the call returns. The
+    line is always flushed to the OS, even without ``fsync``, so forked
+    worker processes never inherit half-buffered journal data.
+    """
+    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    handle.flush()
+    if fsync:
+        os.fsync(handle.fileno())
+
+
+def scan_jsonl(path) -> tuple[list[Any], int, bool]:
+    """Parse a JSONL file written with atomic line appends.
+
+    Returns ``(records, clean_bytes, torn)``: the parsed records,
+    the byte length of the newline-terminated prefix they occupy, and
+    whether a torn trailing record was skipped. Only the *final* line may
+    fail to parse (or lack its newline) — that is the torn-write signature
+    of a killed writer; a bad line anywhere else raises
+    :class:`JournalError` because single-write appends cannot produce it.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: list[Any] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            return records, offset, True  # unterminated tail: torn write
+        line = data[offset:newline]
+        if line.strip():
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if data.find(b"\n", newline + 1) < 0 and newline + 1 >= len(data):
+                    return records, offset, True  # torn final line
+                raise JournalError(
+                    f"{path}: corrupt record at byte {offset} is not the "
+                    f"final line — the file was not written with atomic "
+                    f"line appends: {exc}"
+                ) from exc
+        offset = newline + 1
+    return records, offset, False
+
+
+class Journal:
+    """Append-only JSONL journal with torn-tail repair on open.
+
+    Opening replays the existing file (if any) through :func:`scan_jsonl`;
+    a torn trailing record — the signature of a ``kill -9`` mid-append —
+    is physically truncated away so subsequent appends never concatenate
+    onto a half-written line. The replayed records are exposed as
+    ``journal.recovered``.
+    """
+
+    def __init__(self, path, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.recovered: list[Any] = []
+        if os.path.exists(self.path):
+            records, clean_bytes, torn = scan_jsonl(self.path)
+            self.recovered = records
+            if torn:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(clean_bytes)
+                    if fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+        self._handle: IO[str] | None = open(self.path, "a", encoding="utf-8")
+
+    def append(self, record: Any) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        append_jsonl(self._handle, record, fsync=self.fsync)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

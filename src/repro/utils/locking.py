@@ -1,0 +1,118 @@
+"""Advisory file locking for single-writer on-disk state.
+
+The campaign service holds one :class:`FileLock` on its state directory
+for its whole run so two services can never interleave journal appends.
+The lock is advisory (``flock``-based where available): it protects
+cooperating processes, not against hostile writers.
+
+``flock`` locks die with their holder, so a ``kill -9`` never leaves a
+stale lock behind — exactly the property a kill-anywhere-resumable
+service needs. On platforms without ``fcntl`` the class degrades to a
+create-exclusive pidfile with staleness detection (a dead holder's lock
+is reclaimed).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ServiceError
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:  # pragma: no cover
+        return False
+    return True
+
+
+class LockHeldError(ServiceError):
+    """The lock is currently held by another live process."""
+
+
+class FileLock:
+    """An exclusive advisory lock on one path.
+
+    Usage::
+
+        with FileLock(state_dir / "lock"):
+            ...  # sole writer of the state directory
+
+    ``acquire`` raises :class:`LockHeldError` when another live process
+    holds the lock; it never blocks.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            return self
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise LockHeldError(
+                    f"{self.path} is locked by another campaign service; "
+                    f"only one service may own a state directory at a time"
+                ) from None
+        else:  # pragma: no cover - non-POSIX fallback
+            data = os.pread(fd, 32, 0).decode("ascii", "replace").strip()
+            if data.isdigit() and _pid_alive(int(data)):
+                os.close(fd)
+                raise LockHeldError(
+                    f"{self.path} is held by live pid {data}"
+                )
+        os.ftruncate(fd, 0)
+        os.pwrite(fd, f"{os.getpid()}\n".encode("ascii"), 0)
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+        os.close(fd)
+
+    def close_inherited(self) -> None:
+        """Drop a fork-inherited copy of the lock without releasing it.
+
+        ``flock`` locks attach to the open file description, which fork
+        shares between parent and child: a child calling :meth:`release`
+        would ``LOCK_UN`` the parent's lock too. Worker processes call
+        this instead — it closes the child's fd (so the lock dies when
+        the *parent* does, not when the longest-lived worker does) while
+        the parent's descriptor keeps the lock held.
+        """
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()

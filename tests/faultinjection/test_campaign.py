@@ -71,3 +71,48 @@ class TestIrCampaign:
         a = run_ir_campaign(module, samples=15, seed=4)
         b = run_ir_campaign(module, samples=15, seed=4)
         assert a.outcomes.counts == b.outcomes.counts
+
+
+def _even_doubler(n):
+    """Module-level pool worker (fork-picklable): fails on odd input."""
+    if n % 2:
+        raise RuntimeError(f"odd input {n}")
+    return n * 2
+
+
+class TestPooledFailure:
+    def test_partial_progress_reported_and_state_cleared(self):
+        from repro.errors import InjectionError
+        from repro.faultinjection.campaign import (
+            _PARALLEL_STATE,
+            _fork_context,
+            _pooled,
+        )
+
+        context = _fork_context()
+        if context is None:
+            pytest.skip("fork start method unavailable")
+        _PARALLEL_STATE["sentinel"] = object()
+        with pytest.raises(InjectionError) as info:
+            _pooled(context, 2, _even_doubler, [0, 2, 4, 5, 6], chunksize=1)
+        # The error names how far the campaign got, carries the completed
+        # prefix, and chains the worker's original exception.
+        assert "3/5 tasks completed" in str(info.value)
+        assert info.value.partial_results == [0, 4, 8]
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert _PARALLEL_STATE == {}  # cleaned up despite the failure
+
+    def test_success_path_still_clears_state(self, program):
+        from repro.faultinjection.campaign import (
+            _PARALLEL_STATE,
+            _fork_context,
+            _pooled,
+        )
+
+        context = _fork_context()
+        if context is None:
+            pytest.skip("fork start method unavailable")
+        _PARALLEL_STATE["sentinel"] = 1
+        assert _pooled(context, 2, _even_doubler, [0, 2], chunksize=1) \
+            == [0, 4]
+        assert _PARALLEL_STATE == {}

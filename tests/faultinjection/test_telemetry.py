@@ -6,6 +6,8 @@ here pin that down by comparing telemetry-on and telemetry-off campaigns
 (and checkpoint vs replay engines) record by record and count by count.
 """
 
+import json
+
 import pytest
 
 from repro.faultinjection.campaign import run_campaign, run_ir_campaign
@@ -15,6 +17,7 @@ from repro.faultinjection.telemetry import (
     CheckpointStats,
     FaultRecord,
     JsonlSink,
+    TelemetryAggregate,
     detection_latencies,
     latency_histogram,
     normalize_origin,
@@ -243,3 +246,105 @@ class TestIRCampaignTelemetry:
         detected = [r for r in traced.records
                     if r.outcome is Outcome.DETECTED]
         assert all(r.detection_latency >= 1 for r in detected)
+
+
+class TestDurableJsonl:
+    """Crash-durability of the sink and torn-tail tolerance of the reader."""
+
+    def test_fsync_mode_lines_visible_without_close(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        sink = JsonlSink(path, fsync=True)
+        sink.write(_record(0))
+        sink.write(_record(1))
+        # Durable before close: a reader (or a resumed service) sees every
+        # written line even though the sink is still open.
+        assert [r.run_index for r in read_jsonl(path)] == [0, 1]
+        sink.close()
+
+    def test_unterminated_tail_dropped(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(_record(0))
+            sink.write(_record(1))
+        with open(path, "ab") as handle:
+            handle.write(b'{"run_index": 2, "level"')  # kill -9 mid-write
+        assert [r.run_index for r in read_jsonl(path)] == [0, 1]
+
+    def test_unparsable_final_line_dropped(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        with JsonlSink(path) as sink:
+            sink.write(_record(0))
+        with open(path, "ab") as handle:
+            handle.write(b'{"valid_json": "but not a fault record"}\n')
+        assert [r.run_index for r in read_jsonl(path)] == [0]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        record_line = (json.dumps(_record(0).to_json(), sort_keys=True)
+                       + "\n").encode()
+        with open(path, "wb") as handle:
+            handle.write(record_line)
+            handle.write(b"garbage\n")
+            handle.write(record_line)
+        with pytest.raises(ValueError, match="not the final line"):
+            read_jsonl(path)
+
+    def test_sync_after_close_rejected(self, tmp_path):
+        sink = JsonlSink(tmp_path / "faults.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.sync()
+
+
+class TestTelemetryAggregate:
+    def _records(self):
+        return [
+            _record(0, origin="app", outcome=Outcome.BENIGN),
+            _record(1, origin="dup", outcome=Outcome.DETECTED, latency=0),
+            _record(2, origin="dup", outcome=Outcome.DETECTED, latency=1),
+            _record(3, origin="check", outcome=Outcome.DETECTED, latency=5),
+            _record(4, origin="app", outcome=Outcome.SDC),
+            _record(5, origin="app", outcome=Outcome.CRASH),
+        ]
+
+    def test_add_matches_bulk_helpers(self):
+        records = self._records()
+        aggregate = TelemetryAggregate()
+        for record in records:
+            aggregate.add(record)
+        assert aggregate.records == len(records)
+        assert aggregate.counts[Outcome.DETECTED] == 3
+        by_origin = outcomes_by_origin(records)
+        for origin, counts in aggregate.by_origin.items():
+            assert counts.counts == by_origin[origin].counts
+        assert aggregate.latency_rows() == latency_histogram(records)
+
+    def test_merge_equals_whole(self):
+        records = self._records()
+        whole = TelemetryAggregate()
+        for record in records:
+            whole.add(record)
+        # Any partition, any order: shard-wise merge == sequential pass.
+        merged = TelemetryAggregate()
+        for chunk in (records[4:], records[:2], records[2:4]):
+            part = TelemetryAggregate()
+            for record in chunk:
+                part.add(record)
+            merged.merge(part)
+        assert merged.to_json() == whole.to_json()
+        assert merged.latency_rows() == whole.latency_rows()
+
+    def test_json_roundtrip(self):
+        aggregate = TelemetryAggregate()
+        for record in self._records():
+            aggregate.add(record)
+        rebuilt = TelemetryAggregate.from_json(aggregate.to_json())
+        assert rebuilt.to_json() == aggregate.to_json()
+        assert rebuilt.latency_rows() == aggregate.latency_rows()
+
+    def test_empty(self):
+        aggregate = TelemetryAggregate()
+        assert aggregate.records == 0
+        assert aggregate.latency_rows() == []
+        assert TelemetryAggregate.from_json(
+            aggregate.to_json()).to_json() == aggregate.to_json()

@@ -123,3 +123,46 @@ class TestCli:
         out = capsys.readouterr().out
         assert "ferrum-fuzz --seed-start 0 --count 1" in out
         assert (tmp_path / "seed-0" / "verdict.json").exists()
+
+
+class TestSeedTimeout:
+    """Per-seed wall-clock bounding: a livelocked seed becomes a finding."""
+
+    @pytest.fixture
+    def wedged_oracles(self, monkeypatch):
+        import time as _time
+
+        import repro.fuzz.runner as runner_mod
+
+        def _hang(source, **kwargs):
+            _time.sleep(60)
+
+        monkeypatch.setattr(runner_mod, "run_oracles", _hang)
+
+    def test_timed_out_seed_fails_with_timeout_verdict(self, wedged_oracles):
+        result = check_seed(0, seed_timeout=0.2)
+        assert not result.passed
+        assert result.failing_oracle == "seed-timeout"
+        assert "0.2s" in result.verdicts[0].detail
+
+    def test_no_timeout_without_limit(self):
+        assert check_seed(CLEAN_SEED, seed_timeout=30.0).passed
+
+    def test_timeout_finding_produces_artifact_without_reduction(
+            self, wedged_oracles, tmp_path):
+        report = run_fuzz(seed_start=0, count=1, seed_timeout=0.2,
+                          artifact_dir=tmp_path, reduce=True)
+        assert [f.failing_oracle for f in report.findings] == ["seed-timeout"]
+        seed_dir = tmp_path / "seed-0"
+        verdict = json.loads((seed_dir / "verdict.json").read_text())
+        assert verdict["failing_oracle"] == "seed-timeout"
+        assert verdict["reduced"] is False
+        assert not (seed_dir / "reduced.c").exists()
+        assert (seed_dir / "program.c").read_text().strip()
+
+    def test_alarm_state_restored_after_timeout(self, wedged_oracles):
+        import signal as _signal
+
+        check_seed(0, seed_timeout=0.2)
+        # The itimer is disarmed and the previous handler reinstalled.
+        assert _signal.getitimer(_signal.ITIMER_REAL)[0] == 0.0

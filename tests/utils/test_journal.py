@@ -1,0 +1,160 @@
+"""Durability primitive tests: journal appends, torn tails, file locks.
+
+These pin the exact recovery semantics the campaign service builds on: a
+kill can tear at most the final line of an append-only file (which open
+repairs), corruption anywhere else is loud, atomic replacement never
+exposes partial files, and locks die with their holder.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.utils.journal import (
+    Journal,
+    append_jsonl,
+    durable_replace,
+    scan_jsonl,
+)
+from repro.utils.locking import FileLock, LockHeldError
+
+
+def _write_lines(path, *lines: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(b"".join(lines))
+
+
+class TestScanJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for n in range(5):
+                append_jsonl(handle, {"n": n}, fsync=False)
+        records, clean, torn = scan_jsonl(path)
+        assert records == [{"n": n} for n in range(5)]
+        assert clean == path.stat().st_size
+        assert not torn
+
+    def test_unterminated_tail_is_torn(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_lines(path, b'{"n": 0}\n', b'{"n": 1}\n', b'{"n": 2')
+        records, clean, torn = scan_jsonl(path)
+        assert records == [{"n": 0}, {"n": 1}]
+        assert clean == len(b'{"n": 0}\n{"n": 1}\n')
+        assert torn
+
+    def test_garbage_final_line_is_torn(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_lines(path, b'{"n": 0}\n', b"\x00\xffgarbage\n")
+        records, clean, torn = scan_jsonl(path)
+        assert records == [{"n": 0}]
+        assert torn
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_lines(path, b'{"n": 0}\n', b"not json\n", b'{"n": 2}\n')
+        with pytest.raises(JournalError, match="not the final line"):
+            scan_jsonl(path)
+
+
+class TestJournal:
+    def test_append_and_recover(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, fsync=False) as journal:
+            assert journal.recovered == []
+            journal.append({"type": "a"})
+            journal.append({"type": "b"})
+        with Journal(path, fsync=False) as journal:
+            assert [r["type"] for r in journal.recovered] == ["a", "b"]
+
+    def test_torn_tail_is_truncated_before_appending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path, fsync=False) as journal:
+            journal.append({"n": 0})
+        with open(path, "ab") as handle:
+            handle.write(b'{"n": 1')  # kill -9 mid-append
+        with Journal(path, fsync=False) as journal:
+            assert journal.recovered == [{"n": 0}]
+            journal.append({"n": 2})
+        records, _, torn = scan_jsonl(path)
+        assert records == [{"n": 0}, {"n": 2}]
+        assert not torn
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl", fsync=False)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({})
+
+    def test_fsync_mode_round_trips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, fsync=True) as journal:
+            journal.append({"durable": True})
+        assert Journal(path).recovered == [{"durable": True}]
+
+
+class TestDurableReplace:
+    def test_publishes_complete_file(self, tmp_path):
+        final = tmp_path / "out.json"
+        tmp = tmp_path / "out.json.tmp"
+        tmp.write_text('{"ok": true}')
+        durable_replace(tmp, final)
+        assert json.loads(final.read_text()) == {"ok": True}
+        assert not tmp.exists()
+
+    def test_replaces_existing_atomically(self, tmp_path):
+        final = tmp_path / "out.json"
+        final.write_text("old")
+        tmp = tmp_path / "t"
+        tmp.write_text("new")
+        durable_replace(tmp, final)
+        assert final.read_text() == "new"
+
+
+class TestFileLock:
+    def test_exclusive_within_process(self, tmp_path):
+        path = tmp_path / "lock"
+        with FileLock(path) as lock:
+            assert lock.held
+            with pytest.raises(LockHeldError):
+                FileLock(path).acquire()
+        # released: can be taken again
+        with FileLock(path):
+            pass
+
+    def test_close_inherited_does_not_release(self, tmp_path):
+        path = tmp_path / "lock"
+        lock = FileLock(path).acquire()
+        # A forked child dropping its inherited copy must not unlock the
+        # parent; close_inherited on a second handle of the same lock
+        # object simulates the child side.
+        child_view = FileLock(path)
+        child_view._fd = os.dup(lock._fd)
+        child_view.close_inherited()
+        assert not child_view.held
+        with pytest.raises(LockHeldError):
+            FileLock(path).acquire()
+        lock.release()
+
+    def test_survives_holder_death(self, tmp_path):
+        # flock dies with its holder: a forked process that takes the lock
+        # and exits without releasing leaves it acquirable.
+        if not hasattr(os, "fork"):
+            pytest.skip("fork unavailable")
+        path = tmp_path / "lock"
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: acquire, signal, die without releasing
+            try:
+                FileLock(path).acquire()
+                os.write(write_fd, b"1")
+            finally:
+                os._exit(0)
+        os.read(read_fd, 1)
+        os.waitpid(pid, 0)
+        os.close(read_fd)
+        os.close(write_fd)
+        with FileLock(path):
+            pass
