@@ -39,6 +39,18 @@ echo "== compose bit-identity (composed vs flat campaigns) =="
 PYTHONPATH=src python -m pytest tests/faultinjection/test_compose_campaign.py \
     -q || status=$?
 
+echo "== dme detector gate (marker dme + service CLI smoke) =="
+# Mirrors the CI tests-dme job: the dme-marked suites (decorrelation
+# properties, campaign parity, the backend-site coverage gate) and an
+# end-to-end --techniques dme campaign through the durable service.
+PYTHONPATH=src python -m pytest tests -q -m dme || status=$?
+rm -rf dme-smoke
+PYTHONPATH=src python -m repro.evaluation.cli serve \
+    --state-dir dme-smoke --workloads kmeans --techniques dme \
+    --samples 24 --shard-size 8 --workers 2 --no-fsync >/dev/null \
+    || status=$?
+rm -rf dme-smoke
+
 echo "== fuzz smoke (fixed seeds, bounded) =="
 # Mirrors the CI fuzz-smoke job: a deterministic seed range under a time
 # budget. Findings land in fuzz-artifacts/ with per-seed repro commands.

@@ -9,6 +9,7 @@ unprotected fault sites behind the paper's cross-layer coverage gap
 """
 
 from repro.backend.frame import FrameLayout
-from repro.backend.isel import compile_module, compile_function
+from repro.backend.isel import LoweringKnobs, compile_module, compile_function
 
-__all__ = ["FrameLayout", "compile_function", "compile_module"]
+__all__ = ["FrameLayout", "LoweringKnobs", "compile_function",
+           "compile_module"]

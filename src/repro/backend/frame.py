@@ -5,9 +5,22 @@ backing storage of each ``alloca``). Alloca storage is addressed directly
 by loads/stores that use the alloca, so the alloca's *pointer value* itself
 needs no slot — it is rematerialized with ``leaq`` where needed, exactly as
 clang -O0 does.
+
+Slot assignment is *permutable*: every argument and result slot is a
+uniform 8-byte, 8-aligned cell whose address is never taken (only alloca
+storage is pointer-visible), so any bijection of values onto the same cell
+set yields a semantically identical layout. The DME detector
+(:mod:`repro.core.dme`) uses this to build a structurally decorrelated
+program variant: ``slot_seed`` shuffles the assignment deterministically,
+``slot_permutation`` applies an explicit offset bijection (validated at
+build time). Alloca storage is deliberately excluded from the permutable
+set — its rbp-relative offset is materialized into pointer values by
+``leaq``, so moving it would change observable pointer arithmetic.
 """
 
 from __future__ import annotations
+
+import zlib
 
 from repro.errors import BackendError
 from repro.ir.instructions import Alloca
@@ -23,9 +36,28 @@ def _slot_size(value: Value) -> int:
 
 
 class FrameLayout:
-    """rbp-relative slot assignment for one function."""
+    """rbp-relative slot assignment for one function.
 
-    def __init__(self, func: IRFunction) -> None:
+    ``slot_seed`` deterministically shuffles which value lands in which
+    arg/result cell (per-function stream, derived from the function name so
+    multi-function programs don't share one permutation).
+    ``slot_permutation`` maps baseline offset -> permuted offset and must be
+    a bijection over exactly the function's arg/result cell offsets;
+    anything else raises :class:`BackendError` at build time. The applied
+    mapping is exposed as :attr:`slot_map` so trace canonicalization can
+    erase the permutation again.
+    """
+
+    def __init__(
+        self,
+        func: IRFunction,
+        slot_seed: int | None = None,
+        slot_permutation: dict[int, int] | None = None,
+    ) -> None:
+        if slot_seed is not None and slot_permutation is not None:
+            raise BackendError(
+                "pass either slot_seed or slot_permutation, not both"
+            )
         self._offsets: dict[Value, int] = {}
         self._storage: dict[Alloca, int] = {}
         cursor = 0
@@ -45,6 +77,43 @@ class FrameLayout:
                 cursor = (cursor + 7) & ~7
 
         self.size = (cursor + 15) & ~15
+
+        cells = [self._offsets[value] for value in self._offsets]
+        self.slot_map: dict[int, int] = {off: off for off in cells}
+        if slot_seed is not None:
+            from repro.utils.rng import DeterministicRng
+
+            rng = DeterministicRng(slot_seed).fork(
+                zlib.crc32(func.name.encode("utf-8"))
+            )
+            self.slot_map = dict(zip(cells, rng.shuffled(cells)))
+        elif slot_permutation is not None:
+            self._validate_permutation(func.name, slot_permutation, cells)
+            self.slot_map = dict(slot_permutation)
+        if any(self.slot_map[off] != off for off in cells):
+            self._offsets = {
+                value: self.slot_map[off]
+                for value, off in self._offsets.items()
+            }
+
+    @staticmethod
+    def _validate_permutation(
+        func_name: str, permutation: dict[int, int], cells: list[int]
+    ) -> None:
+        cell_set = set(cells)
+        if set(permutation) != cell_set:
+            raise BackendError(
+                f"{func_name}: slot permutation domain "
+                f"{sorted(permutation)} does not match the frame's "
+                f"arg/result cells {sorted(cell_set)}"
+            )
+        if set(permutation.values()) != cell_set:
+            raise BackendError(
+                f"{func_name}: slot permutation is not a bijection over the "
+                f"frame's arg/result cells (image "
+                f"{sorted(set(permutation.values()))} != cells "
+                f"{sorted(cell_set)})"
+            )
 
     def slot(self, value: Value) -> int:
         """rbp-relative offset of a value's spill slot."""

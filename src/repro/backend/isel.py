@@ -17,6 +17,8 @@ Lowering discipline (mirrors clang -O0):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.asm.instructions import Instruction, ins
 from repro.asm.operands import Imm, LabelRef, Mem, Reg
 from repro.asm.program import AsmBlock, AsmFunction, AsmProgram
@@ -55,14 +57,74 @@ def _suffix(width: int) -> str:
     return "q" if width == 64 else "l"
 
 
+#: Roots usable as the lowering accumulator. ``rcx``/``rdx`` are excluded —
+#: variable shift counts are pinned to ``cl`` and the idiv sequence owns
+#: ``rdx`` — as are the SysV argument registers other than ``rax``.
+ACC_ROOTS: tuple[str, ...] = ("rax", "rbx", "r10", "r11")
+
+#: Roots usable as the auxiliary scratch (second operand / pointer reloads).
+AUX_ROOTS: tuple[str, ...] = ("rcx", "rbx", "r10", "r11")
+
+
+@dataclass(frozen=True)
+class LoweringKnobs:
+    """Decorrelation knobs for instruction selection.
+
+    The default knobs reproduce the historical backend exactly. A non-default
+    set renames the *free* scratch roles (the accumulator and the auxiliary
+    scratch) and/or shuffles frame-slot assignment — both are pure renamings:
+    the emitted instruction sequence has the same length, mnemonics and
+    shapes, which is what lets :mod:`repro.core.dme` run two variants in
+    lockstep and compare traces positionally. Sequences with architectural
+    register pinning (idiv's rax/rdx/rcx, variable shift counts in ``cl``,
+    ``set<cc>`` through ``al``, the SysV call/return registers, rbp/rsp frame
+    code) keep their literal registers under every knob setting.
+
+    ``tag_backend`` stamps ``origin="backend"`` on the instructions the
+    backend *inserts* around the programmer's computation — spills, reloads,
+    prologue/epilogue frame code, argument marshalling, flag
+    rematerialization — so fault-injection telemetry can separate
+    backend-inserted sites from programmer-visible ones. Tags never affect
+    semantics, and IR-instrumentation provenance ("check",
+    "instrumentation") always wins over the backend tag.
+    """
+
+    slot_seed: int | None = None
+    acc: str = "rax"
+    aux: str = "rcx"
+    tag_backend: bool = False
+
+    def __post_init__(self) -> None:
+        if self.acc not in ACC_ROOTS:
+            raise BackendError(
+                f"accumulator root {self.acc!r} not in {ACC_ROOTS}"
+            )
+        if self.aux not in AUX_ROOTS:
+            raise BackendError(
+                f"auxiliary root {self.aux!r} not in {AUX_ROOTS}"
+            )
+        if self.acc == self.aux:
+            raise BackendError(
+                f"accumulator and auxiliary roots must differ, both {self.acc!r}"
+            )
+
+    def register_map(self) -> dict[str, str]:
+        """Baseline scratch root -> this knob set's root."""
+        return {"rax": self.acc, "rcx": self.aux}
+
+
 class _FunctionLowering:
-    def __init__(self, func: IRFunction) -> None:
+    def __init__(self, func: IRFunction,
+                 knobs: LoweringKnobs | None = None) -> None:
         self.func = func
-        self.frame = FrameLayout(func)
+        self.knobs = knobs or LoweringKnobs()
+        self.frame = FrameLayout(func, slot_seed=self.knobs.slot_seed)
         self.asm = AsmFunction(func.name, [AsmBlock(func.name)])
         self._block = self.asm.blocks[0]
         self._detect_label: str | None = None
         self._origin = "orig"
+        self._acc = self.knobs.acc
+        self._aux = self.knobs.aux
 
     # -- emission helpers --------------------------------------------------
 
@@ -70,6 +132,18 @@ class _FunctionLowering:
         if self._origin != "orig":
             instr.origin = self._origin
         self._block.append(instr)
+
+    def _emit_backend(self, instr: Instruction) -> None:
+        """Emit one backend-inserted instruction (spill/reload/frame/remat).
+
+        Tagged ``origin="backend"`` when the knobs ask for it; IR-level
+        instrumentation provenance takes precedence.
+        """
+        if self.knobs.tag_backend and self._origin == "orig":
+            instr.origin = "backend"
+            self._block.append(instr)
+        else:
+            self._emit(instr)
 
     def _label(self, ir_label: str) -> str:
         return f".L{self.func.name}_{ir_label}"
@@ -87,23 +161,25 @@ class _FunctionLowering:
             width = _width(value)
         dest = self._reg(root, width)
         if isinstance(value, Constant):
-            self._emit(ins(f"mov{_suffix(width)}", Imm(value.value), dest,
-                           comment=comment))
+            self._emit_backend(ins(f"mov{_suffix(width)}", Imm(value.value),
+                                   dest, comment=comment))
         elif isinstance(value, Alloca):
-            self._emit(ins("leaq",
-                           Mem(disp=self.frame.storage(value), base=_RBP),
-                           self._reg(root, 64), comment=comment))
+            self._emit_backend(ins("leaq",
+                                   Mem(disp=self.frame.storage(value),
+                                       base=_RBP),
+                                   self._reg(root, 64), comment=comment))
         else:
-            self._emit(ins(f"mov{_suffix(width)}", self._slot_mem(value), dest,
-                           comment=comment))
+            self._emit_backend(ins(f"mov{_suffix(width)}",
+                                   self._slot_mem(value), dest,
+                                   comment=comment))
         return dest
 
     def _store_result(self, instr: IRInstruction, root: str,
                       width: int | None = None) -> None:
         if width is None:
             width = _width(instr)
-        self._emit(ins(f"mov{_suffix(width)}", self._reg(root, width),
-                       self._slot_mem(instr)))
+        self._emit_backend(ins(f"mov{_suffix(width)}", self._reg(root, width),
+                               self._slot_mem(instr)))
 
     def _operand(self, value: Value, root: str, width: int):
         """Second ALU operand: immediate when constant, else loaded reg."""
@@ -133,14 +209,14 @@ class _FunctionLowering:
 
     def _lower_load(self, instr: Load) -> None:
         width = _width(instr)
-        mem = self._pointer_operand(instr.pointer, "rcx")
-        self._emit(ins(f"mov{_suffix(width)}", mem, self._reg("rax", width)))
-        self._store_result(instr, "rax", width)
+        mem = self._pointer_operand(instr.pointer, self._aux)
+        self._emit(ins(f"mov{_suffix(width)}", mem, self._reg(self._acc, width)))
+        self._store_result(instr, self._acc, width)
 
     def _lower_store(self, instr: Store) -> None:
         width = _width(instr.value)
-        value_reg = self._load_value(instr.value, "rax", width)
-        mem = self._pointer_operand(instr.pointer, "rcx")
+        value_reg = self._load_value(instr.value, self._acc, width)
+        mem = self._pointer_operand(instr.pointer, self._aux)
         self._emit(ins(f"mov{_suffix(width)}", value_reg, mem))
 
     def _lower_binop(self, instr: BinOp) -> None:
@@ -148,35 +224,40 @@ class _FunctionLowering:
         suffix = _suffix(width)
         op = instr.op
         if op in _BINOP_MNEMONIC:
-            self._load_value(instr.lhs, "rax", width)
-            src = self._operand(instr.rhs, "rcx", width)
+            self._load_value(instr.lhs, self._acc, width)
+            src = self._operand(instr.rhs, self._aux, width)
             self._emit(ins(f"{_BINOP_MNEMONIC[op]}{suffix}", src,
-                           self._reg("rax", width)))
-            self._store_result(instr, "rax", width)
+                           self._reg(self._acc, width)))
+            self._store_result(instr, self._acc, width)
         elif op in ("sdiv", "srem"):
+            # Architecturally pinned: rdx:rax dividend, quotient/remainder in
+            # rax/rdx — identical under every knob setting.
             self._load_value(instr.lhs, "rax", width)
             self._load_value(instr.rhs, "rcx", width)
             self._emit(ins("cltd" if width == 32 else "cqto"))
             self._emit(ins(f"idiv{suffix}", self._reg("rcx", width)))
             self._store_result(instr, "rax" if op == "sdiv" else "rdx", width)
         elif op in _SHIFT_MNEMONIC:
-            self._load_value(instr.lhs, "rax", width)
+            self._load_value(instr.lhs, self._acc, width)
             if isinstance(instr.rhs, Constant):
                 count = Imm(instr.rhs.value)
             else:
+                # Variable shift counts are pinned to cl (and ACC_ROOTS
+                # excludes rcx, so the shiftee never collides with it).
                 self._load_value(instr.rhs, "rcx", width)
                 count = Reg(get_register("cl"))
             self._emit(ins(f"{_SHIFT_MNEMONIC[op]}{suffix}", count,
-                           self._reg("rax", width)))
-            self._store_result(instr, "rax", width)
+                           self._reg(self._acc, width)))
+            self._store_result(instr, self._acc, width)
         else:
             raise BackendError(f"cannot lower binop {op}")
 
     def _lower_icmp(self, instr: ICmp, materialize: bool) -> None:
         width = _width(instr.lhs)
-        self._load_value(instr.lhs, "rax", width)
-        src = self._operand(instr.rhs, "rcx", width)
-        self._emit(ins(f"cmp{_suffix(width)}", src, self._reg("rax", width)))
+        self._load_value(instr.lhs, self._acc, width)
+        src = self._operand(instr.rhs, self._aux, width)
+        self._emit(ins(f"cmp{_suffix(width)}", src,
+                       self._reg(self._acc, width)))
         if materialize:
             cc = _PRED_CC[instr.pred]
             al = Reg(get_register("al"))
@@ -191,38 +272,39 @@ class _FunctionLowering:
                 raise BackendError("sext from i64 unsupported")
             if isinstance(instr.value, Constant):
                 self._emit(ins("movq", Imm(instr.value.value),
-                               self._reg("rax", 64)))
+                               self._reg(self._acc, 64)))
             else:
                 self._emit(ins("movslq", self._slot_mem(instr.value),
-                               self._reg("rax", 64)))
-            self._store_result(instr, "rax", 64)
+                               self._reg(self._acc, 64)))
+            self._store_result(instr, self._acc, 64)
         elif instr.op == "zext":
             # i1/i8/i32 slots hold zero-extended 32-bit values already.
-            self._load_value(instr.value, "rax", 32)
-            self._store_result(instr, "rax", _width(instr))
+            self._load_value(instr.value, self._acc, 32)
+            self._store_result(instr, self._acc, _width(instr))
         else:  # trunc: take the low 32 bits of the 64-bit slot
             if isinstance(instr.value, Constant):
                 self._emit(ins("movl", Imm(instr.value.value & 0xFFFF_FFFF),
-                               self._reg("rax", 32)))
+                               self._reg(self._acc, 32)))
             else:
                 self._emit(ins("movl", self._slot_mem(instr.value),
-                               self._reg("rax", 32)))
-            self._store_result(instr, "rax", 32)
+                               self._reg(self._acc, 32)))
+            self._store_result(instr, self._acc, 32)
 
     def _lower_ptradd(self, instr: PtrAdd) -> None:
         ptr_type = instr.base.type
         stride = ptr_type.element_size if isinstance(ptr_type, PointerType) else 1
-        base = self._load_value(instr.base, "rax", 64)
-        index = self._load_value(instr.index, "rcx", 64)
+        base = self._load_value(instr.base, self._acc, 64)
+        index = self._load_value(instr.index, self._aux, 64)
         if stride in (1, 2, 4, 8):
             self._emit(ins("leaq",
                            Mem(base=base.register, index=index.register,
                                scale=stride),
-                           self._reg("rax", 64)))
+                           self._reg(self._acc, 64)))
         else:
-            self._emit(ins("imulq", Imm(stride), self._reg("rcx", 64)))
-            self._emit(ins("addq", self._reg("rcx", 64), self._reg("rax", 64)))
-        self._store_result(instr, "rax", 64)
+            self._emit(ins("imulq", Imm(stride), self._reg(self._aux, 64)))
+            self._emit(ins("addq", self._reg(self._aux, 64),
+                           self._reg(self._acc, 64)))
+        self._store_result(instr, self._acc, 64)
 
     def _lower_call(self, instr: Call) -> None:
         if len(instr.args) > len(ARG_GPRS):
@@ -237,17 +319,17 @@ class _FunctionLowering:
 
     def _lower_check(self, instr: Check) -> None:
         width = _width(instr.original)
-        self._load_value(instr.original, "rax", width)
-        src = self._operand(instr.duplicate, "rcx", width)
-        self._emit(ins(f"cmp{_suffix(width)}", src, self._reg("rax", width),
-                       comment="EDDI check"))
+        self._load_value(instr.original, self._acc, width)
+        src = self._operand(instr.duplicate, self._aux, width)
+        self._emit(ins(f"cmp{_suffix(width)}", src,
+                       self._reg(self._acc, width), comment="EDDI check"))
         self._emit(ins("jne", LabelRef(self._require_detect())))
 
     def _lower_ret(self, instr: Ret) -> None:
         if instr.value is not None:
-            self._load_value(instr.value, "rax")
-        self._emit(ins("movq", Reg(_RBP), Reg(_RSP)))
-        self._emit(ins("popq", Reg(_RBP)))
+            self._load_value(instr.value, "rax")  # SysV result register
+        self._emit_backend(ins("movq", Reg(_RBP), Reg(_RSP)))
+        self._emit_backend(ins("popq", Reg(_RBP)))
         self._emit(ins("retq"))
 
     # -- block/function driver ---------------------------------------------
@@ -284,8 +366,8 @@ class _FunctionLowering:
             # Fig. 8/9: rematerialize the condition from its slot. This
             # cmpl writes FLAGS — a brand-new fault site invisible at IR
             # level.
-            self._emit(ins("cmpl", Imm(0), self._slot_mem(instr.cond),
-                           comment="rematerialize branch condition"))
+            self._emit_backend(ins("cmpl", Imm(0), self._slot_mem(instr.cond),
+                                   comment="rematerialize branch condition"))
             cc = "ne"
         if next_label == else_label:
             self._emit(ins(f"j{cc}", LabelRef(then_label)))
@@ -304,15 +386,16 @@ class _FunctionLowering:
                 use_counts[operand] = use_counts.get(operand, 0) + 1
 
         # Prologue + spill incoming arguments to their slots.
-        self._emit(ins("pushq", Reg(_RBP)))
-        self._emit(ins("movq", Reg(_RSP), Reg(_RBP)))
+        self._emit_backend(ins("pushq", Reg(_RBP)))
+        self._emit_backend(ins("movq", Reg(_RSP), Reg(_RBP)))
         if self.frame.size:
-            self._emit(ins("subq", Imm(self.frame.size), Reg(_RSP)))
+            self._emit_backend(ins("subq", Imm(self.frame.size), Reg(_RSP)))
         for arg, reg_root in zip(self.func.args, ARG_GPRS):
             width = _width(arg)
-            self._emit(ins(f"mov{_suffix(width)}",
-                           self._reg(reg_root, width), self._slot_mem(arg),
-                           comment=f"spill argument {arg.name}"))
+            self._emit_backend(ins(f"mov{_suffix(width)}",
+                                   self._reg(reg_root, width),
+                                   self._slot_mem(arg),
+                                   comment=f"spill argument {arg.name}"))
 
         labels = [self._label(blk.label) for blk in self.func.blocks]
         for bi, ir_block in enumerate(self.func.blocks):
@@ -376,14 +459,16 @@ class _FunctionLowering:
         return self.asm
 
 
-def compile_function(func: IRFunction) -> AsmFunction:
+def compile_function(func: IRFunction,
+                     knobs: LoweringKnobs | None = None) -> AsmFunction:
     """Lower one IR function to assembly."""
-    return _FunctionLowering(func).lower()
+    return _FunctionLowering(func, knobs).lower()
 
 
-def compile_module(module: IRModule) -> AsmProgram:
+def compile_module(module: IRModule,
+                   knobs: LoweringKnobs | None = None) -> AsmProgram:
     """Lower a whole IR module to an assembly program."""
     program = AsmProgram(metadata={"protection": "none"})
     for func in module.functions:
-        program.add_function(compile_function(func))
+        program.add_function(compile_function(func, knobs))
     return program

@@ -13,18 +13,28 @@ AS₂/AS₁ distinction of the paper's Table I.
 
 from repro.core.config import FerrumConfig
 from repro.core.annotate import Protection, classify_block
+from repro.core.dme import (
+    DecorrelationMaps,
+    DmeProgram,
+    build_dme_program,
+    verify_decorrelation,
+)
 from repro.core.ferrum import FerrumStats, FerrumTransform, protect_program
 from repro.core.hybrid import HybridStats, protect_program_hybrid
 from repro.core.validate import check_protection_invariants
 
 __all__ = [
+    "DecorrelationMaps",
+    "DmeProgram",
     "FerrumConfig",
     "FerrumStats",
     "FerrumTransform",
     "HybridStats",
     "Protection",
+    "build_dme_program",
     "check_protection_invariants",
     "classify_block",
     "protect_program",
     "protect_program_hybrid",
+    "verify_decorrelation",
 ]

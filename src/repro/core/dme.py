@@ -1,0 +1,279 @@
+"""Divergent multi-version execution (DME) detection — build layer.
+
+DME detects soft errors without inserting a single check instruction.
+Instead of duplicating computation *inside* one program (EDDI/FERRUM), it
+compiles the program twice with *structurally decorrelated* backend
+choices and runs the two executables in lockstep:
+
+* the **primary** is the ordinary backend output;
+* the **secondary** permutes every decorrelation knob the backend offers —
+  a seeded shuffle of the stack-slot assignment
+  (:class:`repro.backend.frame.FrameLayout` ``slot_seed``) and a permuted
+  scratch-register role assignment (:class:`repro.backend.isel
+  .LoweringKnobs` ``acc``/``aux``).
+
+Because every knob is a *pure renaming* (same instruction count, same
+mnemonics, operands equal modulo the register map and the per-function
+slot permutation), the two variants are observably identical on
+fault-free runs: their canonical traces — program-local instruction
+ordinals paired with post-writeback destination values, with register
+names and slot offsets erased through the decorrelation maps — match
+position for position, and their outputs are bit-identical. A hardware
+fault, by contrast, lands in *differently named* state in each variant
+(a different register root, a different frame cell), so the downstream
+damage decorrelates and the lockstep comparison catches it.
+
+This module builds the variant pair and proves the pure-renaming
+property structurally; :mod:`repro.faultinjection.dme` runs the pair in
+lockstep and turns divergence into detection verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.asm.operands import Imm, LabelRef, Mem, Reg
+from repro.asm.program import AsmFunction, AsmProgram
+from repro.backend.frame import FrameLayout
+from repro.backend.isel import ACC_ROOTS, AUX_ROOTS, LoweringKnobs, compile_module
+from repro.errors import TransformError
+from repro.ir.module import IRModule
+from repro.utils.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.asm.instructions import Instruction
+    from repro.asm.registers import Register
+
+#: Default decorrelation seed; any seed yields a valid pair.
+DME_DEFAULT_SEED = 0xD37E
+
+
+@dataclass(frozen=True)
+class DecorrelationMaps:
+    """The renaming that separates the secondary variant from the primary.
+
+    ``register_map`` maps a primary scratch-register root to the root the
+    secondary uses in the same role. ``slot_maps`` maps, per function,
+    a primary rbp-relative cell offset to the secondary's offset for the
+    same IR value. Canonicalization applies these maps to erase the
+    decorrelation again, which is what makes the fault-free traces of the
+    two variants comparable position by position.
+    """
+
+    seed: int
+    register_map: dict[str, str]
+    slot_maps: dict[str, dict[int, int]]
+
+
+class DmeProgram(AsmProgram):
+    """An :class:`AsmProgram` (the primary) carrying its decorrelated twin.
+
+    The program *is* the primary variant — every consumer that treats it
+    as a plain ``AsmProgram`` (site enumeration, static size, printing,
+    campaign planning) sees exactly the raw backend output, so fault
+    plans sampled against a DME build are bit-identical to plans sampled
+    against ``raw``. The extra state (:attr:`secondary`, :attr:`maps`)
+    only matters to the lockstep machine, which
+    :class:`repro.machine.cpu.Machine` instantiates automatically via
+    :meth:`machine_class`.
+    """
+
+    #: Telemetry/classification tag: which detector this program embeds.
+    detector = "dme"
+
+    def __init__(
+        self,
+        functions: list[AsmFunction],
+        metadata: dict[str, str],
+        secondary: AsmProgram,
+        maps: DecorrelationMaps,
+    ) -> None:
+        super().__init__(functions=functions, metadata=metadata)
+        self.secondary = secondary
+        self.maps = maps
+        #: (function, args) -> fault-free reference trace, filled lazily by
+        #: the lockstep machine. Established before campaign workers fork,
+        #: so children inherit it read-only.
+        self.trace_cache: dict = {}
+
+    def machine_class(self):
+        """The machine type that executes this program (lockstep runner)."""
+        from repro.faultinjection.dme import DmeMachine
+
+        return DmeMachine
+
+    def plain(self) -> AsmProgram:
+        """The primary as a plain program, sharing the same instruction
+        objects (and therefore uids and code indices) — reference runs use
+        this to avoid recursing into lockstep machinery."""
+        return AsmProgram(functions=self.functions,
+                          metadata=dict(self.metadata))
+
+    def copy(self) -> "DmeProgram":
+        primary = super().copy()
+        return DmeProgram(primary.functions, dict(self.metadata),
+                          self.secondary.copy(), self.maps)
+
+
+def _secondary_knobs(seed: int) -> LoweringKnobs:
+    """Seeded decorrelation knobs, guaranteed distinct from the defaults.
+
+    The accumulator role always moves off ``rax`` and the auxiliary role
+    off ``rcx`` (and off the chosen accumulator), so every scratch role
+    *and* every arg/result slot genuinely differs between the variants.
+    """
+    rng = DeterministicRng(seed)
+    acc = rng.choice([root for root in ACC_ROOTS if root != "rax"])
+    aux = rng.choice(
+        [root for root in AUX_ROOTS if root not in ("rcx", acc)]
+    )
+    return LoweringKnobs(slot_seed=seed, acc=acc, aux=aux, tag_backend=True)
+
+
+def build_dme_program(module: IRModule,
+                      seed: int = DME_DEFAULT_SEED) -> DmeProgram:
+    """Compile ``module`` into a verified DME variant pair.
+
+    The primary uses default lowering (plus backend origin tags, so
+    telemetry can attribute fault sites to backend-inserted work); the
+    secondary uses :func:`_secondary_knobs`. The pure-renaming property is
+    proven structurally by :func:`verify_decorrelation` before the pair is
+    returned — a pair this function returns cannot diverge on a fault-free
+    run unless the machine itself is buggy (which is exactly what the
+    ``dme-divergence`` fuzz oracle hunts for).
+    """
+    primary = compile_module(module, LoweringKnobs(tag_backend=True))
+    knobs = _secondary_knobs(seed)
+    secondary = compile_module(module, knobs)
+    slot_maps = {
+        func.name: dict(FrameLayout(func, slot_seed=seed).slot_map)
+        for func in module.functions
+    }
+    maps = DecorrelationMaps(
+        seed=seed, register_map=dict(knobs.register_map()),
+        slot_maps=slot_maps,
+    )
+    verify_decorrelation(primary, secondary, maps)
+    return DmeProgram(primary.functions, dict(primary.metadata),
+                      secondary, maps)
+
+
+def static_ordinals(program: AsmProgram) -> dict[int, int]:
+    """uid -> program-local static ordinal, the canonical instruction name.
+
+    Ordinals are stable across the variant pair because decorrelation is a
+    pure renaming: instruction *i* of the primary corresponds to
+    instruction *i* of the secondary.
+    """
+    return {instr.uid: i for i, instr in enumerate(program.instructions())}
+
+
+# ---------------------------------------------------------------------------
+# Structural verification: the secondary is a pure renaming of the primary.
+# ---------------------------------------------------------------------------
+
+
+def _registers_match(prim: "Register", sec: "Register",
+                     register_map: dict[str, str]) -> bool:
+    """``sec`` equals ``prim`` either literally (pinned sequences: idiv,
+    shift counts, setcc, ABI registers, frame pointers) or through the
+    role map at identical width."""
+    if prim.name == sec.name:
+        return True
+    mapped = register_map.get(prim.root)
+    return (mapped is not None and sec.root == mapped
+            and sec.width == prim.width)
+
+
+def _operands_match(prim, sec, register_map: dict[str, str],
+                    slot_map: dict[int, int]) -> bool:
+    if type(prim) is not type(sec):
+        return False
+    if isinstance(prim, Imm):
+        return prim.value == sec.value
+    if isinstance(prim, LabelRef):
+        return prim.name == sec.name
+    if isinstance(prim, Reg):
+        return _registers_match(prim.register, sec.register, register_map)
+    if isinstance(prim, Mem):
+        if (prim.base is None) != (sec.base is None):
+            return False
+        if (prim.index is None) != (sec.index is None):
+            return False
+        if prim.base is not None and not _registers_match(
+                prim.base, sec.base, register_map):
+            return False
+        if prim.index is not None and not _registers_match(
+                prim.index, sec.index, register_map):
+            return False
+        if prim.scale != sec.scale:
+            return False
+        expected = prim.disp
+        if (prim.base is not None and prim.base.root == "rbp"
+                and prim.disp in slot_map):
+            expected = slot_map[prim.disp]
+        return sec.disp == expected
+    return prim == sec  # pragma: no cover - no further operand kinds
+
+
+def _instruction_mismatch(func: str, label: str, index: int,
+                          prim: "Instruction", sec: "Instruction") -> str:
+    return (
+        f"{func}/{label}[{index}]: secondary is not a pure renaming of the "
+        f"primary: {prim.mnemonic} {', '.join(map(str, prim.operands))} "
+        f"vs {sec.mnemonic} {', '.join(map(str, sec.operands))}"
+    )
+
+
+def verify_decorrelation(primary: AsmProgram, secondary: AsmProgram,
+                         maps: DecorrelationMaps) -> None:
+    """Prove the pure-renaming property; raise :class:`TransformError` else.
+
+    Walks the two programs position by position and requires identical
+    shape everywhere: same functions, same blocks, same instruction count,
+    same mnemonic/origin per position, and operands equal modulo
+    ``maps.register_map`` (role renaming) and the per-function slot
+    permutation (rbp-relative arg/result cells only — alloca storage and
+    every other displacement must match literally).
+
+    This is the differential gate that makes DME's zero-false-positive
+    claim *checkable at build time*: any backend change that breaks the
+    renaming (an extra spill in one variant, a pinned register that leaked
+    into a permuted role) fails here instead of as a spurious runtime
+    divergence.
+    """
+    if primary.function_names() != secondary.function_names():
+        raise TransformError(
+            f"dme: variant function lists differ: "
+            f"{primary.function_names()} vs {secondary.function_names()}"
+        )
+    for pfunc, sfunc in zip(primary.functions, secondary.functions):
+        slot_map = maps.slot_maps.get(pfunc.name, {})
+        plabels = [block.label for block in pfunc.blocks]
+        slabels = [block.label for block in sfunc.blocks]
+        if plabels != slabels:
+            raise TransformError(
+                f"dme: {pfunc.name}: block structure differs: "
+                f"{plabels} vs {slabels}"
+            )
+        for pblock, sblock in zip(pfunc.blocks, sfunc.blocks):
+            if len(pblock.instructions) != len(sblock.instructions):
+                raise TransformError(
+                    f"dme: {pfunc.name}/{pblock.label}: instruction counts "
+                    f"differ ({len(pblock.instructions)} vs "
+                    f"{len(sblock.instructions)}); decorrelation must be a "
+                    f"pure renaming"
+                )
+            for index, (prim, sec) in enumerate(
+                    zip(pblock.instructions, sblock.instructions)):
+                if (prim.mnemonic != sec.mnemonic
+                        or prim.origin != sec.origin
+                        or len(prim.operands) != len(sec.operands)):
+                    raise TransformError(_instruction_mismatch(
+                        pfunc.name, pblock.label, index, prim, sec))
+                for prim_op, sec_op in zip(prim.operands, sec.operands):
+                    if not _operands_match(prim_op, sec_op,
+                                           maps.register_map, slot_map):
+                        raise TransformError(_instruction_mismatch(
+                            pfunc.name, pblock.label, index, prim, sec))

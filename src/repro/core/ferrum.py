@@ -261,10 +261,13 @@ class FerrumTransform:
             ann: Annotation = annotations[index]
             protection = ann.protection
 
-            if instr.origin != "orig":
+            if instr.origin not in ("orig", "backend"):
                 # Instrumentation emitted by an IR-level protection pass
                 # (checks, signature updates): already redundant, never
                 # re-duplicated. Keep the batch's flag discipline intact.
+                # Backend-tagged instructions (spills/reloads/frame code,
+                # see LoweringKnobs.tag_backend) are real program work and
+                # are protected like untagged ones.
                 if instr.kind in (InstrKind.CMP, InstrKind.TEST,
                                   InstrKind.JMP, InstrKind.RET,
                                   InstrKind.CALL, InstrKind.JCC):

@@ -112,8 +112,18 @@ def _extend_frame(func: AsmFunction, extra: int) -> int:
     )
 
 
-def build_register_plan(func: AsmFunction, config: FerrumConfig) -> RegisterPlan:
-    """Scan ``func`` and assign protection registers (with fallbacks)."""
+def build_register_plan(func: AsmFunction, config: FerrumConfig,
+                        shuffle_seed: int | None = None) -> RegisterPlan:
+    """Scan ``func`` and assign protection registers (with fallbacks).
+
+    ``shuffle_seed`` deterministically permutes the spare-register
+    preference order before assignment (per-function stream). Any
+    permutation yields an equally valid plan — the spare sets are exactly
+    the registers the function provably never touches — so this is a
+    decorrelation knob: two plans built with different seeds place the
+    protection state in different registers. The default ``None`` keeps
+    the historical priority order bit-for-bit.
+    """
     usage = scan_register_usage(func)
     spare_gprs = [
         root for root in usage.spare_gprs
@@ -123,6 +133,16 @@ def build_register_plan(func: AsmFunction, config: FerrumConfig) -> RegisterPlan
         root for root in usage.spare_vectors
         if root not in config.pretend_used_xmm
     ]
+    if shuffle_seed is not None:
+        import zlib
+
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(shuffle_seed).fork(
+            zlib.crc32(func.name.encode("utf-8"))
+        )
+        spare_gprs = rng.shuffled(spare_gprs)
+        spare_xmm = rng.shuffled(spare_xmm)
 
     # Assignment priority: the general scratch comes first — it is the only
     # register that can protect rsp-manipulating instructions (prologue

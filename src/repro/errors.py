@@ -119,6 +119,17 @@ class DetectionExit(MachineError):
     """
 
 
+class DmeDivergenceError(MachineError):
+    """The two DME variants diverged on a fault-free run.
+
+    This must never happen: the decorrelated variant is required to be
+    observably identical to the primary in the absence of faults. A
+    divergence without an injected fault is a compiler/decorrelation bug
+    (and a fuzz-oracle finding), not a detection — detections under an
+    injected fault raise :class:`DetectionExit` instead.
+    """
+
+
 class InjectionError(ReproError):
     """Raised when a fault cannot be injected as requested."""
 

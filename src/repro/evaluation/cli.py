@@ -59,7 +59,7 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--outcomes", action="store_true",
                         help="with fig10: also print the outcome breakdown")
     parser.add_argument("--technique",
-                        choices=["raw", "ir-eddi", "hybrid", "ferrum"],
+                        choices=["raw", "ir-eddi", "hybrid", "ferrum", "dme"],
                         default="ferrum",
                         help="with telemetry: which protection variant to "
                              "inject into")
@@ -79,7 +79,8 @@ def _parser() -> argparse.ArgumentParser:
                          help="journal + segments + results directory "
                               "(required for serve/resume)")
     service.add_argument("--techniques", nargs="*",
-                         choices=["raw", "ir-eddi", "hybrid", "ferrum"],
+                         choices=["raw", "ir-eddi", "hybrid", "ferrum",
+                                  "dme"],
                          default=["ferrum"],
                          help="with serve: protection variants to campaign")
     service.add_argument("--shard-size", type=int, default=200,

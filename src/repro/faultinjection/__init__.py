@@ -8,6 +8,7 @@ comparing against a golden run.
 """
 
 from repro.faultinjection.outcome import Outcome, OutcomeCounts
+from repro.faultinjection.dme import DmeMachine, DmeTrace, lockstep_reference
 from repro.faultinjection.injector import (
     FaultPlan,
     inject_asm_fault,
@@ -55,6 +56,8 @@ __all__ = [
     "CampaignSpec",
     "CheckpointStats",
     "ComposeStats",
+    "DmeMachine",
+    "DmeTrace",
     "FaultPlan",
     "FaultRecord",
     "JsonlSink",
@@ -74,6 +77,7 @@ __all__ = [
     "inject_ir_fault",
     "inject_multibit_fault",
     "latency_histogram",
+    "lockstep_reference",
     "outcomes_by_instruction",
     "outcomes_by_origin",
     "profile_fault_sites",

@@ -169,6 +169,10 @@ class _ProgramIndex:
 
     def __init__(self, program: AsmProgram) -> None:
         self.program = program
+        # Runtime detectors (DME) change a section's outcome semantics
+        # without changing its primary code, so the detector tag is part
+        # of every section's content identity.
+        self.detector = getattr(program, "detector", "none")
         self.regions_by_uid = instruction_regions(program)
         self._region_blocks: dict[str, list] = {}
         self._func_calls: dict[str, set[str]] = {}
@@ -217,6 +221,7 @@ class _ProgramIndex:
             return cached
         hasher = hashlib.sha256()
         hasher.update(f"region:{region}\n".encode())
+        hasher.update(f"detector:{self.detector}\n".encode())
         callees: set[str] = set()
         for func_name, blk in self._region_blocks.get(region, ()):
             hasher.update(f"{func_name}/{blk.label}:\n".encode())

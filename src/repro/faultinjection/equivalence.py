@@ -161,8 +161,15 @@ def record_golden_trace(
 ) -> tuple[Machine, GoldenTrace]:
     """Run ``program`` fault-free on the reference engine, recording the pc
     of every executed instruction and every memory access (attributed to
-    the instruction — or the call/ret flow step — that issued it)."""
-    machine = Machine(program, engine="reference")
+    the instruction — or the call/ret flow step — that issued it).
+
+    Detector programs (DME) are recorded through their ``plain()`` view —
+    the same instruction objects without the lockstep machinery, so the
+    trace is identical while the handler/memory interception below never
+    interleaves with reference-pair establishment."""
+    plain = getattr(program, "plain", None)
+    machine = Machine(plain() if plain is not None else program,
+                      engine="reference")
     pcs: list[int] = []
     reads: dict[int, list[tuple[int, int]]] = defaultdict(list)
     writes: dict[int, list[tuple[int, int]]] = defaultdict(list)
@@ -258,8 +265,14 @@ class TraceAnalyzer:
         args: tuple[int, ...] = (),
     ) -> None:
         self.machine, self.trace = record_golden_trace(program, function, args)
+        # DME mode: the program detects by comparing post-writeback site
+        # values against its fault-free trace, so classification must judge
+        # every intermediate site, not just the final output (see
+        # _classify for the exact rules).
+        self._dme = getattr(program, "detector", None) == "dme"
         m = self.machine
         self._code = m._code
+        self._is_site = m._is_site
         self._jump_pc = m._jump_pc
         self._builtin_name = [
             (instr.target_label if m._call_builtin_fn[pc] is not None else None)
@@ -866,6 +879,33 @@ class TraceAnalyzer:
                 write_op(dst, None, width, writes_iter)
                 unknown(_NON_CF)
 
+        def dme_site_delta(p: int) -> str | None:
+            """DME mode: judge the post-writeback destination delta of the
+            site at trace position ``p`` (call only after ``step(p)``).
+
+            The lockstep machine compares exactly these values against the
+            fault-free reference, so an exact non-zero delta is a provable
+            detection at this site and an exact zero is provably silent;
+            anything uncertain abstains. FLAGS destinations (cmp/test)
+            replace all five modeled bits, so the flag-state dict *is* the
+            full rflags delta at that point: ``flip`` bits provably differ,
+            ``cmpz``/``unk`` bits are unresolvable without golden flag
+            values."""
+            instr = code[pcs[p]]
+            for dest in instr.dest_registers():
+                if dest.kind is RegisterKind.FLAGS:
+                    if not fl:
+                        continue
+                    if any(state == "flip" for state in fl.values()):
+                        return "detect"
+                    return "abstain"
+                dv = view_delta(dest)
+                if dv is None:
+                    return "abstain"
+                if dv:
+                    return "detect"
+            return None
+
         # ---- event loop ----
 
         def next_event(cursor: int) -> int | None:
@@ -917,8 +957,23 @@ class TraceAnalyzer:
                                        latency=detect_latency[0],
                                        events=events)
                     if sdc:
+                        if self._dme:
+                            # The run completes on the golden path but with
+                            # a different exit code: the lockstep machine
+                            # detects at exit, after the remaining
+                            # n - pos - 1 dynamic instructions.
+                            return Verdict(Outcome.DETECTED,
+                                           latency=n - pos - 1,
+                                           events=events)
                         return Verdict(Outcome.SDC, events=events)
                     return Verdict(None, events=events)
+                if self._dme and self._is_site[pcs[p]]:
+                    judged = dme_site_delta(p)
+                    if judged == "detect":
+                        return Verdict(Outcome.DETECTED, latency=p - pos,
+                                       events=events)
+                    if judged == "abstain":
+                        return Verdict(None, events=events)
                 cursor = p
         except (_Bail, StopIteration):
             return Verdict(None, events=events)

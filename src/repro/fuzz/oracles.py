@@ -12,9 +12,14 @@ Each oracle checks one layer of the paper's claim chain:
 * ``fault-soundness`` — a bounded, saturating single-bit injection sweep
   (deterministic site stride, fixed register/bit picks, checkpoint-style
   prefix sharing via :meth:`Machine.run_to_site`) finds no SDC in the
-  hybrid/ferrum variants — the paper's coverage claim, sampled.
+  hybrid/ferrum variants — the paper's coverage claim, sampled;
+* ``dme-divergence`` — the DME variant pair must be observably identical
+  on a fault-free run: any lockstep disagreement between the primary and
+  its structurally decorrelated twin on a generated program is a
+  compiler/decorrelation bug (the zero-false-positive property of
+  :mod:`repro.core.dme`).
 
-Oracles share one :class:`Subject` so the four variants are built and the
+Oracles share one :class:`Subject` so the variants are built and the
 golden runs executed exactly once per program. All verdicts are
 deterministic functions of the source text.
 """
@@ -27,10 +32,12 @@ from repro.core.config import FerrumConfig
 from repro.core.validate import check_protection_invariants
 from repro.errors import (
     DetectionExit,
+    DmeDivergenceError,
     ExecutionLimitExceeded,
     MachineFault,
     ReproError,
 )
+from repro.faultinjection.dme import lockstep_reference
 from repro.faultinjection.injector import FaultPlan, inject_asm_fault
 from repro.faultinjection.outcome import Outcome
 from repro.ir.interp import IRInterpreter
@@ -245,6 +252,33 @@ class FaultSoundnessOracle(Oracle):
         return self._verdict(True)
 
 
+class DmeDivergenceOracle(Oracle):
+    """The DME pair must never diverge on a fault-free generated program.
+
+    Runs the lockstep differential gate (:func:`lockstep_reference`) —
+    canonical per-site traces, output, exit code and counters must all
+    match between the primary and its decorrelated twin. A program whose
+    fault-free run crashes or hangs is not a DME finding (cross-layer /
+    variant-agreement own those); only a genuine lockstep disagreement
+    fails this oracle.
+    """
+
+    name = "dme-divergence"
+
+    def check(self, subject: Subject) -> OracleVerdict:
+        if "dme" not in subject.build.variants:
+            return self._verdict(True, "dme variant not built")
+        program = subject.build["dme"].asm
+        try:
+            lockstep_reference(program, max_instructions=subject.budget)
+        except DmeDivergenceError as exc:
+            return self._verdict(False, str(exc))
+        except (MachineFault, ExecutionLimitExceeded) as exc:
+            return self._verdict(
+                True, f"fault-free run does not complete: {exc}")
+        return self._verdict(True)
+
+
 def default_oracles() -> tuple[Oracle, ...]:
     """The standard oracle battery, in dependency-friendly order."""
     return (
@@ -252,6 +286,7 @@ def default_oracles() -> tuple[Oracle, ...]:
         VariantAgreementOracle(),
         StaticDisciplineOracle(),
         FaultSoundnessOracle(),
+        DmeDivergenceOracle(),
     )
 
 

@@ -29,6 +29,7 @@ from repro.core.config import FerrumConfig
 from repro.fuzz.generator import GeneratorConfig, generate_program
 from repro.fuzz.oracles import (
     CrossLayerOracle,
+    DmeDivergenceOracle,
     FaultSoundnessOracle,
     OracleVerdict,
     StaticDisciplineOracle,
@@ -164,6 +165,7 @@ def _reduction_predicate(oracle_name: str, ferrum_config):
         "variant-agreement": VariantAgreementOracle,
         "static-discipline": StaticDisciplineOracle,
         "fault-soundness": FaultSoundnessOracle,
+        "dme-divergence": DmeDivergenceOracle,
     }
     # A "build" failure has no oracle object: an empty battery still
     # produces the single failed build verdict when compilation raises.

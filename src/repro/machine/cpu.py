@@ -103,6 +103,18 @@ class MachineSnapshot:
 class Machine:
     """Executes an :class:`AsmProgram` over simulated architectural state."""
 
+    def __new__(cls, program: AsmProgram, *args, **kwargs) -> "Machine":
+        # Programs that embed a runtime detector (e.g. DME's lockstep
+        # variant pair) name their machine type via a ``machine_class``
+        # hook; constructing ``Machine(program)`` then transparently yields
+        # that subclass, so campaign engines, the compose cache and the
+        # durable service never special-case detector programs.
+        if cls is Machine:
+            factory = getattr(program, "machine_class", None)
+            if factory is not None:
+                return object.__new__(factory())
+        return object.__new__(cls)
+
     def __init__(
         self,
         program: AsmProgram,

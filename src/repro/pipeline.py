@@ -9,7 +9,12 @@ One call builds any subset of the four variants evaluated in the paper:
   protection at IR level, then scalar AS₁ duplication on the compiled
   assembly;
 * ``ferrum`` — FERRUM: ordinary compilation, then the AS₂ transform with
-  SIMD batching and deferred flag detection.
+  SIMD batching and deferred flag detection;
+* ``dme`` — divergent multi-version execution: no inserted checks at all;
+  the backend compiles a second, structurally decorrelated variant
+  (shuffled stack slots, permuted scratch-register roles) and the machine
+  runs the pair in lockstep, detecting faults as canonical-trace
+  divergence (see :mod:`repro.core.dme`).
 
 Each variant re-runs the (deterministic) frontend so the transforms can
 mutate their module freely. Transform wall-clock time is recorded per
@@ -25,6 +30,7 @@ from typing import Any
 from repro.asm.program import AsmProgram, validate_program
 from repro.backend import compile_module
 from repro.core.config import FerrumConfig
+from repro.core.dme import build_dme_program
 from repro.core.ferrum import protect_program
 from repro.core.validate import check_protection_invariants
 from repro.core.hybrid import protect_program_hybrid
@@ -35,8 +41,8 @@ from repro.ir.module import IRModule
 from repro.ir.verifier import verify_module
 from repro.minic import compile_to_ir
 
-#: Variant names in canonical (paper) order.
-VARIANTS: tuple[str, ...] = ("raw", "ir-eddi", "hybrid", "ferrum")
+#: Variant names in canonical (paper) order, plus the DME detector.
+VARIANTS: tuple[str, ...] = ("raw", "ir-eddi", "hybrid", "ferrum", "dme")
 
 
 @dataclass
@@ -104,6 +110,19 @@ def _build_ferrum(source: str, config: FerrumConfig | None) -> CompiledVariant:
     return CompiledVariant("ferrum", protected, ir, stats, elapsed)
 
 
+def _build_dme(source: str) -> CompiledVariant:
+    ir = compile_to_ir(source)
+    start = time.perf_counter()
+    program = build_dme_program(ir)
+    elapsed = time.perf_counter() - start
+    validate_program(program.secondary)
+    stats = {
+        "slot_seed": program.maps.seed,
+        "register_map": dict(program.maps.register_map),
+    }
+    return CompiledVariant("dme", program, ir, stats, elapsed)
+
+
 def build_variants(
     source: str,
     names: tuple[str, ...] = VARIANTS,
@@ -124,6 +143,8 @@ def build_variants(
             variant = _build_hybrid(source, config)
         elif name == "ferrum":
             variant = _build_ferrum(source, config)
+        elif name == "dme":
+            variant = _build_dme(source)
         else:
             raise ReproError(f"unknown variant {name!r}")
         validate_program(variant.asm)

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.asm.parser import parse_program
+from repro.asm.printer import format_program
 from repro.backend.frame import FrameLayout
 from repro.errors import BackendError
 from repro.ir.builder import IRBuilder
@@ -75,3 +77,104 @@ class TestSlots:
         layout, value = _layout(body)
         assert layout.has_slot(value)
         assert not layout.has_slot(Constant(3, I32))
+
+
+def _two_value_func():
+    func = IRFunction("f", [("a", I32)], I32)
+    builder = IRBuilder(func)
+    builder.position_at(func.add_block("entry"))
+    x = builder.binop("add", func.args[0], Constant(1, I32))
+    builder.binop("add", x, Constant(2, I32))
+    builder.ret(Constant(0, I32))
+    return func
+
+
+class TestSlotPermutation:
+    def test_seeded_shuffle_is_a_bijection_over_the_same_cells(self):
+        func = _two_value_func()
+        baseline = FrameLayout(func)
+        shuffled = FrameLayout(func, slot_seed=99)
+        cells = set(baseline.slot_map)
+        assert set(shuffled.slot_map) == cells
+        assert set(shuffled.slot_map.values()) == cells
+
+    def test_seeded_shuffle_is_deterministic(self):
+        func = _two_value_func()
+        assert (FrameLayout(func, slot_seed=5).slot_map
+                == FrameLayout(func, slot_seed=5).slot_map)
+
+    def test_explicit_permutation_applies(self):
+        func = _two_value_func()
+        baseline = FrameLayout(func)
+        cells = sorted(baseline.slot_map)
+        rotated = dict(zip(cells, cells[1:] + cells[:1]))
+        layout = FrameLayout(func, slot_permutation=rotated)
+        assert layout.slot_map == rotated
+        assert layout.slot(func.args[0]) \
+            == rotated[baseline.slot(func.args[0])]
+
+    def test_non_bijective_permutation_rejected(self):
+        func = _two_value_func()
+        cells = sorted(FrameLayout(func).slot_map)
+        squash = {off: cells[0] for off in cells}  # many-to-one
+        with pytest.raises(BackendError, match="not a bijection"):
+            FrameLayout(func, slot_permutation=squash)
+
+    def test_wrong_domain_rejected(self):
+        func = _two_value_func()
+        with pytest.raises(BackendError, match="does not match"):
+            FrameLayout(func, slot_permutation={-8: -8})
+
+    def test_alloca_storage_never_permuted(self):
+        func = IRFunction("g", [("a", I32)], I32)
+        builder = IRBuilder(func)
+        builder.position_at(func.add_block("entry"))
+        arr = builder.alloca(I32, count=4)
+        builder.binop("add", func.args[0], Constant(1, I32))
+        builder.ret(Constant(0, I32))
+        baseline = FrameLayout(func)
+        for seed in (1, 2, 3):
+            assert (FrameLayout(func, slot_seed=seed).storage(arr)
+                    == baseline.storage(arr))
+
+    def test_seed_and_permutation_are_exclusive(self):
+        with pytest.raises(BackendError, match="not both"):
+            FrameLayout(_two_value_func(), slot_seed=1,
+                        slot_permutation={})
+
+
+class TestShuffledLayoutRoundTrip:
+    """A program lowered with a shuffled frame must survive the printer →
+    parser round trip exactly — the permutation lives only in displacement
+    values, which are ordinary printable operands."""
+
+    def _compiled(self, slot_seed):
+        from repro.backend.isel import LoweringKnobs, compile_module
+        from repro.minic import compile_to_ir
+
+        source = """
+        int main() {
+            int acc = 1;
+            for (int i = 0; i < 5; i = i + 1) { acc = acc + i; }
+            print_int(acc);
+            return 0;
+        }
+        """
+        return compile_module(compile_to_ir(source),
+                              LoweringKnobs(slot_seed=slot_seed))
+
+    @pytest.mark.parametrize("slot_seed", (None, 7))
+    def test_round_trip_is_identity(self, slot_seed):
+        program = self._compiled(slot_seed)
+        text = format_program(program)
+        assert format_program(parse_program(text)) == text
+
+    def test_round_trip_preserves_behaviour(self):
+        from repro.machine.cpu import Machine
+
+        program = self._compiled(7)
+        reparsed = parse_program(format_program(program))
+        original = Machine(program).run()
+        replayed = Machine(reparsed).run()
+        assert replayed.output == original.output
+        assert replayed.exit_code == original.exit_code

@@ -20,6 +20,10 @@ from repro.faultinjection.campaign import (
 from repro.faultinjection.injector import FaultPlan
 from repro.minic import compile_to_ir
 from repro.workloads import get_workload
+from tests.faultinjection.parity import (
+    assert_campaigns_identical,
+    assert_counts_identical,
+)
 
 #: Three Rodinia workloads at the smallest scale (acceptance: >= 3).
 WORKLOADS = ("bfs", "knn", "pathfinder")
@@ -44,8 +48,7 @@ class TestBitIdenticalOutcomes:
                               engine="replay")
         checkpointed = run_campaign(program, samples=SAMPLES, seed=SEED,
                                     engine="checkpoint")
-        assert checkpointed.outcomes.counts == replay.outcomes.counts
-        assert checkpointed.fault_sites == replay.fault_sites
+        assert_counts_identical(checkpointed, replay, context=name)
 
     @pytest.mark.parametrize("interval", (1, 7, 500, None))
     def test_interval_does_not_change_outcomes(self, built, interval):
@@ -115,9 +118,8 @@ class TestGeneratedProgramEngineEquivalence:
                               engine="replay", telemetry=True)
         checkpointed = run_campaign(program, samples=SAMPLES, seed=SEED,
                                     engine="checkpoint", telemetry=True)
-        assert checkpointed.outcomes.counts == replay.outcomes.counts
-        assert checkpointed.fault_sites == replay.fault_sites
-        assert checkpointed.records == replay.records
+        assert_campaigns_identical(checkpointed, replay,
+                                   context=f"fuzz-{fuzz_seed}")
 
     @pytest.mark.parametrize("fuzz_seed", FUZZ_SEEDS)
     def test_ir_engines_bit_identical(self, generated, fuzz_seed):
@@ -126,8 +128,8 @@ class TestGeneratedProgramEngineEquivalence:
                                  engine="replay", telemetry=True)
         checkpointed = run_ir_campaign(ir, samples=SAMPLES, seed=SEED,
                                        engine="checkpoint", telemetry=True)
-        assert checkpointed.outcomes.counts == replay.outcomes.counts
-        assert checkpointed.records == replay.records
+        assert_campaigns_identical(checkpointed, replay,
+                                   context=f"ir fuzz-{fuzz_seed}")
 
     def test_parallel_matches_sequential_on_generated(self, generated):
         program = generated[self.FUZZ_SEEDS[0]]["ferrum"].asm
@@ -171,10 +173,9 @@ class TestExecutionEngineEquivalence:
                                            engine=campaign_engine)
                 translated = self._campaign(monkeypatch, program, "translated",
                                             engine=campaign_engine)
-                assert translated.outcomes.counts == reference.outcomes.counts, \
-                    (name, campaign_engine)
-                assert translated.fault_sites == reference.fault_sites
-                assert translated.records == reference.records
+                assert_campaigns_identical(
+                    translated, reference,
+                    context=f"{name}/{campaign_engine}")
 
     def test_checkpoint_vs_replay_on_reference_engine(self, corpus,
                                                       monkeypatch):
@@ -183,8 +184,7 @@ class TestExecutionEngineEquivalence:
                                 engine="replay")
         checkpointed = self._campaign(monkeypatch, program, "reference",
                                       engine="checkpoint")
-        assert checkpointed.outcomes.counts == replay.outcomes.counts
-        assert checkpointed.records == replay.records
+        assert_campaigns_identical(checkpointed, replay)
 
 
 class TestCheckpointSchedule:

@@ -23,14 +23,16 @@ from repro.faultinjection.compose import (
     compose_campaign,
     trace_sections,
 )
-from repro.faultinjection.telemetry import (
-    outcomes_by_origin,
-    read_jsonl,
-)
+from repro.faultinjection.telemetry import read_jsonl
 from repro.machine.cpu import Machine
 from repro.minic import compile_to_ir
 from repro.pipeline import build_variants
 from repro.workloads import get_workload
+from tests.faultinjection.parity import (
+    assert_campaigns_identical,
+    assert_jsonl_identical,
+    assert_origin_maps_identical,
+)
 
 #: Four workloads (the acceptance bar) mixing single-function programs
 #: (bfs: sections come from loop nests) and helper-calling ones (knn,
@@ -63,20 +65,13 @@ class TestComposedBitIdentity:
     @pytest.mark.parametrize("name", WORKLOADS)
     def test_counts_and_records_identical(self, built, flat, name):
         composed = run_composed(built[name])
-        reference = flat[name]
-        assert composed.outcomes.counts == reference.outcomes.counts
-        assert composed.fault_sites == reference.fault_sites
-        assert composed.samples == reference.samples
-        assert composed.records == reference.records
+        assert_campaigns_identical(composed, flat[name], context=name)
 
     @pytest.mark.parametrize("name", WORKLOADS)
     def test_per_origin_maps_identical(self, built, flat, name):
         composed = run_composed(built[name])
-        by_flat = outcomes_by_origin(flat[name].records)
-        by_composed = outcomes_by_origin(composed.records)
-        assert by_composed.keys() == by_flat.keys()
-        for origin, counts in by_flat.items():
-            assert by_composed[origin].counts == counts.counts, origin
+        assert_origin_maps_identical(composed.records, flat[name].records,
+                                     context=name)
 
     @pytest.mark.parametrize("name", WORKLOADS)
     @pytest.mark.parametrize("machine_engine",
@@ -85,17 +80,18 @@ class TestComposedBitIdentity:
                                        machine_engine, monkeypatch):
         monkeypatch.setenv("FERRUM_ENGINE", machine_engine)
         composed = run_composed(built[name])
-        assert composed.records == flat[name].records
+        assert_campaigns_identical(composed, flat[name],
+                                   context=f"{name}/{machine_engine}")
 
     @pytest.mark.parametrize("engine", ("checkpoint", "replay"))
     def test_campaign_engines_identical(self, built, flat, engine):
         composed = run_composed(built["knn"], engine=engine)
-        assert composed.records == flat["knn"].records
+        assert_campaigns_identical(composed, flat["knn"], context=engine)
 
     @pytest.mark.parametrize("name", ("knn", "pathfinder"))
     def test_prune_identical(self, built, flat, name):
         composed = run_composed(built[name], prune=True)
-        assert composed.records == flat[name].records
+        assert_campaigns_identical(composed, flat[name], context=name)
         assert composed.pruning_stats is not None
 
     @pytest.mark.parametrize("kwargs", (
@@ -105,7 +101,7 @@ class TestComposedBitIdentity:
     ))
     def test_parallel_identical(self, built, flat, kwargs):
         composed = run_composed(built["knn"], **kwargs)
-        assert composed.records == flat["knn"].records
+        assert_campaigns_identical(composed, flat["knn"])
 
     def test_jsonl_byte_identical(self, built, tmp_path):
         flat_path = tmp_path / "flat.jsonl"
@@ -114,7 +110,7 @@ class TestComposedBitIdentity:
                      jsonl_path=flat_path)
         run_composed(built["knn"], telemetry=False,
                      jsonl_path=composed_path)
-        assert composed_path.read_bytes() == flat_path.read_bytes()
+        assert_jsonl_identical(composed_path, flat_path)
 
     def test_pruned_jsonl_byte_identical(self, built, tmp_path):
         flat_path = tmp_path / "flat.jsonl"
@@ -123,7 +119,7 @@ class TestComposedBitIdentity:
                      jsonl_path=flat_path, prune=True)
         run_composed(built["knn"], telemetry=False,
                      jsonl_path=composed_path, prune=True)
-        assert composed_path.read_bytes() == flat_path.read_bytes()
+        assert_jsonl_identical(composed_path, flat_path)
 
 
 def run_composed(program, telemetry=True, **kwargs):
@@ -166,8 +162,8 @@ class TestSectionCache:
         cache_dir = tmp_path / "cache"
         cold = run_composed(built["knn"], cache_dir=cache_dir)
         warm = run_composed(built["knn"], cache_dir=cache_dir)
-        assert cold.records == flat["knn"].records
-        assert warm.records == flat["knn"].records
+        assert_campaigns_identical(cold, flat["knn"], context="cold")
+        assert_campaigns_identical(warm, flat["knn"], context="warm")
         assert cold.compose_stats.cache_hits == 0
         assert warm.compose_stats.cache_misses == 0
         assert warm.compose_stats.executed_injections == 0
@@ -188,7 +184,7 @@ class TestSectionCache:
         cold = run_composed(built["knn"], cache_dir=cache_dir)
         refreshed = run_composed(built["knn"], cache_dir=cache_dir,
                                  refresh=("sq_dist",))
-        assert refreshed.records == flat["knn"].records
+        assert_campaigns_identical(refreshed, flat["knn"])
         stats = refreshed.compose_stats
         assert stats.refreshed_sections > 0
         assert stats.cache_misses == stats.refreshed_sections
@@ -219,7 +215,7 @@ class TestSectionCache:
         after = run_composed(edited, cache_dir=cache_dir)
         flat_edited = run_campaign(edited, samples=SAMPLES, seed=SEED,
                                    telemetry=True)
-        assert after.records == flat_edited.records
+        assert_campaigns_identical(after, flat_edited)
 
         stats = after.compose_stats
         cold_stats = cold.compose_stats

@@ -13,9 +13,14 @@ import json
 import pytest
 
 from repro.faultinjection.campaign import run_campaign
-from repro.faultinjection.telemetry import outcomes_by_origin
 from repro.pipeline import build_variants
 from repro.workloads import get_workload
+from tests.faultinjection.parity import (
+    assert_campaigns_identical,
+    assert_counts_identical,
+    assert_jsonl_identical,
+    assert_origin_maps_identical,
+)
 
 WORKLOADS = ("bfs", "knn")
 VARIANTS = ("raw", "ferrum")
@@ -41,9 +46,7 @@ class TestPrunedBitIdentity:
         plain = run_campaign(program, samples=SAMPLES, seed=SEED)
         pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
                               prune=True)
-        assert pruned.outcomes.counts == plain.outcomes.counts
-        assert pruned.fault_sites == plain.fault_sites
-        assert pruned.samples == plain.samples
+        assert_counts_identical(pruned, plain, context=f"{name}/{variant}")
 
     @pytest.mark.parametrize("engine", ("checkpoint", "replay"))
     def test_engines_agree_under_pruning(self, built, engine):
@@ -52,7 +55,7 @@ class TestPrunedBitIdentity:
                              engine=engine)
         pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
                               engine=engine, prune=True)
-        assert pruned.outcomes.counts == plain.outcomes.counts
+        assert_counts_identical(pruned, plain, context=engine)
 
     def test_telemetry_records_identical(self, built):
         """Synthesized and cloned records must be indistinguishable from
@@ -62,7 +65,7 @@ class TestPrunedBitIdentity:
                              telemetry=True)
         pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
                               telemetry=True, prune=True)
-        assert pruned.records == plain.records
+        assert_campaigns_identical(pruned, plain)
 
     def test_per_origin_telemetry_identical(self, built):
         program = built["bfs"]["ferrum"]
@@ -70,11 +73,7 @@ class TestPrunedBitIdentity:
                              telemetry=True)
         pruned = run_campaign(program, samples=SAMPLES, seed=SEED,
                               telemetry=True, prune=True)
-        by_plain = outcomes_by_origin(plain.records)
-        by_pruned = outcomes_by_origin(pruned.records)
-        assert by_pruned.keys() == by_plain.keys()
-        for origin, counts in by_plain.items():
-            assert by_pruned[origin].counts == counts.counts, origin
+        assert_origin_maps_identical(pruned.records, plain.records)
 
     def test_jsonl_content_identical(self, built, tmp_path):
         """The pruned campaign's JSONL sink must contain exactly the same
@@ -87,10 +86,9 @@ class TestPrunedBitIdentity:
                      jsonl_path=plain_path)
         run_campaign(program, samples=SAMPLES, seed=SEED, telemetry=True,
                      jsonl_path=pruned_path, prune=True)
-        plain_lines = sorted(plain_path.read_text().splitlines())
-        pruned_lines = sorted(pruned_path.read_text().splitlines())
-        assert pruned_lines == plain_lines
+        assert_jsonl_identical(pruned_path, plain_path, ordered=False)
         # and the pruned file is complete: one record per sample
+        pruned_lines = pruned_path.read_text().splitlines()
         assert len(pruned_lines) == SAMPLES
         assert all(json.loads(line)["level"] == "asm"
                    for line in pruned_lines)
@@ -101,7 +99,7 @@ class TestPrunedBitIdentity:
                                   prune=True)
         parallel = run_campaign(program, samples=SAMPLES, seed=SEED,
                                 prune=True, processes=2)
-        assert parallel.outcomes.counts == sequential.outcomes.counts
+        assert_counts_identical(parallel, sequential)
 
 
 class TestPruningStats:

@@ -30,6 +30,7 @@ from repro.faultinjection.service import (
 )
 from repro.pipeline import build_variants
 from repro.workloads import get_workload
+from tests.faultinjection.parity import assert_jsonl_identical
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -188,8 +189,8 @@ class TestServeInProcess:
         forked = serve_campaign(tmp_path / "state", SPEC,
                                 _config(workers=2))
         assert forked.complete
-        assert (Path(forked.results["bfs-ferrum"]).read_bytes()
-                == Path(report.results["bfs-ferrum"]).read_bytes())
+        assert_jsonl_identical(forked.results["bfs-ferrum"],
+                               report.results["bfs-ferrum"])
         assert (Path(forked.summary_path).read_bytes()
                 == Path(report.summary_path).read_bytes())
 
@@ -311,8 +312,8 @@ class TestFailureHandling:
                                  _config(requeue_quarantined=True))
         assert healed.complete
         baseline = serve_campaign(tmp_path / "clean", TINY, _config())
-        assert (Path(healed.results["bfs-raw"]).read_bytes()
-                == Path(baseline.results["bfs-raw"]).read_bytes())
+        assert_jsonl_identical(healed.results["bfs-raw"],
+                               baseline.results["bfs-raw"])
 
 
 class TestKillAnywhereChaos:
@@ -353,6 +354,6 @@ class TestKillAnywhereChaos:
         assert code == 0
 
         result = "results/bfs-ferrum.jsonl"
-        assert (chaos / result).read_bytes() == (baseline / result).read_bytes()
+        assert_jsonl_identical(chaos / result, baseline / result)
         assert ((chaos / "summary.json").read_bytes()
                 == (baseline / "summary.json").read_bytes())

@@ -5,6 +5,7 @@ import pytest
 from repro.asm.operands import Imm
 from repro.fuzz.generator import generate_program
 from repro.fuzz.oracles import (
+    DmeDivergenceOracle,
     ExecOutcome,
     FaultSoundnessOracle,
     Subject,
@@ -58,7 +59,7 @@ class TestCleanPrograms:
         verdicts = run_oracles(GOOD_SOURCE)
         assert [v.oracle for v in verdicts] == [
             "cross-layer", "variant-agreement", "static-discipline",
-            "fault-soundness",
+            "fault-soundness", "dme-divergence",
         ]
         assert all(v.passed for v in verdicts), verdicts
 
@@ -103,6 +104,31 @@ class TestPlantedDefects:
         detail = next(v.detail for v in verdicts
                       if v.oracle == "variant-agreement")
         assert "ferrum" in detail and "detected" in detail
+
+    def test_dme_divergence_catches_planted_secondary_bug(self):
+        # Corrupt one ALU immediate in the *secondary* after the build-time
+        # decorrelation gate has already passed. The primary still computes
+        # the true value, so the lockstep comparison must report a value
+        # divergence on the very first fault-free run.
+        subject = Subject(GOOD_SOURCE)
+        secondary = subject.build["dme"].asm.secondary
+        planted = False
+        for func in secondary.functions:
+            for instr in func.instructions():
+                if (instr.mnemonic in ("addl", "addq", "subl", "subq")
+                        and instr.operands
+                        and isinstance(instr.operands[0], Imm)):
+                    instr.operands = (
+                        Imm(instr.operands[0].value ^ 1),
+                    ) + instr.operands[1:]
+                    planted = True
+                    break
+            if planted:
+                break
+        assert planted, "no ALU immediate to corrupt in the secondary"
+        verdict = DmeDivergenceOracle().check(subject)
+        assert not verdict.passed
+        assert "divergence" in verdict.detail
 
     def test_fault_soundness_flags_unprotected_code(self):
         # Positive control: pointing the soundness sweep at the raw
