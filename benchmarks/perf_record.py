@@ -5,8 +5,9 @@ regressions stay visible from PR to PR:
 
 * campaign throughput — faults/sec for the checkpointed vs. replay
   injection engines, plus the outcome-equivalence-pruned campaign and the
-  composed (section-cached) campaign's cold/warm/refresh cost
-  (``BENCH_campaign_throughput.json``);
+  composed (section-cached) campaign's cold/warm/refresh cost, and the
+  convergence early-exit campaign's speedup over the plain checkpoint
+  engine (``BENCH_campaign_throughput.json``);
 * execution throughput — instructions/sec and campaign faults/sec for the
   fused vs. translated vs. reference machine engines
   (``BENCH_exec_throughput.json``).
@@ -21,9 +22,10 @@ Used two ways:
   ``benchmarks/test_exec_throughput.py`` (the tier-2 perf smoke targets);
 * standalone: ``PYTHONPATH=src python benchmarks/perf_record.py
   [--workloads kmeans,lud] [--samples 40] [--seed 11]`` for the campaign
-  trail, plus ``--exec`` for the execution trail. ``--workloads`` filters
-  whichever trail runs; ``--exec-workloads`` overrides it for the
-  execution trail only.
+  trail, plus ``--exec`` for the execution trail, ``--compose`` for the
+  section-cache trail and ``--converge`` for the convergence early-exit
+  trail. ``--workloads`` filters whichever trail runs; ``--exec-workloads``
+  overrides it for the execution trail only.
 """
 
 from __future__ import annotations
@@ -234,6 +236,110 @@ def render_compose_table(records: list[ComposeThroughputRecord]) -> str:
 
 
 @dataclass(frozen=True)
+class ConvergeThroughputRecord:
+    """Checkpoint campaign with vs. without convergence early-exit.
+
+    Both campaigns stream telemetry JSONL; the measurement refuses to
+    report unless the files are byte-identical (and the aggregate counts
+    match), so every speedup row doubles as a bit-identity witness. The
+    ``converged_*`` columns summarize the run's
+    :class:`repro.faultinjection.telemetry.ConvergenceStats`.
+    """
+
+    timestamp: str
+    workload: str
+    samples: int
+    seed: int
+    fault_sites: int
+    dynamic_instructions: int
+    baseline_seconds: float
+    converge_seconds: float
+    baseline_faults_per_sec: float
+    converge_faults_per_sec: float
+    converge_speedup: float
+    converged_runs: int
+    converged_fraction: float
+    converged_instructions_saved: int
+    converged_mean_distance: float
+    converged_boundaries_compared: int
+
+
+def measure_converge_throughput(program, workload: str, samples: int,
+                                seed: int,
+                                scratch_dir) -> ConvergeThroughputRecord:
+    """Time the checkpoint engine with and without convergence early-exit.
+
+    Asserts bit-identical outcome counts AND byte-identical telemetry
+    JSONL before reporting any number.
+    """
+    from repro.faultinjection.campaign import run_campaign
+
+    scratch = Path(scratch_dir)
+    base_path = scratch / f"{workload}-base.jsonl"
+    conv_path = scratch / f"{workload}-converge.jsonl"
+
+    start = time.perf_counter()
+    baseline = run_campaign(program, samples=samples, seed=seed,
+                            engine="checkpoint", telemetry=True,
+                            jsonl_path=base_path)
+    baseline_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    converged = run_campaign(program, samples=samples, seed=seed,
+                             engine="checkpoint", telemetry=True,
+                             jsonl_path=conv_path, converge=True)
+    converge_seconds = time.perf_counter() - start
+
+    if converged.outcomes.counts != baseline.outcomes.counts:
+        raise AssertionError(
+            f"{workload}: convergence changed campaign outcomes: "
+            f"{converged.outcomes.counts} != {baseline.outcomes.counts}"
+        )
+    if base_path.read_bytes() != conv_path.read_bytes():
+        raise AssertionError(
+            f"{workload}: convergence changed telemetry JSONL bytes"
+        )
+
+    stats = converged.convergence_stats
+    return ConvergeThroughputRecord(
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        workload=workload,
+        samples=samples,
+        seed=seed,
+        fault_sites=baseline.fault_sites,
+        dynamic_instructions=baseline.dynamic_instructions,
+        baseline_seconds=round(baseline_seconds, 4),
+        converge_seconds=round(converge_seconds, 4),
+        baseline_faults_per_sec=round(samples / baseline_seconds, 3),
+        converge_faults_per_sec=round(samples / converge_seconds, 3),
+        converge_speedup=round(baseline_seconds / converge_seconds, 3),
+        converged_runs=stats.converged,
+        converged_fraction=round(stats.converged_fraction, 4),
+        converged_instructions_saved=stats.instructions_saved,
+        converged_mean_distance=round(stats.mean_convergence_distance, 2),
+        converged_boundaries_compared=stats.boundaries_compared,
+    )
+
+
+def render_converge_table(records: list[ConvergeThroughputRecord]) -> str:
+    lines = [
+        "Convergence early-exit: checkpoint engine, trail boundaries on",
+        f"{'workload':<14} {'sites':>8} {'base f/s':>9} {'conv f/s':>9} "
+        f"{'speedup':>8} {'conv%':>6} {'instr saved':>12}",
+    ]
+    for rec in records:
+        lines.append(
+            f"{rec.workload:<14} {rec.fault_sites:>8} "
+            f"{rec.baseline_faults_per_sec:>9.2f} "
+            f"{rec.converge_faults_per_sec:>9.2f} "
+            f"{rec.converge_speedup:>7.2f}x "
+            f"{rec.converged_fraction * 100:>5.1f}% "
+            f"{rec.converged_instructions_saved:>12}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ExecThroughputRecord:
     """Fused vs. translated vs. reference machine engine on one workload.
 
@@ -422,6 +528,12 @@ def main() -> int:
                                                    "pathfinder:min2",
                         help="comma-separated workload:edited-function "
                              "pairs for --compose")
+    parser.add_argument("--converge", dest="converge_bench",
+                        action="store_true",
+                        help="measure the convergence early-exit trail "
+                             "instead (checkpoint engine with vs. without "
+                             "--converge, ferrum variant; default "
+                             "workloads kmeans,lud,knn)")
     args = parser.parse_args()
 
     from repro.backend import compile_module
@@ -452,6 +564,28 @@ def main() -> int:
             append_record(record)
             records.append(record)
         print(render_compose_table(records))
+        print(f"appended {len(records)} record(s) to {BENCH_PATH}")
+        return 0
+
+    if args.converge_bench:
+        import tempfile
+
+        from repro.pipeline import build_variants
+
+        records = []
+        for name in (args.workloads or "kmeans,lud,knn").split(","):
+            name = name.strip()
+            build = build_variants(get_workload(name).source(args.scale),
+                                   names=("ferrum",))
+            with tempfile.TemporaryDirectory() as scratch:
+                record = measure_converge_throughput(
+                    build["ferrum"].asm, name,
+                    samples=args.samples, seed=args.seed,
+                    scratch_dir=scratch,
+                )
+            append_record(record)
+            records.append(record)
+        print(render_converge_table(records))
         print(f"appended {len(records)} record(s) to {BENCH_PATH}")
         return 0
 

@@ -1,0 +1,99 @@
+"""Micro-bench: copy-on-write register snapshots on bfs.
+
+``RegisterFile.snapshot_state`` caches the last snapshot and only deep
+copies the register dicts when a write (or a direct-engine-write note)
+has bumped the file's version since. The checkpoint injection engine
+leans on this twice per served fault — capture at the checkpoint site,
+then restore-and-recapture for the next fault in the same region — so
+the cache turns the second copy of every such pair into a pointer
+compare.
+
+This bench drives a real bfs machine through exactly that protocol and
+asserts the copy counters, then times cached vs. forced-copy snapshots
+so the win is visible in the report output.
+
+Run: ``PYTHONPATH=src python -m pytest benchmarks/test_register_snapshots.py -q``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import build_for, emit
+
+pytestmark = pytest.mark.perf
+
+REPEAT = 200
+
+
+def test_quiescent_snapshots_copy_once():
+    """Back-to-back snapshots of an unchanged file: 1 copy, rest hits."""
+    from repro.machine.cpu import Machine
+
+    program = build_for("bfs")["ferrum"].asm
+    machine = Machine(program)
+    machine.run()
+    regs = machine.registers
+
+    copies_before = regs.snapshot_copies
+    snaps = [regs.snapshot_state() for _ in range(REPEAT)]
+    assert all(snap is snaps[0] for snap in snaps)
+    assert regs.snapshot_copies == copies_before + 1
+    assert regs.snapshot_hits >= REPEAT - 1
+
+
+def test_checkpoint_protocol_restores_are_free():
+    """The engine's restore -> recapture pair never re-copies the dicts."""
+    from repro.machine.cpu import Machine
+
+    program = build_for("bfs")["ferrum"].asm
+    machine = Machine(program)
+    golden = machine.run()
+    snap = machine.run_to_site(golden.fault_sites // 2)
+    regs = machine.registers
+
+    copies_before = regs.snapshot_copies
+    hits_before = regs.snapshot_hits
+    for _ in range(REPEAT):
+        machine.restore_snapshot(snap)
+        assert regs.snapshot_state() is snap.registers
+    assert regs.snapshot_copies == copies_before, (
+        "restore_state must seed the snapshot cache — every recapture "
+        "after a restore should be a hit")
+    assert regs.snapshot_hits == hits_before + REPEAT
+
+
+def test_report(capsys):
+    """Time cached vs. forced-copy snapshots on the post-run bfs file."""
+    from repro.asm.registers import get_register
+    from repro.machine.cpu import Machine
+
+    program = build_for("bfs")["ferrum"].asm
+    machine = Machine(program)
+    machine.run()
+    regs = machine.registers
+    rax = get_register("rax")
+
+    start = time.perf_counter()
+    for _ in range(REPEAT):
+        regs.snapshot_state()
+    cached_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(REPEAT):
+        regs.write(rax, i)  # bump the version: every snapshot re-copies
+        regs.snapshot_state()
+    copied_seconds = time.perf_counter() - start
+
+    speedup = copied_seconds / cached_seconds if cached_seconds else 0.0
+    emit(capsys, "\n".join([
+        "Register snapshot micro-bench: bfs ferrum, post-run file",
+        f"{REPEAT} cached snapshots: {cached_seconds * 1e6:9.1f} us",
+        f"{REPEAT} copied snapshots: {copied_seconds * 1e6:9.1f} us",
+        f"copy-on-write speedup:    {speedup:8.1f}x",
+        f"lifetime counters: {regs.snapshot_copies} copies, "
+        f"{regs.snapshot_hits} hits",
+    ]))
+    assert speedup > 1.0

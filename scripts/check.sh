@@ -39,6 +39,13 @@ echo "== compose bit-identity (composed vs flat campaigns) =="
 PYTHONPATH=src python -m pytest tests/faultinjection/test_compose_campaign.py \
     -q || status=$?
 
+echo "== convergence early-exit (trail determinism + bit-identity) =="
+# Mirrors the CI tests-converge job: golden digest trails must fingerprint
+# identically across engines/processes, and converge=True campaigns must
+# stay byte-identical to plain ones through every execution strategy.
+PYTHONPATH=src python -m pytest tests/machine/test_converge.py \
+    tests/faultinjection/test_converge_campaign.py -q || status=$?
+
 echo "== dme detector gate (marker dme + service CLI smoke) =="
 # Mirrors the CI tests-dme job: the dme-marked suites (decorrelation
 # properties, campaign parity, the backend-site coverage gate) and an

@@ -7,6 +7,7 @@ Examples::
     ferrum-eval fig11 --scale 2
     ferrum-eval gap --samples 300 --workloads knn needle
     ferrum-eval telemetry --technique ferrum --jsonl faults.jsonl
+    ferrum-eval telemetry --technique ferrum --converge
     ferrum-eval compose --workloads knn --cache-dir .ferrum-cache
     ferrum-eval compose --workloads knn --cache-dir .ferrum-cache \\
         --reinject sq_dist
@@ -73,6 +74,12 @@ def _parser() -> argparse.ArgumentParser:
                         metavar="FUNCTION",
                         help="with compose: force these functions' sections "
                              "to re-execute even on a cache hit")
+    parser.add_argument("--converge", action="store_true",
+                        help="with telemetry/compose/serve: convergence "
+                             "early-exit — stop each masked run at the "
+                             "first golden-trail boundary its divergence "
+                             "cone matches (identical results, fewer "
+                             "executed instructions)")
     service = parser.add_argument_group(
         "durable campaign service (serve/resume)")
     service.add_argument("--state-dir", default=None, metavar="DIR",
@@ -130,6 +137,7 @@ def _run_service(args: argparse.Namespace) -> int:
             seed=args.seed,
             scale=args.scale,
             shard_size=args.shard_size,
+            converge=args.converge,
         )
         report = serve_campaign(args.state_dir, spec, config)
     else:
@@ -196,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.evaluation.figures import render_latency_chart
         from repro.evaluation.report import (
             render_checkpoint_stats,
+            render_convergence_stats,
             render_latency_table,
             render_origin_breakdown,
             render_site_map,
@@ -205,7 +214,7 @@ def main(argv: list[str] | None = None) -> int:
         campaign = run_telemetry(
             workload=workload, technique=args.technique,
             samples=args.samples, seed=args.seed, scale=args.scale,
-            jsonl_path=args.jsonl,
+            jsonl_path=args.jsonl, converge=args.converge,
         )
         records = campaign.records or []
         print(f"Telemetry campaign: {workload} / {args.technique} — "
@@ -220,12 +229,16 @@ def main(argv: list[str] | None = None) -> int:
         print(render_latency_chart(records))
         print()
         print(render_checkpoint_stats(campaign.checkpoint_stats))
+        if args.converge:
+            print()
+            print(render_convergence_stats(campaign.convergence_stats))
         if args.jsonl:
             print(f"Wrote {len(records)} records to {args.jsonl}")
     if args.experiment == "compose":
         from repro.evaluation.experiments import run_compose
         from repro.evaluation.report import (
             render_compose_stats,
+            render_convergence_stats,
             render_origin_breakdown,
         )
 
@@ -234,12 +247,15 @@ def main(argv: list[str] | None = None) -> int:
             workload=workload, technique=args.technique,
             samples=args.samples, seed=args.seed, scale=args.scale,
             cache_dir=args.cache_dir, reinject=tuple(args.reinject),
-            jsonl_path=args.jsonl,
+            jsonl_path=args.jsonl, converge=args.converge,
         )
         print(f"Composed campaign: {workload} / {args.technique} — "
               + campaign.summary())
         print()
         print(render_compose_stats(campaign.compose_stats))
+        if args.converge:
+            print()
+            print(render_convergence_stats(campaign.convergence_stats))
         print()
         print(render_origin_breakdown(campaign.records or []))
         if args.jsonl:

@@ -271,6 +271,7 @@ def run_telemetry(
     engine: str = "checkpoint",
     jsonl_path: str | None = None,
     config: FerrumConfig | None = None,
+    converge: bool = False,
 ) -> CampaignResult:
     """One telemetry-enabled campaign on one benchmark/technique binary.
 
@@ -280,12 +281,15 @@ def run_telemetry(
     the detection-latency histogram, and the checkpoint-engine stats.
     ``jsonl_path`` additionally streams the records to disk. Outcome counts
     match a plain (telemetry-off) campaign with the same seed exactly.
+    ``converge=True`` enables convergence early-exit (same counts, records
+    and bytes; ``result.convergence_stats`` reports the economics).
     """
     variants = ("raw",) if technique == "raw" else ("raw", technique)
     build = build_variants(get_workload(workload).source(scale),
                            names=variants, config=config)
     return run_campaign(build[technique].asm, samples, seed=seed,
-                        engine=engine, telemetry=True, jsonl_path=jsonl_path)
+                        engine=engine, telemetry=True, jsonl_path=jsonl_path,
+                        converge=converge)
 
 
 # -- compose: incremental sectioned campaign -----------------------------
@@ -303,6 +307,7 @@ def run_compose(
     prune: bool = False,
     jsonl_path: str | None = None,
     config: FerrumConfig | None = None,
+    converge: bool = False,
 ) -> CampaignResult:
     """One compositional campaign on one benchmark/technique binary.
 
@@ -322,5 +327,5 @@ def run_compose(
     return compose_campaign(
         build[technique].asm, samples, seed=seed, engine=engine,
         telemetry=True, jsonl_path=jsonl_path, prune=prune,
-        cache_dir=cache_dir, refresh=reinject,
+        cache_dir=cache_dir, refresh=reinject, converge=converge,
     )

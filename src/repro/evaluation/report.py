@@ -17,6 +17,7 @@ from repro.faultinjection.compose import ComposeStats
 from repro.faultinjection.outcome import Outcome
 from repro.faultinjection.telemetry import (
     CheckpointStats,
+    ConvergenceStats,
     FaultRecord,
     detection_latencies,
     latency_histogram,
@@ -189,6 +190,20 @@ def render_compose_stats(stats: ComposeStats | None) -> str:
     if stats is None:
         return "Compose stats: n/a (flat campaign)."
     return "Composed campaign: " + stats.summary()
+
+
+def render_convergence_stats(stats: ConvergenceStats | None) -> str:
+    """Convergence early-exit economics (or a note when disabled)."""
+    if stats is None:
+        return "Convergence: n/a (run with --converge to enable)."
+    data = stats.summary()
+    return (
+        f"Convergence early-exit: {data['converged']}/{data['runs']} runs "
+        f"converged ({percent(data['converged_fraction'])}), "
+        f"{data['instructions_saved']} instructions saved, "
+        f"mean distance {data['mean_convergence_distance']} sites, "
+        f"{data['boundaries_compared']} boundary compares"
+    )
 
 
 def render_gap(result: GapResult) -> str:

@@ -48,11 +48,13 @@ from repro.faultinjection.injector import (
 from repro.faultinjection.outcome import Outcome, OutcomeCounts
 from repro.faultinjection.telemetry import (
     CheckpointStats,
+    ConvergenceStats,
     FaultRecord,
     JsonlSink,
 )
 from repro.ir.interp import IRInterpreter
 from repro.ir.module import IRModule
+from repro.machine.converge import ConvergenceTrail, record_trail
 from repro.machine.cpu import Machine, MachineSnapshot
 from repro.utils.rng import DeterministicRng
 
@@ -77,7 +79,9 @@ class CampaignResult:
     telemetry is off — the default — and their presence never changes
     ``outcomes``. ``compose_stats`` is filled only by
     :func:`repro.faultinjection.compose.compose_campaign` and reports the
-    section partition and cache hit/miss economics.
+    section partition and cache hit/miss economics; ``convergence_stats``
+    is filled by ``converge=True`` campaigns and reports the convergence
+    early-exit economics (converged fraction, instructions saved).
     """
 
     samples: int
@@ -88,6 +92,7 @@ class CampaignResult:
     checkpoint_stats: CheckpointStats | None = None
     pruning_stats: PruningStats | None = None
     compose_stats: "ComposeStats | None" = None
+    convergence_stats: ConvergenceStats | None = None
 
     @property
     def sdc_probability(self) -> float:
@@ -148,31 +153,73 @@ class _RunOrderedWriter:
     Pruned campaigns complete their runs out of run-index order (executed
     representatives arrive in site order; synthesized verdicts exist before
     execution starts; duplicates complete when their representative does).
-    This reorder buffer holds only the not-yet-contiguous suffix and flushes
-    each record the moment every lower run index has been written, so large
-    pruned campaigns stream incrementally while the final file stays
-    byte-identical to the buffered (sorted-by-run-index) order.
+    This reorder buffer flushes each record the moment every lower run
+    index has been written, so the final file stays byte-identical to the
+    buffered (sorted-by-run-index) order — and it is *bounded*: synthesized
+    verdicts are consulted lazily from the analysis at their flush point
+    (never copied in), duplicate clones are materialized only at the
+    instant they are written, and a representative's record is retained
+    only until its last clone flushes. The buffer therefore holds at most
+    the out-of-order executed records plus the representatives with
+    pending clones, never the whole campaign; ``peak_buffer`` reports the
+    high-water mark so tests can pin the bound.
     """
 
     def __init__(self, sink: JsonlSink, analysis: PruningAnalysis) -> None:
         self._sink = sink
         self._duplicates = analysis.duplicates
+        self._dup_of = {
+            dup: rep
+            for rep, dups in analysis.duplicates.items()
+            for dup in dups
+        }
+        self._last_dup = {
+            rep: max(dups) for rep, dups in analysis.duplicates.items() if dups
+        }
+        # References into the analysis, not copies: synthesized records
+        # already exist for the campaign result, so looking them up lazily
+        # adds no resident memory.
+        self._synth = dict(analysis.synthesized)
         self._pending: dict[int, FaultRecord] = {}
+        self._rep_records: dict[int, FaultRecord] = {}
         self._next = 0
-        for run_index, record in analysis.synthesized:
-            self._push(run_index, record)
+        self.peak_buffer = 0
+        self._drain()  # a synthesized prefix may already start at run 0
 
-    def _push(self, run_index: int, record: FaultRecord) -> None:
-        self._pending[run_index] = record
-        while self._next in self._pending:
-            self._sink.write(self._pending.pop(self._next))
+    def _note_peak(self) -> None:
+        resident = len(self._pending) + len(self._rep_records)
+        if resident > self.peak_buffer:
+            self.peak_buffer = resident
+
+    def _drain(self) -> None:
+        while True:
+            run = self._next
+            record = self._pending.pop(run, None)
+            if record is None:
+                record = self._synth.pop(run, None)
+            if record is None:
+                rep = self._dup_of.get(run)
+                if rep is None or rep not in self._rep_records:
+                    return  # gap: a lower run index is still executing
+                record = replace(self._rep_records[rep], run_index=run)
+                if run == self._last_dup[rep]:
+                    del self._rep_records[rep]
+            self._sink.write(record)
             self._next += 1
 
     def write(self, record: FaultRecord) -> None:
-        """Engine-facing hook: accept one executed record, expand its clones."""
-        self._push(record.run_index, record)
-        for dup in self._duplicates.get(record.run_index, ()):
-            self._push(dup, replace(record, run_index=dup))
+        """Engine-facing hook: accept one executed record."""
+        run = record.run_index
+        if run in self._duplicates:
+            self._rep_records[run] = record
+        if run != self._next:
+            self._pending[run] = record
+            self._note_peak()
+            return
+        self._sink.write(record)
+        self._next += 1
+        self._note_peak()
+        self._drain()
 
 
 def _checkpoint_schedule(
@@ -235,12 +282,16 @@ def _checkpointed_asm_results(
     sink=None,
     machine: Machine | None = None,
     cursor: MachineSnapshot | None = None,
+    trail=None,
+    conv_stats=None,
 ) -> list:
     """Serve all plans off one incremental golden-prefix pass (sequential).
 
     ``machine``/``cursor`` let compositional campaigns resume the pass from
     a section-entry snapshot instead of program entry; the default (both
     ``None``) executes the golden prefix from scratch, as flat campaigns do.
+    ``trail``/``conv_stats`` thread convergence early-exit through every
+    injection (see :func:`run_campaign`'s ``converge``).
     """
     results = []
     if machine is None:
@@ -255,7 +306,9 @@ def _checkpointed_asm_results(
                                        function=function, args=args,
                                        machine=machine, resume_from=cursor,
                                        telemetry=telemetry,
-                                       run_index=run_index)
+                                       run_index=run_index,
+                                       converge=trail,
+                                       converge_stats=conv_stats)
             if stats is not None:
                 stats.restores += 1
                 stats.fast_forward_sites += plan.site_index - checkpoint_site
@@ -326,6 +379,44 @@ def _parallel_inject_region(region_index: int) -> list:
                           telemetry=state["telemetry"], run_index=run_index))
         for run_index, plan in region_plans
     ]
+
+
+def _parallel_inject_converge(indexed: IndexedPlan):
+    """Replay-engine worker with convergence early-exit.
+
+    Returns ``((run_index, outcome), stats)`` so the parent can merge the
+    per-run :class:`ConvergenceStats` deterministically (all fields are
+    order-independent sums). Kept separate from :func:`_parallel_inject`
+    so non-converge campaigns keep their exact result shape.
+    """
+    state = _PARALLEL_STATE
+    run_index, plan = indexed
+    stats = ConvergenceStats()
+    outcome = inject_asm_fault(
+        state["program"], plan, state["golden"],
+        function=state["function"], args=state["args"],
+        telemetry=state["telemetry"], run_index=run_index,
+        converge=state["trail"], converge_stats=stats,
+    )
+    return (run_index, outcome), stats
+
+
+def _parallel_inject_region_converge(region_index: int):
+    """Checkpoint-engine region worker with convergence early-exit."""
+    state = _PARALLEL_STATE
+    snapshot, region_plans = state["regions"][region_index]
+    machine = state["machine"]
+    stats = ConvergenceStats()
+    pairs = [
+        (run_index,
+         inject_asm_fault(state["program"], plan, state["golden"],
+                          function=state["function"], args=state["args"],
+                          machine=machine, resume_from=snapshot,
+                          telemetry=state["telemetry"], run_index=run_index,
+                          converge=state["trail"], converge_stats=stats))
+        for run_index, plan in region_plans
+    ]
+    return pairs, stats
 
 
 def _parallel_inject_ir(indexed: IndexedPlan):
@@ -413,6 +504,8 @@ def run_campaign(
     jsonl_path=None,
     jsonl_mode: str = "w",
     prune: bool = False,
+    converge: bool = False,
+    converge_interval: int | None = None,
 ) -> CampaignResult:
     """Inject ``samples`` single-bit faults at assembly level.
 
@@ -447,6 +540,20 @@ def run_campaign(
     served by cloning its result. Outcomes and telemetry records stay
     bit-identical to the unpruned campaign; ``result.pruning_stats``
     reports how much work was avoided.
+
+    ``converge=True`` layers *dynamic* pruning on top: one extra fault-free
+    pass records a golden digest trail (:mod:`repro.machine.converge`), and
+    every injected run stops the moment its divergence cone — registers
+    plus pages written since the flip — matches the trail at a boundary,
+    finishing with the golden outcome. Counts, records, per-origin maps
+    and JSONL bytes stay bit-identical to ``converge=False``;
+    ``result.convergence_stats`` reports the converged fraction and
+    instructions saved. ``converge_interval`` overrides the boundary
+    spacing in fault sites (default: :func:`repro.machine.converge.
+    trail_interval`). Composes with ``prune`` (static pruning removes
+    runs, convergence shortens the surviving ones) and with both engines
+    and any process count — the trail is recorded once pre-fork and
+    inherited by workers.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -468,6 +575,13 @@ def run_campaign(
                                  telemetry=telemetry)
         plans = analysis.to_execute
         result.pruning_stats = analysis.stats
+    trail: ConvergenceTrail | None = None
+    conv_stats: ConvergenceStats | None = None
+    if converge:
+        trail = record_trail(program, golden, function=function, args=args,
+                             interval=converge_interval)
+        conv_stats = ConvergenceStats()
+        result.convergence_stats = conv_stats
     stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
     result.checkpoint_stats = stats
     context = _fork_context() if processes > 1 else None
@@ -513,23 +627,45 @@ def run_campaign(
                     args=args, machine=machine, regions=regions,
                     telemetry=telemetry,
                 )
-                per_region = _pooled(context, processes,
-                                     _parallel_inject_region,
-                                     range(len(regions)), chunksize=1)
-                results = [pair for region in per_region for pair in region]
+                if trail is not None:
+                    _PARALLEL_STATE.update(trail=trail)
+                    per_region = _pooled(context, processes,
+                                         _parallel_inject_region_converge,
+                                         range(len(regions)), chunksize=1)
+                    results = []
+                    for pairs, worker_stats in per_region:
+                        results.extend(pairs)
+                        conv_stats.merge(worker_stats)
+                else:
+                    per_region = _pooled(context, processes,
+                                         _parallel_inject_region,
+                                         range(len(regions)), chunksize=1)
+                    results = [pair for region in per_region
+                               for pair in region]
             else:
                 _PARALLEL_STATE.update(
                     program=program, golden=golden, function=function,
                     args=args, telemetry=telemetry,
                 )
-                results = _pooled(context, processes, _parallel_inject, plans,
-                                  chunksize=8)
+                if trail is not None:
+                    _PARALLEL_STATE.update(trail=trail)
+                    per_run = _pooled(context, processes,
+                                      _parallel_inject_converge, plans,
+                                      chunksize=8)
+                    results = []
+                    for pair, worker_stats in per_run:
+                        results.append(pair)
+                        conv_stats.merge(worker_stats)
+                else:
+                    results = _pooled(context, processes, _parallel_inject,
+                                      plans, chunksize=8)
             return _complete(results, streamed=False)
 
         if engine == "checkpoint":
             results = _checkpointed_asm_results(
                 program, plans, golden, function, args, checkpoint_interval,
                 telemetry=telemetry, stats=stats, sink=stream_sink,
+                trail=trail, conv_stats=conv_stats,
             )
             return _complete(results, streamed=True)
 
@@ -539,7 +675,9 @@ def run_campaign(
             outcome = inject_asm_fault(program, plan, golden,
                                        function=function, args=args,
                                        machine=machine, telemetry=telemetry,
-                                       run_index=run_index)
+                                       run_index=run_index,
+                                       converge=trail,
+                                       converge_stats=conv_stats)
             if stream_sink is not None and telemetry:
                 stream_sink.write(outcome)
             results.append((run_index, outcome))
@@ -562,6 +700,7 @@ def run_ir_campaign(
     jsonl_path=None,
     jsonl_mode: str = "w",
     prune: bool = False,
+    converge: bool = False,
 ) -> CampaignResult:
     """Inject ``samples`` faults at IR level (LLFI-style).
 
@@ -571,13 +710,23 @@ def run_ir_campaign(
     process count yield bit-identical outcome counts for a given seed,
     telemetry on or off.
 
-    ``prune`` is accepted for signature parity but only ``False`` is
-    supported: outcome-equivalence pruning is assembly-level analysis (see
-    ``docs/fault_model.md``), so ``prune=True`` raises
-    :class:`InjectionError` instead of a bare ``TypeError``.
+    ``prune`` and ``converge`` are accepted for signature parity but only
+    ``False`` is supported: outcome-equivalence pruning is assembly-level
+    analysis (see ``docs/fault_model.md``), and convergence early-exit
+    compares machine-level state (register files, memory pages) that the
+    IR interpreter does not expose — both raise :class:`InjectionError`
+    instead of a bare ``TypeError``.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if converge:
+        raise InjectionError(
+            "convergence early-exit is assembly-level only: the digest "
+            "trail hashes machine state (register files, RFLAGS, memory "
+            "pages) that IR values do not expose. Compile the module and "
+            "run run_campaign(converge=True) on the assembly program "
+            "instead."
+        )
     if prune:
         raise InjectionError(
             "outcome-equivalence pruning is assembly-level only: the "

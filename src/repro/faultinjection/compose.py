@@ -59,13 +59,20 @@ from repro.faultinjection.campaign import (
     _open_sink,
     _PARALLEL_STATE,
     _parallel_inject,
+    _parallel_inject_converge,
     _parallel_inject_region,
+    _parallel_inject_region_converge,
     _pooled,
 )
 from repro.faultinjection.equivalence import analyze_plans
 from repro.faultinjection.injector import FaultPlan, inject_asm_fault
 from repro.faultinjection.outcome import Outcome
-from repro.faultinjection.telemetry import CheckpointStats, FaultRecord
+from repro.faultinjection.telemetry import (
+    CheckpointStats,
+    ConvergenceStats,
+    FaultRecord,
+)
+from repro.machine.converge import ConvergenceTrail, record_trail
 from repro.machine.cpu import Machine, MachineSnapshot
 from repro.utils.rng import DeterministicRng
 
@@ -353,14 +360,24 @@ def _section_key(
     function: str,
     args: tuple[int, ...],
     telemetry: bool,
+    trail_fingerprint: str | None = None,
 ) -> str:
-    """Content-addressed cache key of one populated section's sub-campaign."""
+    """Content-addressed cache key of one populated section's sub-campaign.
+
+    ``trail_fingerprint`` — the golden convergence trail's digest-of-digests
+    (:meth:`repro.machine.converge.ConvergenceTrail.fingerprint`) — enters
+    the key when the campaign runs with convergence early-exit. Converged
+    results are bit-identical to plain ones by contract, but keying them
+    separately keeps the cache honest: a convergence bug can never poison
+    entries that plain campaigns would later trust, and vice versa.
+    """
     payload = {
         "version": CACHE_VERSION,
         "level": "asm",
         "region": section.region,
         "code": index.region_digest(section.region),
         "metadata": sorted(index.program.metadata.items()),
+        "converge": trail_fingerprint,
         "entry": {"function": function, "args": list(args),
                   "fingerprint": fingerprint},
         "golden": {
@@ -469,6 +486,8 @@ def compose_campaign(
     prune: bool = False,
     cache_dir=None,
     refresh: tuple[str, ...] = (),
+    converge: bool = False,
+    converge_interval: int | None = None,
 ) -> CampaignResult:
     """Run a flat-equivalent campaign as composed per-section sub-campaigns.
 
@@ -491,6 +510,16 @@ def compose_campaign(
     campaign's order — site order for plain campaigns (matching the
     sequential checkpoint engine's stream), run-index order under
     ``prune=True`` — so files are byte-comparable to flat ones.
+
+    ``converge=True`` adds convergence early-exit (see
+    :func:`~repro.faultinjection.campaign.run_campaign`): one golden
+    digest trail is recorded up front, its fingerprint becomes part of
+    every section's cache key, and executed sections finish each run at
+    the first boundary whose divergence cone matches the trail. Composed
+    counts and records stay bit-identical; ``result.convergence_stats``
+    covers *executed* injections only (cache hits never run, so they have
+    no monitor counters). ``converge_interval`` overrides the boundary
+    spacing.
     """
     if engine not in ENGINES:
         raise InjectionError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -520,6 +549,14 @@ def compose_campaign(
                                  telemetry=telemetry)
         plans = analysis.to_execute
         result.pruning_stats = analysis.stats
+    trail: ConvergenceTrail | None = None
+    conv_stats: ConvergenceStats | None = None
+    if converge:
+        trail = record_trail(program, golden, function=function, args=args,
+                             interval=converge_interval)
+        conv_stats = ConvergenceStats()
+        result.convergence_stats = conv_stats
+    trail_fp = trail.fingerprint() if trail is not None else None
     stats = CheckpointStats() if telemetry and engine == "checkpoint" else None
     result.checkpoint_stats = stats
     compose_stats = ComposeStats(sections=len(sections))
@@ -548,7 +585,8 @@ def compose_campaign(
         if stats is not None:
             stats.note_snapshot(cursor)
         key = _section_key(index, section, _snapshot_fingerprint(cursor),
-                           golden, section_plans, function, args, telemetry)
+                           golden, section_plans, function, args, telemetry,
+                           trail_fingerprint=trail_fp)
         refreshed = section.function in refresh_set
         if refreshed:
             compose_stats.refreshed_sections += 1
@@ -591,10 +629,20 @@ def compose_campaign(
             program=program, golden=golden, function=function,
             args=args, machine=machine, regions=regions, telemetry=telemetry,
         )
-        per_region = _pooled(context, processes, _parallel_inject_region,
-                             range(len(regions)), chunksize=1)
-        for owner, region_results in zip(owners, per_region):
-            section_results.setdefault(owner, []).extend(region_results)
+        if trail is not None:
+            _PARALLEL_STATE.update(trail=trail)
+            per_region = _pooled(context, processes,
+                                 _parallel_inject_region_converge,
+                                 range(len(regions)), chunksize=1)
+            for owner, (region_results, worker_stats) in zip(owners,
+                                                             per_region):
+                section_results.setdefault(owner, []).extend(region_results)
+                conv_stats.merge(worker_stats)
+        else:
+            per_region = _pooled(context, processes, _parallel_inject_region,
+                                 range(len(regions)), chunksize=1)
+            for owner, region_results in zip(owners, per_region):
+                section_results.setdefault(owner, []).extend(region_results)
     elif context is not None:
         tasks = [pair for _, section_plans, _, _ in pending
                  for pair in section_plans]
@@ -607,12 +655,22 @@ def compose_campaign(
             program=program, golden=golden, function=function,
             args=args, telemetry=telemetry,
         )
-        flat = _pooled(context, processes, _parallel_inject, tasks,
-                       chunksize=8)
-        for run_index, payload in flat:
-            section_results.setdefault(owner_of[run_index], []).append(
-                (run_index, payload)
-            )
+        if trail is not None:
+            _PARALLEL_STATE.update(trail=trail)
+            pairs = _pooled(context, processes, _parallel_inject_converge,
+                            tasks, chunksize=8)
+            for (run_index, payload), worker_stats in pairs:
+                section_results.setdefault(owner_of[run_index], []).append(
+                    (run_index, payload)
+                )
+                conv_stats.merge(worker_stats)
+        else:
+            flat = _pooled(context, processes, _parallel_inject, tasks,
+                           chunksize=8)
+            for run_index, payload in flat:
+                section_results.setdefault(owner_of[run_index], []).append(
+                    (run_index, payload)
+                )
     else:
         for section, section_plans, _key, snapshot in pending:
             if engine == "checkpoint":
@@ -620,6 +678,7 @@ def compose_campaign(
                     program, section_plans, golden, function, args,
                     checkpoint_interval, telemetry=telemetry, stats=stats,
                     machine=machine, cursor=snapshot,
+                    trail=trail, conv_stats=conv_stats,
                 )
             else:
                 executed = []
@@ -628,6 +687,7 @@ def compose_campaign(
                         program, plan, golden, function=function, args=args,
                         machine=machine, telemetry=telemetry,
                         run_index=run_index,
+                        converge=trail, converge_stats=conv_stats,
                     )))
             section_results[section.index] = executed
 

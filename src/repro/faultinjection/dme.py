@@ -219,6 +219,7 @@ class DmeMachine(Machine):
         max_instructions: int | None = None,
         fault_at: int | None = None,
         resume_from: MachineSnapshot | None = None,
+        converge=None,
     ) -> RunResult:
         if resume_from is not None and self._dme_key is not None:
             key = self._dme_key
@@ -275,10 +276,15 @@ class DmeMachine(Machine):
             if want < 0 or site == want:
                 fault_hook(machine, instr, site)
 
+        # Convergence composes with lockstep: the monitor wraps the
+        # lockstep hook, and a converged boundary — full architectural
+        # equality with the fault-free trail — implies every remaining
+        # per-site comparison and the exit check would have passed, so
+        # finishing with the golden outcome is sound for DME too.
         result = super().run(function=function, args=args,
                              fault_hook=lockstep, timing=timing,
                              max_instructions=max_instructions,
-                             resume_from=resume_from)
+                             resume_from=resume_from, converge=converge)
         if (result.output != trace.output
                 or result.exit_code != trace.exit_code):
             # Exit-time lockstep comparison: the run diverged in its

@@ -113,6 +113,8 @@ def inject_asm_fault(
     resume_from: MachineSnapshot | None = None,
     telemetry: bool = False,
     run_index: int = -1,
+    converge=None,
+    converge_stats=None,
 ) -> Outcome | FaultRecord:
     """Run ``program`` once with ``plan``'s fault; classify the outcome.
 
@@ -131,9 +133,19 @@ def inject_asm_fault(
     ``telemetry=True`` returns a :class:`FaultRecord` (same classification,
     plus attribution and detection latency); ``run_index`` stamps the
     record with the campaign run that drew the plan.
+
+    ``converge`` accepts a golden :class:`repro.machine.converge.
+    ConvergenceTrail`: the run then stops at the trail's boundaries and
+    finishes with the golden outcome the moment its divergence cone
+    matches the fault-free state (bit-identical classification; see
+    ``docs/performance.md``). ``converge_stats`` — a
+    :class:`repro.faultinjection.telemetry.ConvergenceStats` — accumulates
+    the run's monitor counters when provided.
     """
     if machine is None:
         machine = Machine(program)
+    monitor = (converge.monitor(plan.site_index)
+               if converge is not None else None)
     fired = False
     hit: dict = {}
 
@@ -160,10 +172,11 @@ def inject_asm_fault(
             result = machine.run(function=function, args=args, fault_hook=hook,
                                  max_instructions=budget,
                                  fault_at=plan.site_index,
-                                 resume_from=resume_from)
+                                 resume_from=resume_from,
+                                 converge=monitor)
         else:
             result = machine.run(function=function, args=args, fault_hook=hook,
-                                 max_instructions=budget)
+                                 max_instructions=budget, converge=monitor)
     except DetectionExit:
         outcome = Outcome.DETECTED
         detect_executed = machine.halt_executed
@@ -184,6 +197,8 @@ def inject_asm_fault(
             outcome = Outcome.BENIGN
         else:
             outcome = Outcome.SDC
+    if converge_stats is not None:
+        converge_stats.note(monitor)
     if not telemetry:
         return outcome
     if not hit:

@@ -75,6 +75,7 @@ from repro.faultinjection.telemetry import (
     TelemetryAggregate,
     read_jsonl,
 )
+from repro.machine.converge import record_trail
 from repro.machine.cpu import Machine, RunResult
 from repro.pipeline import VARIANTS, build_variants
 from repro.utils.journal import Journal, durable_replace
@@ -117,6 +118,13 @@ class CampaignSpec:
     scale: int = 1
     shard_size: int = 200
     checkpoint_interval: int | None = None
+    #: Convergence early-exit (see :mod:`repro.machine.converge`): each
+    #: unit records one golden digest trail at compile time; every shard
+    #: worker inherits it through fork and stops masked runs at the first
+    #: matching boundary. Result bytes are unchanged by contract, but the
+    #: flag is still part of the spec identity — resuming with a spec
+    #: that flips it is rejected like any other spec mismatch.
+    converge: bool = False
 
     def validate(self) -> None:
         if not self.workloads:
@@ -148,6 +156,7 @@ class CampaignSpec:
             "scale": self.scale,
             "shard_size": self.shard_size,
             "checkpoint_interval": self.checkpoint_interval,
+            "converge": self.converge,
         }
 
     @staticmethod
@@ -160,6 +169,9 @@ class CampaignSpec:
             scale=data["scale"],
             shard_size=data["shard_size"],
             checkpoint_interval=data["checkpoint_interval"],
+            # Journals written before the convergence feature lack the
+            # key; they meant converge=False.
+            converge=data.get("converge", False),
         )
 
 
@@ -205,6 +217,9 @@ class CompiledUnit:
     shards: list[tuple[ShardDescriptor, list[IndexedPlan]]]
     #: static-instruction uid -> program-local ordinal (see execute_shard)
     uid_map: dict[int, int]
+    #: golden convergence trail (``spec.converge`` campaigns only); recorded
+    #: once here, inherited by every forked shard worker
+    trail: object | None = None
 
     @property
     def unit_id(self) -> str:
@@ -258,11 +273,13 @@ def compile_campaign(spec: CampaignSpec) -> list[CompiledUnit]:
             index = len(units)
             uid_map = {instr.uid: ordinal for ordinal, instr
                        in enumerate(program.instructions())}
+            trail = (record_trail(program, golden)
+                     if spec.converge else None)
             units.append(CompiledUnit(
                 index=index, workload=workload, technique=technique,
                 program=program, golden=golden,
                 shards=_partition_plans(index, plans, spec.shard_size),
-                uid_map=uid_map,
+                uid_map=uid_map, trail=trail,
             ))
     return units
 
@@ -280,10 +297,16 @@ def execute_shard(
     to the instruction's program-local ordinal — uids depend on how many
     instructions the hosting process happened to allocate earlier, and
     the service's byte-identity contract cannot tolerate that.
+
+    When the unit carries a convergence trail (``spec.converge``), every
+    injection runs under it — masked runs finish at their first matching
+    boundary with bit-identical records, so segments, merges and the
+    summary stay byte-stable with the flag on or off.
     """
     results = _checkpointed_asm_results(
         unit.program, plans, unit.golden, "main", (),
         checkpoint_interval, telemetry=True,
+        trail=unit.trail,
     )
     results.sort(key=lambda pair: pair[0])
     return [

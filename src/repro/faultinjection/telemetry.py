@@ -128,6 +128,67 @@ def snapshot_nbytes(snap: object) -> int:
     return total
 
 
+@dataclass
+class ConvergenceStats:
+    """Economics of convergence early-exit (``converge=True`` campaigns).
+
+    ``runs`` counts every injection that ran under a convergence monitor
+    (including flips with no trail boundary after them); ``converged``
+    counts runs that provably rejoined the golden execution at a boundary
+    and were finished with the golden outcome. ``instructions_saved`` sums
+    the dynamic instructions those runs skipped; ``distance_sites`` sums
+    the flip-to-convergence distance in fault sites; and
+    ``boundaries_compared`` counts divergence-cone comparisons performed
+    (each O(registers + cone pages)). Mergeable across workers and shards
+    — all fields are order-independent sums.
+    """
+
+    runs: int = 0
+    converged: int = 0
+    instructions_saved: int = 0
+    distance_sites: int = 0
+    boundaries_compared: int = 0
+
+    def note(self, monitor) -> None:
+        """Fold one finished run's monitor into the totals (None = no
+        boundary after the flip; the run still counts toward ``runs``)."""
+        self.runs += 1
+        if monitor is None:
+            return
+        self.boundaries_compared += monitor.boundaries_compared
+        if monitor.converged:
+            self.converged += 1
+            self.instructions_saved += monitor.instructions_saved
+            self.distance_sites += monitor.convergence_distance
+
+    def merge(self, other: "ConvergenceStats") -> None:
+        self.runs += other.runs
+        self.converged += other.converged
+        self.instructions_saved += other.instructions_saved
+        self.distance_sites += other.distance_sites
+        self.boundaries_compared += other.boundaries_compared
+
+    @property
+    def converged_fraction(self) -> float:
+        return self.converged / self.runs if self.runs else 0.0
+
+    @property
+    def mean_convergence_distance(self) -> float:
+        """Mean flip-to-convergence distance in fault sites (converged runs)."""
+        return self.distance_sites / self.converged if self.converged else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "runs": self.runs,
+            "converged": self.converged,
+            "converged_fraction": round(self.converged_fraction, 4),
+            "instructions_saved": self.instructions_saved,
+            "mean_convergence_distance": round(
+                self.mean_convergence_distance, 2),
+            "boundaries_compared": self.boundaries_compared,
+        }
+
+
 class JsonlSink:
     """Streaming JSONL writer: one :class:`FaultRecord` object per line.
 

@@ -318,21 +318,10 @@ class Machine:
             sites = 0
             self._collect_mem = False
         budget = max_instructions if max_instructions is not None else self.max_instructions
-        if self.engine == "translated":
-            pc, executed, sites, stopped = self._run_translated(
-                pc, executed, sites, budget,
-                fault_hook=None, fault_at=-1, stop_at_site=target_site,
-            )
-        elif self.engine == "fused":
-            pc, executed, sites, stopped = self._run_fused(
-                pc, executed, sites, budget,
-                fault_hook=None, fault_at=-1, stop_at_site=target_site,
-            )
-        else:
-            pc, executed, sites, stopped = self._execute_from(
-                pc, executed, sites, budget,
-                fault_hook=None, fault_at=-1, timer=None, stop_at_site=target_site,
-            )
+        pc, executed, sites, stopped = self._engine_leg(
+            pc, executed, sites, budget,
+            fault_hook=None, fault_at=-1, stop_at_site=target_site,
+        )
         if not stopped:
             raise MachineFault(
                 f"program ended after {sites} fault sites, "
@@ -349,6 +338,7 @@ class Machine:
         max_instructions: int | None = None,
         fault_at: int | None = None,
         resume_from: MachineSnapshot | None = None,
+        converge: "object | None" = None,
     ) -> RunResult:
         """Execute ``function(*args)`` to completion.
 
@@ -358,6 +348,13 @@ class Machine:
         program entry (``function``/``args`` are then ignored — they were
         fixed when the snapshot's run began); counters resume cumulatively,
         so results and budgets match a from-scratch run bit for bit.
+
+        ``converge`` attaches a :class:`repro.machine.converge.
+        ConvergenceMonitor` to a faulted run: execution stops at golden
+        digest-trail boundaries, and once the divergence cone matches the
+        fault-free trail the run finishes early with the golden outcome
+        (bit-identical result; see ``docs/performance.md``). Ignored for
+        timing-model runs, which stay on the reference loop.
 
         Raises:
             MachineFault / SegmentationFault: on architectural faults (crash).
@@ -380,34 +377,120 @@ class Machine:
             sites = 0
 
         budget = max_instructions if max_instructions is not None else self.max_instructions
-        if self.engine == "translated" and timer is None:
-            pc, executed, sites, _ = self._run_translated(
-                pc, executed, sites, budget,
-                fault_hook=fault_hook,
-                fault_at=-1 if fault_at is None else fault_at,
-                stop_at_site=None,
+        if converge is not None and timer is None:
+            return self._run_converged(
+                pc, executed, sites, budget, fault_hook,
+                -1 if fault_at is None else fault_at, converge,
             )
-        elif self.engine == "fused" and timer is None:
-            pc, executed, sites, _ = self._run_fused(
-                pc, executed, sites, budget,
-                fault_hook=fault_hook,
-                fault_at=-1 if fault_at is None else fault_at,
-                stop_at_site=None,
-            )
-        else:
-            pc, executed, sites, _ = self._execute_from(
-                pc, executed, sites, budget,
-                fault_hook=fault_hook,
-                fault_at=-1 if fault_at is None else fault_at,
-                timer=timer,
-                stop_at_site=None,
-            )
+        pc, executed, sites, _ = self._engine_leg(
+            pc, executed, sites, budget,
+            fault_hook=fault_hook,
+            fault_at=-1 if fault_at is None else fault_at,
+            stop_at_site=None,
+            timer=timer,
+        )
         return RunResult(
             exit_code=self._exit_code,
             output=tuple(self.output),
             dynamic_instructions=executed,
             fault_sites=sites,
             cycles=timer.cycles if timer is not None else None,
+        )
+
+    def _engine_leg(
+        self,
+        pc: int,
+        executed: int,
+        sites: int,
+        budget: int,
+        fault_hook: FaultHook | None,
+        fault_at: int,
+        stop_at_site: int | None,
+        timer: TimingModel | None = None,
+    ) -> tuple[int, int, int, bool]:
+        """One dispatch onto the selected engine, with snapshot bookkeeping.
+
+        Generated translated/fused steps write the register dicts and
+        ``rflags`` directly, bypassing :meth:`RegisterFile.write` — so the
+        copy-on-write snapshot cache is invalidated once per leg: whenever
+        the leg advanced ``executed`` (a leg that executed nothing wrote
+        nothing), and unconditionally when it raised mid-flight (counters
+        are unknown then). Timing-model legs always take the reference
+        loop, which observes per-access memory traffic.
+        """
+        try:
+            if self.engine == "translated" and timer is None:
+                out = self._run_translated(
+                    pc, executed, sites, budget, fault_hook, fault_at,
+                    stop_at_site,
+                )
+            elif self.engine == "fused" and timer is None:
+                out = self._run_fused(
+                    pc, executed, sites, budget, fault_hook, fault_at,
+                    stop_at_site,
+                )
+            else:
+                out = self._execute_from(
+                    pc, executed, sites, budget, fault_hook, fault_at,
+                    timer, stop_at_site,
+                )
+        except BaseException:
+            self.registers.note_direct_writes()
+            raise
+        if out[1] != executed:
+            self.registers.note_direct_writes()
+        return out
+
+    def _run_converged(
+        self,
+        pc: int,
+        executed: int,
+        sites: int,
+        budget: int,
+        fault_hook: FaultHook | None,
+        fault_at: int,
+        monitor,
+    ) -> RunResult:
+        """Faulted execution with convergence early-exit.
+
+        Runs engine legs between the golden trail's boundaries that lie
+        after the flip site. At each boundary the monitor compares the
+        divergence cone (registers plus pages written since the flip, plus
+        the golden side's writes) against the fault-free trail; a full
+        match proves the remainder of execution is bit-identical to golden,
+        so the golden outcome is returned with counterfactual counters.
+        The monitor gives up after a bounded number of failed compares,
+        and the run then finishes on one plain leg — non-masked faults pay
+        a bounded, small overhead.
+        """
+        hook = monitor.wrap(fault_hook)
+        ended = False
+        try:
+            for entry in monitor.boundaries:
+                pc, executed, sites, stopped = self._engine_leg(
+                    pc, executed, sites, budget, hook, fault_at, entry.site,
+                )
+                if not stopped:
+                    ended = True  # program finished before the boundary
+                    break
+                final = monitor.check(self, pc, executed, sites, entry, budget)
+                if final is not None:
+                    self._exit_code = final.exit_code
+                    return final
+                if monitor.gave_up:
+                    break
+            if not ended:
+                pc, executed, sites, _ = self._engine_leg(
+                    pc, executed, sites, budget, hook, fault_at, None,
+                )
+        finally:
+            monitor.disarm(self)
+        return RunResult(
+            exit_code=self._exit_code,
+            output=tuple(self.output),
+            dynamic_instructions=executed,
+            fault_sites=sites,
+            cycles=None,
         )
 
     def _run_translated(

@@ -168,6 +168,46 @@ class Memory:
         for seg in self._segments:
             seg.reset()
 
+    # -- divergence-cone write tracking ------------------------------------
+
+    def begin_write_watch(self) -> tuple[set[int], ...]:
+        """Start tracking pages written from this instant.
+
+        Each segment's dirty set is saved aside and cleared *in place* (the
+        fused engine captures ``dirty.add`` as a bound method at translation
+        time, so the set object must keep its identity). Until
+        :meth:`end_write_watch` the live dirty sets contain exactly the
+        pages written since this call — the memory half of a faulted run's
+        divergence cone (see :mod:`repro.machine.converge`).
+        """
+        saved = tuple(set(seg.dirty) for seg in self._segments)
+        for seg in self._segments:
+            seg.dirty.clear()
+        return saved
+
+    def watched_writes(self) -> tuple[set[int], ...]:
+        """Per-segment pages written since :meth:`begin_write_watch`.
+
+        Returns the live dirty sets — read-only use; copy before mutating.
+        """
+        return tuple(seg.dirty for seg in self._segments)
+
+    def end_write_watch(self, saved: tuple[set[int], ...]) -> None:
+        """Merge the pre-watch dirty pages back into the live sets.
+
+        Must run before any :meth:`restore`: the restore path zero-fills
+        ``dirty - snapshot`` pages, so a truncated dirty set would leak
+        stale page contents into the next run.
+        """
+        for seg, before in zip(self._segments, saved):
+            seg.dirty |= before
+
+    def page_view(self, segment: int, page: int) -> memoryview:
+        """Read-only, copy-free view of one page of segment ``segment``."""
+        seg = self._segments[segment]
+        start = page << _PAGE_SHIFT
+        return memoryview(seg.data)[start : start + PAGE_SIZE]
+
     # -- checkpoint/restore ------------------------------------------------
 
     def snapshot(self) -> MemorySnapshot:

@@ -919,6 +919,15 @@ def execute_translated(
     execution; the general loop adds fault-site delivery and checkpoint
     stops with exactly the reference engine's check ordering, counters and
     halt-stamp semantics.
+
+    Because ``fault_hook`` and ``stop_at_site`` compose in one call (the
+    general loop checks stop, then bounds, then budget, exactly like the
+    reference engine), convergence early-exit needs no loop of its own:
+    ``Machine._run_converged`` chains plain legs of this function between
+    trail boundaries. Steps write ``_gprs``/``rflags`` behind the register
+    file's back, so callers that cache register snapshots must go through
+    ``Machine._engine_leg``, which invalidates the copy-on-write cache
+    after every leg that executed an instruction.
     """
     steps = translation.steps
     site_flags = translation.site_flags
